@@ -1,0 +1,39 @@
+"""Shared benchmark fixtures and report plumbing.
+
+Each figure benchmark runs the corresponding harness once (timed by
+pytest-benchmark), prints the paper-style table, and saves it under
+``benchmarks/reports/`` so EXPERIMENTS.md can reference the output.
+
+Profile selection: set ``REPRO_BENCH_PROFILE`` to ``tiny`` / ``quick`` /
+``default`` (default: quick).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.bench.profiles import active_profile
+
+REPORTS_DIR = pathlib.Path(__file__).parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def profile():
+    return active_profile()
+
+
+@pytest.fixture()
+def save_report():
+    def _save(name: str, text: str) -> None:
+        REPORTS_DIR.mkdir(exist_ok=True)
+        (REPORTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}")
+
+    return _save
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

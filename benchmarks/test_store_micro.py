@@ -1,0 +1,101 @@
+"""Wall-clock micro-benchmarks of the store implementations themselves.
+
+These measure the *Python implementation* speed (pytest-benchmark wall
+time), not simulated time — useful for tracking regressions in the
+reproduction's own code.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.aar import AarStore
+from repro.core.ett import SessionGapPredictor
+from repro.core.aur import AurStore
+from repro.core.rmw import RmwStore
+from repro.kvstores.hashkv import FasterConfig, FasterStore
+from repro.kvstores.lsm import LsmConfig, LsmStore
+from repro.model import Window
+from repro.simenv import SimEnv
+from repro.storage import SimFileSystem
+
+N_OPS = 2000
+W = Window(0.0, 1000.0)
+
+
+@pytest.fixture()
+def env():
+    return SimEnv()
+
+
+@pytest.fixture()
+def fs(env):
+    return SimFileSystem(env)
+
+
+def test_micro_lsm_put(benchmark, env, fs):
+    store = LsmStore(env, fs, "lsm", LsmConfig(write_buffer_bytes=64 << 10))
+
+    def run():
+        for i in range(N_OPS):
+            store.put(f"key{i % 500:04d}".encode(), b"v" * 40)
+
+    benchmark(run)
+
+
+def test_micro_lsm_get(benchmark, env, fs):
+    store = LsmStore(env, fs, "lsm", LsmConfig(write_buffer_bytes=64 << 10))
+    for i in range(500):
+        store.put(f"key{i:04d}".encode(), b"v" * 40)
+    store.flush()
+
+    def run():
+        for i in range(N_OPS):
+            store.get(f"key{i % 500:04d}".encode())
+
+    benchmark(run)
+
+
+def test_micro_faster_put_get(benchmark, env, fs):
+    store = FasterStore(env, fs, "f", FasterConfig(memory_log_bytes=1 << 20))
+
+    def run():
+        for i in range(N_OPS):
+            key = f"key{i % 500:04d}".encode()
+            store.put(key, b"v" * 8)
+            store.get(key)
+
+    benchmark(run)
+
+
+def test_micro_flowkv_rmw(benchmark, env, fs):
+    store = RmwStore(env, fs, "rmw", write_buffer_bytes=64 << 10)
+
+    def run():
+        for i in range(N_OPS):
+            key = f"key{i % 500:04d}".encode()
+            current = store.get(key, W) or b"\x00" * 8
+            store.put(key, W, current)
+
+    benchmark(run)
+
+
+def test_micro_flowkv_aar_append(benchmark, env, fs):
+    store = AarStore(env, fs, "aar", write_buffer_bytes=64 << 10)
+
+    def run():
+        for i in range(N_OPS):
+            store.append(f"key{i % 500:04d}".encode(), b"v" * 40, W)
+
+    benchmark(run)
+
+
+def test_micro_flowkv_aur_append(benchmark, env, fs):
+    store = AurStore(env, fs, SessionGapPredictor(10.0), "aur",
+                     write_buffer_bytes=64 << 10)
+
+    def run():
+        for i in range(N_OPS):
+            store.append(f"key{i % 500:04d}".encode(), b"v" * 40, W, float(i))
+
+    benchmark(run)

@@ -1,0 +1,59 @@
+"""Direct store-drive benchmarks (Gadget-style, no engine in the loop).
+
+Checks the §2.2 per-pattern competitiveness claims at the store level:
+
+* append patterns: the LSM store beats the hash store (lazy merging vs
+  read-copy-update), and FlowKV beats both;
+* RMW: the hash store beats the LSM store (O(1) vs sorted search), and
+  FlowKV beats both.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench.report import format_table
+from repro.bench.storebench import StoreWorkload, run_store_comparison
+from repro.core.patterns import StorePattern
+
+
+def _factories(profile):
+    return {
+        name: profile.backend_factory(name)
+        for name in ("flowkv", "rocksdb", "faster")
+    }
+
+
+def _render(title, results):
+    rows = [
+        [label, f"{r.ops_per_second:,.0f}", f"{r.sim_seconds * 1e3:.2f} ms",
+         f"{r.metrics.store_cpu_seconds * 1e3:.2f} ms"]
+        for label, r in results.items()
+    ]
+    return title + "\n" + format_table(
+        ["backend", "ops/sim-s", "sim time", "store CPU"], rows
+    )
+
+
+def test_storebench_aar(benchmark, profile, save_report):
+    workload = StoreWorkload(StorePattern.AAR, n_rounds=120)
+    results = run_once(benchmark, lambda: run_store_comparison(_factories(profile), workload))
+    save_report("storebench_aar", _render("Direct drive: AAR pattern", results))
+    assert results["flowkv"].sim_seconds < results["rocksdb"].sim_seconds
+    assert results["rocksdb"].sim_seconds < results["faster"].sim_seconds
+
+
+def test_storebench_aur(benchmark, profile, save_report):
+    workload = StoreWorkload(StorePattern.AUR, n_rounds=400, read_lag=60)
+    results = run_once(benchmark, lambda: run_store_comparison(_factories(profile), workload))
+    save_report("storebench_aur", _render("Direct drive: AUR pattern", results))
+    assert results["flowkv"].sim_seconds < results["rocksdb"].sim_seconds
+    assert results["flowkv"].sim_seconds < results["faster"].sim_seconds
+
+
+def test_storebench_rmw(benchmark, profile, save_report):
+    workload = StoreWorkload(StorePattern.RMW, n_rounds=120)
+    results = run_once(benchmark, lambda: run_store_comparison(_factories(profile), workload))
+    save_report("storebench_rmw", _render("Direct drive: RMW pattern", results))
+    assert results["faster"].sim_seconds < results["rocksdb"].sim_seconds
+    assert results["flowkv"].sim_seconds < results["faster"].sim_seconds

@@ -1,0 +1,61 @@
+"""Backend showdown: one NEXMark query on all four state backends.
+
+Reproduces a single cell family of the paper's Figure 8: pick a query,
+run it on the in-memory store, FlowKV, the RocksDB-style LSM store and
+the Faster-style hash store, and compare simulated throughput and store
+CPU time.
+
+Run:  python examples/nexmark_showdown.py [query] [window_seconds]
+      e.g. python examples/nexmark_showdown.py q11-median 100
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.harness import run_query
+from repro.bench.profiles import QUICK_PROFILE, BACKEND_NAMES
+from repro.bench.report import format_table
+
+
+def main() -> None:
+    query = sys.argv[1] if len(sys.argv) > 1 else "q11"
+    window = float(sys.argv[2]) if len(sys.argv) > 2 else QUICK_PROFILE.window_sizes[-1]
+    profile = QUICK_PROFILE
+
+    print(f"NEXMark {query}, window {window:g}s, profile '{profile.name}'")
+    print(f"({profile.generator().expected_events:,} events, "
+          f"{profile.parallelism} parallel operator instances)\n")
+
+    reference = run_query(profile, query, "flowkv", window)
+    timeout = max(profile.timeout_floor,
+                  profile.timeout_multiplier * reference.job_seconds)
+
+    rows = []
+    for backend in BACKEND_NAMES:
+        if backend == "flowkv":
+            record = reference
+        else:
+            record = run_query(profile, query, backend, window, sim_timeout=timeout)
+        if not record.ok:
+            rows.append([backend, f"FAILED ({record.failure})", "-", "-"])
+            continue
+        rows.append([
+            backend,
+            f"{record.throughput:,.0f}/s",
+            f"{record.job_seconds * 1e3:.1f} ms",
+            f"{record.metrics.store_cpu_seconds * 1e3:.2f} ms",
+        ])
+    print(format_table(["backend", "throughput", "job (sim)", "store CPU"], rows))
+
+    if reference.ok:
+        print(f"\nFlowKV stats: {int(reference.stat_sum('compaction_count'))} compactions", end="")
+        loads = reference.stat_sum("prefetch_loads")
+        if loads:
+            ratio = reference.stat_sum("prefetch_hits") / loads
+            print(f", prefetch hit ratio {ratio:.2f}", end="")
+        print()
+
+
+if __name__ == "__main__":
+    main()

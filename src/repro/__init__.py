@@ -1,0 +1,37 @@
+"""FlowKV (EuroSys '23) reproduction.
+
+A semantic-aware composite state store for stream processing engines,
+together with everything needed to reproduce the paper's evaluation:
+
+* :mod:`repro.core` — FlowKV itself (AAR / AUR / RMW stores, pattern
+  determination, ETT predictors, composite facade),
+* :mod:`repro.kvstores` — the baselines (heap state, RocksDB-style LSM,
+  Faster-style hash store),
+* :mod:`repro.engine` — a miniature stream processing engine,
+* :mod:`repro.nexmark` — the NEXMark workload and the eight evaluation
+  queries,
+* :mod:`repro.bench` — the figure-by-figure benchmark harness,
+* :mod:`repro.simenv` / :mod:`repro.storage` — the simulated-time
+  substrate (deterministic clock, cost models, simulated SSD).
+
+See README.md for a tour and DESIGN.md / EXPERIMENTS.md for the
+reproduction methodology and results.
+"""
+
+__version__ = "1.0.0"
+
+from repro.backends import BACKENDS, flowkv_backend
+from repro.core import FlowKVComposite, FlowKVConfig, StorePattern
+from repro.model import StreamRecord, Watermark, Window
+
+__all__ = [
+    "__version__",
+    "Window",
+    "StreamRecord",
+    "Watermark",
+    "FlowKVComposite",
+    "FlowKVConfig",
+    "StorePattern",
+    "flowkv_backend",
+    "BACKENDS",
+]

@@ -1,0 +1,115 @@
+"""Backend factories for the four evaluated state stores.
+
+Each factory returns a :data:`~repro.engine.state.BackendFactory` that the
+engine calls once per physical window-operator instance.  The same four
+names the paper evaluates are registered: ``memory``, ``flowkv``,
+``rocksdb`` (the LSM baseline) and ``faster`` (the hash-KV baseline).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core import FlowKVComposite, FlowKVConfig
+from repro.core.ett import (
+    CountWindowPredictor,
+    EttPredictor,
+    KnownBoundaryPredictor,
+    SessionGapPredictor,
+)
+from repro.core.patterns import WindowKind
+from repro.engine.state import BackendFactory, GenericKVBackend, OperatorInfo
+from repro.kvstores.api import WindowStateBackend
+from repro.kvstores.hashkv import FasterConfig, FasterStore
+from repro.kvstores.lsm import LsmConfig, LsmStore
+from repro.kvstores.memory import GcModel, HeapWindowBackend
+from repro.model import Serde
+from repro.simenv import SimEnv
+from repro.storage.filesystem import SimFileSystem
+
+
+def predictor_for(info: OperatorInfo) -> EttPredictor:
+    """The ETT predictor FlowKV maps to a window function (§4.2).
+
+    Predictors supplied by the window assigner (including §8 user-defined
+    estimators for custom windows) take precedence over the kind-based
+    mapping.
+    """
+    if info.ett_predictor is not None:
+        return info.ett_predictor
+    if info.window_kind is WindowKind.SESSION:
+        if info.session_gap is None:
+            raise ValueError("session window operator without a session gap")
+        return SessionGapPredictor(info.session_gap)
+    if info.window_kind in (WindowKind.COUNT, WindowKind.CUSTOM):
+        return CountWindowPredictor()
+    return KnownBoundaryPredictor()
+
+
+def flowkv_backend(
+    config: FlowKVConfig | None = None, serde: Serde | None = None
+) -> BackendFactory:
+    """FlowKV: the pattern is chosen from the operator's signatures."""
+
+    def factory(
+        env: SimEnv, fs: SimFileSystem, name: str, info: OperatorInfo
+    ) -> WindowStateBackend:
+        return FlowKVComposite(
+            env, fs,
+            pattern=info.pattern,
+            config=config,
+            predictor=predictor_for(info),
+            serde=serde,
+            name=name,
+        )
+
+    return factory
+
+
+def rocksdb_backend(
+    config: LsmConfig | None = None, serde: Serde | None = None
+) -> BackendFactory:
+    """The LSM (RocksDB-style) baseline behind generic-KV glue."""
+
+    def factory(
+        env: SimEnv, fs: SimFileSystem, name: str, info: OperatorInfo
+    ) -> WindowStateBackend:
+        return GenericKVBackend(env, LsmStore(env, fs, name, config), serde)
+
+    return factory
+
+
+def faster_backend(
+    config: FasterConfig | None = None, serde: Serde | None = None
+) -> BackendFactory:
+    """The hash-KV (Faster-style) baseline behind generic-KV glue."""
+
+    def factory(
+        env: SimEnv, fs: SimFileSystem, name: str, info: OperatorInfo
+    ) -> WindowStateBackend:
+        return GenericKVBackend(env, FasterStore(env, fs, name, config), serde)
+
+    return factory
+
+
+def memory_backend(
+    capacity_bytes: int = 512 << 20,
+    gc_model: GcModel | None = None,
+    sizer: Any = None,
+) -> BackendFactory:
+    """Flink-style heap state with GC cost model and OOM failure."""
+
+    def factory(
+        env: SimEnv, fs: SimFileSystem, name: str, info: OperatorInfo
+    ) -> WindowStateBackend:
+        return HeapWindowBackend(env, capacity_bytes, gc_model, sizer)
+
+    return factory
+
+
+BACKENDS = {
+    "memory": memory_backend,
+    "flowkv": flowkv_backend,
+    "rocksdb": rocksdb_backend,
+    "faster": faster_backend,
+}

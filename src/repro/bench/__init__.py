@@ -1,0 +1,32 @@
+"""Benchmark harness reproducing the paper's evaluation (§2.2, §6).
+
+One module per figure:
+
+========  =====================================================
+fig4      execution-time breakdown, Flink on RocksDB/Faster
+fig8      throughput, 8 queries x 3 window sizes x 4 backends
+fig9      P95 latency vs tuple rate (Q7 / Q11-Median / Q11)
+fig10     store CPU time by operation (write / read / compaction)
+fig11     predictive-batch-read ratio sweep (throughput + hit ratio)
+fig12     MSA sweep (compaction trade-off)
+fig13     multi-worker scalability (Q11-Median)
+========  =====================================================
+
+All figures run on a :class:`~repro.bench.profiles.ScaleProfile` that
+scales the paper's 400 GB workload down to laptop size while preserving
+the state-to-memory ratios that drive the results.
+"""
+
+from repro.bench.harness import RunRecord, run_latency, run_matrix, run_query
+from repro.bench.profiles import DEFAULT_PROFILE, QUICK_PROFILE, TINY_PROFILE, ScaleProfile
+
+__all__ = [
+    "ScaleProfile",
+    "DEFAULT_PROFILE",
+    "QUICK_PROFILE",
+    "TINY_PROFILE",
+    "RunRecord",
+    "run_query",
+    "run_matrix",
+    "run_latency",
+]

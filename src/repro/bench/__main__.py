@@ -1,0 +1,59 @@
+"""Command-line entry point: regenerate the paper's figures.
+
+Usage:
+
+    python -m repro.bench fig8              # one figure
+    python -m repro.bench fig4 fig10        # several
+    python -m repro.bench all               # everything
+    REPRO_BENCH_PROFILE=tiny python -m repro.bench fig8
+
+Tables print to stdout; profile selection follows the
+``REPRO_BENCH_PROFILE`` environment variable (tiny | quick | default).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.bench.figures import fig4, fig8, fig9, fig10, fig11, fig12, fig13
+from repro.bench.profiles import active_profile
+
+FIGURES = {
+    "fig4": fig4,
+    "fig8": fig8,
+    "fig9": fig9,
+    "fig10": fig10,
+    "fig11": fig11,
+    "fig12": fig12,
+    "fig13": fig13,
+}
+
+
+def main(argv: list[str]) -> int:
+    names = argv or ["all"]
+    if names == ["all"]:
+        names = list(FIGURES)
+    unknown = [n for n in names if n not in FIGURES]
+    if unknown:
+        print(f"unknown figure(s): {', '.join(unknown)}")
+        print(f"available: {', '.join(FIGURES)} | all")
+        return 2
+    profile = active_profile()
+    print(f"profile: {profile.name} "
+          f"({profile.generator().expected_events:,} events per run)\n")
+    for name in names:
+        module = FIGURES[name]
+        started = time.time()
+        print(f"=== {name}: {module.__doc__.strip().splitlines()[0]} ===")
+        records = module.run(profile)
+        if name == "fig8":
+            print(module.render(records, profile))
+        else:
+            print(module.render(records))
+        print(f"[{name} took {time.time() - started:.1f}s wall]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

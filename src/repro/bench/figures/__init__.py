@@ -1,0 +1,1 @@
+"""One module per paper figure; each exposes ``run(profile)`` and ``main()``."""

@@ -1,0 +1,62 @@
+"""Figure 12: effect of MSA (maximum space amplification) on AUR queries.
+
+Paper shape: throughput rises with MSA (fewer compactions) and flattens
+around MSA = 1.5; disk-space consumption rises with MSA — the compaction
+overhead / disk space trade-off of §4.2.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import RunRecord, run_query
+from repro.bench.profiles import ScaleProfile, active_profile
+from repro.bench.report import format_table
+
+QUERIES = ("q11-median", "q7-session")
+MSA_VALUES = (1.1, 1.25, 1.5, 2.0, 3.0)
+
+
+def run(
+    profile: ScaleProfile,
+    queries: tuple[str, ...] = QUERIES,
+    msa_values: tuple[float, ...] = MSA_VALUES,
+    window_size: float | None = None,
+) -> list[RunRecord]:
+    size = window_size or profile.window_sizes[-1]
+    records = []
+    for query in queries:
+        for msa in msa_values:
+            record = run_query(
+                profile, query, "flowkv", size,
+                flowkv_overrides={"max_space_amplification": msa},
+            )
+            record.operator_stats.setdefault("_sweep", {})["msa"] = msa
+            records.append(record)
+    return records
+
+
+def render(records: list[RunRecord]) -> str:
+    rows = []
+    for record in records:
+        msa = record.operator_stats.get("_sweep", {}).get("msa", 0.0)
+        rows.append(
+            [
+                record.query,
+                f"{msa:g}",
+                f"{record.throughput:,.0f}",
+                f"{int(record.stat_sum('compaction_count'))}",
+                f"{record.stat_sum('disk_bytes') / 1024:.0f} KiB",
+            ]
+        )
+    return format_table(
+        ["query", "msa", "throughput", "compactions", "final_disk"], rows
+    )
+
+
+def main() -> None:
+    profile = active_profile()
+    print(f"Figure 12 (profile={profile.name}): MSA sweep")
+    print(render(run(profile)))
+
+
+if __name__ == "__main__":
+    main()

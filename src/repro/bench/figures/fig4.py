@@ -1,0 +1,47 @@
+"""Figure 4: execution-time breakdown of Flink on RocksDB and Faster.
+
+Paper shape: Q7/Q11-Median (append patterns) — Faster does not finish;
+RocksDB spends store CPU comparable to query computation, much of it in
+compaction.  Q11 (RMW) — Faster beats RocksDB but still pays heavy store
+CPU (synchronization), RocksDB pays sorted-search overhead.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import RunRecord, run_query
+from repro.bench.profiles import ScaleProfile, active_profile
+from repro.bench.report import breakdown_rows, format_table
+
+QUERIES = ("q7", "q11-median", "q11")
+BACKENDS = ("rocksdb", "faster")
+
+
+def run(profile: ScaleProfile, window_size: float | None = None) -> list[RunRecord]:
+    size = window_size or profile.window_sizes[-1]
+    records: list[RunRecord] = []
+    for query in QUERIES:
+        reference = run_query(profile, query, "flowkv", size)
+        timeout = max(
+            profile.timeout_floor,
+            profile.timeout_multiplier * max(reference.job_seconds, 1e-9),
+        )
+        for backend in BACKENDS:
+            records.append(run_query(profile, query, backend, size, sim_timeout=timeout))
+        records.append(reference)  # shown for reference alongside the baselines
+    return records
+
+
+def render(records: list[RunRecord]) -> str:
+    headers = ["query", "backend", "total_s", "computation", "store_write",
+               "store_read", "compaction", "io_wait"]
+    return format_table(headers, breakdown_rows(records))
+
+
+def main() -> None:
+    profile = active_profile()
+    print(f"Figure 4 (profile={profile.name}): execution-time breakdown")
+    print(render(run(profile)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Figure 8: throughput of the eight NEXMark queries.
+
+Eight queries x three window sizes x four backends.  Paper shape:
+
+* FlowKV beats RocksDB up to ~4.1x and Faster up to ~3.5x,
+* Faster DNFs on append patterns (Q7, Q7-Session, Q8, Q11-Median,
+  Q5-Append second stage),
+* the in-memory store OOMs on large append state (crossed bars),
+* the gain grows with state size and with pattern complexity (Q5*).
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import RunRecord, run_matrix
+from repro.bench.profiles import BACKEND_NAMES, ScaleProfile, active_profile
+from repro.bench.report import format_table, throughput_rows
+
+QUERIES = ("q5", "q5-append", "q7", "q7-session", "q8", "q11", "q11-median", "q12")
+
+
+def run(
+    profile: ScaleProfile,
+    queries: tuple[str, ...] = QUERIES,
+    backends: tuple[str, ...] = BACKEND_NAMES,
+) -> list[RunRecord]:
+    return run_matrix(profile, list(queries), list(backends))
+
+
+def render(records: list[RunRecord], profile: ScaleProfile,
+           queries: tuple[str, ...] = QUERIES,
+           backends: tuple[str, ...] = BACKEND_NAMES) -> str:
+    headers = ["query", "window"] + list(backends) + ["flowkv_gain"]
+    rows = throughput_rows(
+        records, list(queries), list(backends),
+        list(profile.window_sizes), list(profile.paper_window_labels),
+    )
+    return format_table(headers, rows)
+
+
+def main() -> None:
+    profile = active_profile()
+    print(f"Figure 8 (profile={profile.name}): throughput (records/sim-second)")
+    records = run(profile)
+    print(render(records, profile))
+    print("\nflowkv_gain = best rival persistent store time / FlowKV time")
+
+
+if __name__ == "__main__":
+    main()

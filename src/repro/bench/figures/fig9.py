@@ -1,0 +1,43 @@
+"""Figure 9: P95 latency vs tuple rate for Q7, Q11-Median and Q11.
+
+Paper shape: FlowKV sustains the highest rates with low tail latency;
+Faster fails on append patterns at every rate and on RMW beyond a rate
+knee; the in-memory store fails early from memory pressure; RocksDB's
+latency grows with rate.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import RunRecord, run_latency
+from repro.bench.profiles import BACKEND_NAMES, ScaleProfile, active_profile
+from repro.bench.report import format_table, latency_rows
+
+QUERIES = ("q7", "q11-median", "q11")
+
+
+def run(
+    profile: ScaleProfile,
+    queries: tuple[str, ...] = QUERIES,
+    backends: tuple[str, ...] = BACKEND_NAMES,
+) -> list[RunRecord]:
+    records: list[RunRecord] = []
+    for query in queries:
+        records.extend(run_latency(profile, query, list(backends)))
+    return records
+
+
+def render(records: list[RunRecord]) -> str:
+    return format_table(["query", "backend", "rate", "p95_latency"], latency_rows(records))
+
+
+def main() -> None:
+    profile = active_profile()
+    print(
+        f"Figure 9 (profile={profile.name}): P95 latency, window="
+        f"{profile.latency_window:g}s"
+    )
+    print(render(run(profile)))
+
+
+if __name__ == "__main__":
+    main()

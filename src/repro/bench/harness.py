@@ -1,0 +1,164 @@
+"""Run driver: executes one (query, backend, window) cell and records it.
+
+Failure handling mirrors the paper: heap OOM and simulated-time timeouts
+become crossed bars (Figure 8), latency overload becomes a missing point
+(Figure 9) — never an unhandled exception.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.bench.profiles import ScaleProfile
+from repro.errors import StoreOOMError
+from repro.nexmark.queries import build_query
+from repro.simenv import MetricsSnapshot
+
+
+@dataclass
+class RunRecord:
+    """Outcome of one benchmark cell."""
+
+    query: str
+    backend: str
+    window_size: float
+    input_records: int = 0
+    job_seconds: float = 0.0
+    throughput: float = 0.0  # records / simulated second
+    failure: str | None = None
+    p95_latency: float | None = None
+    arrival_rate: float | None = None
+    results: int = 0
+    n_instances: int = 1
+    metrics: MetricsSnapshot | None = None
+    operator_stats: dict[str, dict[str, Any]] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+    def stat_sum(self, key: str) -> float:
+        return sum(stats.get(key, 0) for stats in self.operator_stats.values())
+
+
+def run_query(
+    profile: ScaleProfile,
+    query: str,
+    backend: str,
+    window_size: float,
+    sim_timeout: float | None = None,
+    arrival_rate: float | None = None,
+    duration: float | None = None,
+    events_per_second: float | None = None,
+    seed: int | None = None,
+    flowkv_overrides: dict[str, Any] | None = None,
+    workers: int | None = None,
+    session_gap: float | None = None,
+) -> RunRecord:
+    """Execute one cell of the evaluation matrix."""
+    factory = profile.backend_factory(backend, **(flowkv_overrides or {}))
+    generator = profile.generator(
+        seed=seed, duration=duration, events_per_second=events_per_second
+    )
+    effective_workers = workers or profile.workers
+    if session_gap is None:
+        session_gap = window_size * profile.session_gap_fraction
+    env = build_query(
+        query,
+        factory,
+        generator,
+        window_size,
+        parallelism=profile.parallelism,
+        workers=effective_workers,
+        session_gap=session_gap,
+        cost_scale=profile.latency_cost_scale if arrival_rate else 1.0,
+    )
+    record = RunRecord(query=query, backend=backend, window_size=window_size,
+                       arrival_rate=arrival_rate,
+                       n_instances=profile.parallelism * effective_workers)
+    try:
+        result = env.execute(
+            arrival_rate=arrival_rate,
+            watermark_interval=(
+                profile.latency_watermark_interval
+                if arrival_rate
+                else profile.watermark_interval
+            ),
+            sim_timeout=sim_timeout,
+            overload_backlog=profile.overload_backlog,
+        )
+    except StoreOOMError:
+        record.failure = "oom"
+        return record
+    record.input_records = result.input_records
+    record.job_seconds = result.job_seconds
+    record.throughput = result.throughput
+    record.failure = result.failure
+    record.results = sum(len(v) for v in result.sink_outputs.values())
+    record.metrics = result.metrics
+    record.operator_stats = result.operator_stats
+    if arrival_rate:
+        record.p95_latency = result.p95_latency()
+    return record
+
+
+def run_matrix(
+    profile: ScaleProfile,
+    queries: list[str],
+    backends: list[str],
+    window_sizes: list[float] | None = None,
+) -> list[RunRecord]:
+    """The Figure-8 matrix.
+
+    FlowKV runs first per (query, window) to establish the reference time;
+    other backends are then killed at ``timeout_multiplier`` times the
+    reference (the paper's 7200 s kill, scaled).
+    """
+    sizes = list(window_sizes or profile.window_sizes)
+    records: list[RunRecord] = []
+    for query in queries:
+        for size in sizes:
+            reference = run_query(profile, query, "flowkv", size)
+            timeout = max(
+                profile.timeout_floor,
+                profile.timeout_multiplier * max(reference.job_seconds, 1e-9),
+            )
+            for backend in backends:
+                if backend == "flowkv":
+                    records.append(reference)
+                    continue
+                records.append(
+                    run_query(profile, query, backend, size, sim_timeout=timeout)
+                )
+    return records
+
+
+def run_latency(
+    profile: ScaleProfile,
+    query: str,
+    backends: list[str],
+    rates: list[float] | None = None,
+) -> list[RunRecord]:
+    """The Figure-9 sweep: fixed window, open-loop rates, P95 latency.
+
+    For latency runs the generator's event rate equals the arrival rate,
+    so event time and wall time advance together (the Kafka feed of §6.2).
+    """
+    rates = list(rates or profile.latency_rates)
+    records: list[RunRecord] = []
+    for backend in backends:
+        for rate in rates:
+            records.append(
+                run_query(
+                    profile,
+                    query,
+                    backend,
+                    profile.latency_window,
+                    arrival_rate=rate,
+                    events_per_second=rate,
+                    duration=profile.latency_duration,
+                    sim_timeout=None,
+                )
+            )
+    return records

@@ -1,0 +1,116 @@
+"""Plain-text reporting: the same rows/series the paper's figures show."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+from repro.bench.harness import RunRecord
+
+FAILURE_MARK = {"oom": "x (OOM)", "timeout": "x (DNF)", "overload": "x (overload)"}
+
+
+def format_cell(record: RunRecord, normalize_to: float | None = None) -> str:
+    if not record.ok:
+        return FAILURE_MARK.get(record.failure or "", "x")
+    if normalize_to:
+        return f"{record.throughput / normalize_to:.2f}x"
+    return f"{record.throughput:,.0f}"
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Fixed-width ASCII table."""
+    columns = [[str(h)] for h in headers]
+    for row in rows:
+        for idx, cell in enumerate(row):
+            columns[idx].append(str(cell))
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = []
+    header = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def throughput_rows(
+    records: list[RunRecord],
+    queries: list[str],
+    backends: list[str],
+    window_sizes: list[float],
+    labels: list[str] | None = None,
+) -> list[list[str]]:
+    """One row per (query, window): throughput per backend + FlowKV gain."""
+    by_cell = {(r.query, r.backend, r.window_size): r for r in records}
+    rows = []
+    for query in queries:
+        for idx, size in enumerate(window_sizes):
+            label = labels[idx] if labels else f"{size:g}s"
+            row: list[str] = [query, label]
+            flow = by_cell.get((query, "flowkv", size))
+            for backend in backends:
+                record = by_cell.get((query, backend, size))
+                row.append(format_cell(record) if record else "-")
+            best_rival = min(
+                (by_cell[(query, b, size)].job_seconds
+                 for b in backends
+                 if b not in ("flowkv", "memory")
+                 and (query, b, size) in by_cell
+                 and by_cell[(query, b, size)].ok),
+                default=None,
+            )
+            if flow and flow.ok and best_rival:
+                row.append(f"{best_rival / flow.job_seconds:.2f}x")
+            else:
+                row.append("-")
+            rows.append(row)
+    return rows
+
+
+def breakdown_rows(records: list[RunRecord]) -> list[list[str]]:
+    """Execution-time breakdown rows (Figures 4 and 10)."""
+    rows = []
+    for record in records:
+        if not record.ok or record.metrics is None:
+            rows.append(
+                [record.query, record.backend,
+                 FAILURE_MARK.get(record.failure or "", "x"), "-", "-", "-", "-", "-"]
+            )
+            continue
+        # Ledger totals aggregate all parallel instances; divide by the
+        # instance count so the stacked components sum to roughly the job
+        # time (max busy instance), as in the paper's per-job bars.
+        n = max(1, record.n_instances)
+        cpu = record.metrics.cpu_seconds
+        computation = (
+            cpu.get("query", 0.0) + cpu.get("engine", 0.0) + cpu.get("serde", 0.0)
+        ) / n
+        store_write = (cpu.get("store_write", 0.0) + cpu.get("sync", 0.0) / 2) / n
+        store_read = (cpu.get("store_read", 0.0) + cpu.get("sync", 0.0) / 2) / n
+        compaction = (cpu.get("compaction", 0.0) + cpu.get("gc", 0.0)) / n
+        rows.append(
+            [
+                record.query,
+                record.backend,
+                f"{record.job_seconds:.3f}",
+                f"{computation:.3f}",
+                f"{store_write:.3f}",
+                f"{store_read:.3f}",
+                f"{compaction:.3f}",
+                f"{record.metrics.io_wait_seconds / n:.3f}",
+            ]
+        )
+    return rows
+
+
+def latency_rows(records: list[RunRecord]) -> list[list[str]]:
+    rows = []
+    for record in records:
+        latency = (
+            FAILURE_MARK.get(record.failure or "", "x")
+            if not record.ok
+            else f"{(record.p95_latency or 0.0) * 1000:.1f} ms"
+        )
+        rows.append([record.query, record.backend, f"{record.arrival_rate:g}/s", latency])
+    return rows

@@ -1,0 +1,177 @@
+"""Store-level workload driver (a Gadget-style microbenchmark, cf. §7).
+
+The paper cites Gadget [Asyabi et al., EuroSys'22] — a harness that
+evaluates streaming state stores *directly*, without an SPE — but uses
+end-to-end queries instead.  This module provides the direct-drive
+counterpart for this codebase: synthetic workloads that reproduce each of
+the three window access patterns against any
+:class:`~repro.kvstores.api.WindowStateBackend`, so stores can be
+compared and regression-tested in isolation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.patterns import StorePattern
+from repro.kvstores.api import WindowStateBackend
+from repro.model import Window
+from repro.simenv import MetricsSnapshot, SimEnv
+
+
+@dataclass(frozen=True)
+class StoreWorkload:
+    """Shape of one direct-drive store workload.
+
+    Attributes:
+        pattern: which access pattern to generate.
+        n_rounds: windows triggered over the run.
+        n_keys: distinct keys.
+        values_per_window: tuples appended per (key, window) (append
+            patterns) or updates per (key, window) (RMW).
+        value_bytes: payload size per tuple.
+        keys_per_window: for AAR, how many keys share each window.
+        read_lag: rounds between writing a window and reading it
+            (controls how much state is resident/spilled at read time).
+        seed: RNG seed.
+    """
+
+    pattern: StorePattern
+    n_rounds: int = 200
+    n_keys: int = 32
+    values_per_window: int = 10
+    value_bytes: int = 64
+    keys_per_window: int = 8
+    read_lag: int = 20
+    seed: int = 1
+
+
+@dataclass
+class StoreBenchResult:
+    """Outcome of one direct drive."""
+
+    workload: StoreWorkload
+    operations: int
+    sim_seconds: float
+    metrics: MetricsSnapshot
+
+    @property
+    def ops_per_second(self) -> float:
+        return self.operations / self.sim_seconds if self.sim_seconds > 0 else 0.0
+
+
+def drive_store(
+    env: SimEnv, backend: WindowStateBackend, workload: StoreWorkload
+) -> StoreBenchResult:
+    """Run one synthetic workload against ``backend`` on ``env``."""
+    rng = random.Random(workload.seed)
+    payload = bytes(rng.randrange(256) for _ in range(workload.value_bytes))
+    start = env.now
+    operations = 0
+    if workload.pattern is StorePattern.AAR:
+        operations = _drive_aar(backend, workload, payload)
+    elif workload.pattern is StorePattern.AUR:
+        operations = _drive_aur(backend, workload, payload)
+    else:
+        operations = _drive_rmw(backend, workload, payload, rng)
+    backend.flush()
+    return StoreBenchResult(
+        workload=workload,
+        operations=operations,
+        sim_seconds=env.now - start,
+        metrics=env.ledger.snapshot(),
+    )
+
+
+def _window(round_idx: int, span: float = 10.0) -> Window:
+    return Window(round_idx * span, (round_idx + 1) * span)
+
+
+def _drive_aar(backend: WindowStateBackend, w: StoreWorkload, payload: bytes) -> int:
+    """Aligned pattern: all keys of a window written, whole window read."""
+    operations = 0
+    for round_idx in range(w.n_rounds):
+        window = _window(round_idx)
+        for key_idx in range(w.keys_per_window):
+            key = f"k{key_idx % w.n_keys:04d}".encode()
+            for j in range(w.values_per_window):
+                backend.append(key, window, payload, window.start + j * 0.01)
+                operations += 1
+        if round_idx >= w.read_lag:
+            for _key, values in backend.read_window(_window(round_idx - w.read_lag)):
+                operations += len(values)
+    return operations
+
+
+def _drive_aur(backend: WindowStateBackend, w: StoreWorkload, payload: bytes) -> int:
+    """Unaligned pattern: per-key windows written, read per key with lag."""
+    operations = 0
+    for round_idx in range(w.n_rounds):
+        window = _window(round_idx)
+        key = f"k{round_idx % w.n_keys:04d}".encode()
+        for j in range(w.values_per_window):
+            backend.append(key, window, payload, window.start + j * 0.01)
+            operations += 1
+        backend.on_watermark(window.start)
+        if round_idx >= w.read_lag:
+            old_round = round_idx - w.read_lag
+            old_key = f"k{old_round % w.n_keys:04d}".encode()
+            values = backend.read_key_window(old_key, _window(old_round))
+            operations += len(values)
+    return operations
+
+
+def _drive_rmw(
+    backend: WindowStateBackend, w: StoreWorkload, payload: bytes, rng: random.Random
+) -> int:
+    """Read-modify-write: per-tuple get+put of a fixed-size aggregate."""
+    operations = 0
+    agg = payload[:8] or b"\x00" * 8
+    for round_idx in range(w.n_rounds):
+        window = _window(round_idx)
+        for _j in range(w.values_per_window * w.keys_per_window):
+            key = f"k{rng.randrange(w.n_keys):04d}".encode()
+            current = backend.rmw_get(key, window)
+            backend.rmw_put(key, window, agg if current is None else current)
+            operations += 2
+        if round_idx >= w.read_lag:
+            old_window = _window(round_idx - w.read_lag)
+            for key_idx in range(w.n_keys):
+                backend.rmw_remove(f"k{key_idx:04d}".encode(), old_window)
+                operations += 1
+    return operations
+
+
+def run_store_comparison(
+    factories: dict[str, Any], workload: StoreWorkload
+) -> dict[str, StoreBenchResult]:
+    """Drive the same workload against multiple backend factories.
+
+    ``factories`` maps a label to a callable ``(env, fs, name, info) ->
+    backend`` (the standard :data:`~repro.engine.state.BackendFactory`).
+    """
+    from repro.engine.state import OperatorInfo
+    from repro.core.patterns import WindowKind
+    from repro.storage import SimFileSystem
+
+    kind = {
+        StorePattern.AAR: WindowKind.FIXED,
+        StorePattern.AUR: WindowKind.SESSION,
+        StorePattern.RMW: WindowKind.FIXED,
+    }[workload.pattern]
+    info = OperatorInfo(
+        name="storebench",
+        incremental=workload.pattern is StorePattern.RMW,
+        window_kind=kind,
+        session_gap=10.0,
+    )
+    results: dict[str, StoreBenchResult] = {}
+    for label, factory in factories.items():
+        env = SimEnv()
+        fs = SimFileSystem(env)
+        backend = factory(env, fs, "sb", info)
+        results[label] = drive_store(env, backend, workload)
+        backend.close()
+    return results

@@ -1,0 +1,42 @@
+"""FlowKV: the paper's semantic-aware composite store.
+
+FlowKV classifies each window operation by *how* it accesses state
+(Append vs Read-Modify-Write, from the aggregate function) and *when* it
+reads state (Aligned vs Unaligned, from the window function), and deploys
+one of three customized stores:
+
+* :class:`~repro.core.aar.AarStore` — Append & Aligned Read: window-keyed
+  write buffer, one on-disk log file per window, gradual state loading,
+  delete-after-read (no compaction at all),
+* :class:`~repro.core.aur.AurStore` — Append & Unaligned Read: global data
+  log + append-only index log, estimated-trigger-time (ETT) Stat table,
+  predictive batch read, compaction integrated with the index scan,
+* :class:`~repro.core.rmw.RmwStore` — Read-Modify-Write: hash write
+  buffer + hash index + value log, no synchronization charges.
+
+:class:`~repro.core.composite.FlowKVComposite` wraps ``m`` store instances
+per physical operator behind the engine's
+:class:`~repro.kvstores.api.WindowStateBackend` interface.
+"""
+
+from repro.core.composite import FlowKVComposite
+from repro.core.config import FlowKVConfig
+from repro.core.ett import (
+    CountWindowPredictor,
+    EttPredictor,
+    KnownBoundaryPredictor,
+    SessionGapPredictor,
+)
+from repro.core.patterns import StorePattern, WindowKind, determine_pattern
+
+__all__ = [
+    "FlowKVComposite",
+    "FlowKVConfig",
+    "StorePattern",
+    "WindowKind",
+    "determine_pattern",
+    "EttPredictor",
+    "KnownBoundaryPredictor",
+    "SessionGapPredictor",
+    "CountWindowPredictor",
+]

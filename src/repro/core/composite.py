@@ -1,0 +1,237 @@
+"""The FlowKV composite store facade.
+
+One :class:`FlowKVComposite` serves one physical window operator.  At
+construction (application launch) the store pattern has been determined
+from the operator's function signatures (§3.1); the composite deploys
+``m`` store instances of that pattern and routes every state access by key
+hash, so that compaction runs independently per state partition (§3).
+
+It implements the engine's :class:`~repro.kvstores.api.WindowStateBackend`
+interface, translating objects to bytes at the boundary (serde charged).
+"""
+
+from __future__ import annotations
+
+import pickle
+import zlib
+from collections.abc import Iterator
+from typing import Any
+
+from repro.core.aar import AarStore
+from repro.core.aur import AurStore
+from repro.core.config import FlowKVConfig
+from repro.core.ett import EttPredictor, KnownBoundaryPredictor
+from repro.core.patterns import StorePattern
+from repro.core.rmw import RmwStore
+from repro.errors import PatternError
+from repro.kvstores.api import WindowStateBackend
+from repro.model import PickleSerde, Serde, Window
+from repro.simenv import CAT_SERDE, SimEnv
+from repro.storage.filesystem import SimFileSystem
+
+
+class FlowKVComposite(WindowStateBackend):
+    """``m`` pattern-specialized store instances behind one backend."""
+
+    def __init__(
+        self,
+        env: SimEnv,
+        fs: SimFileSystem,
+        pattern: StorePattern,
+        config: FlowKVConfig | None = None,
+        predictor: EttPredictor | None = None,
+        serde: Serde | None = None,
+        name: str = "flowkv",
+    ) -> None:
+        self._env = env
+        self._pattern = pattern
+        self._config = config or FlowKVConfig()
+        self._serde = serde or PickleSerde()
+        self._name = name
+        cfg = self._config
+        self._instances: list[Any] = []
+        for i in range(cfg.num_instances):
+            instance_name = f"{name}/s{i}"
+            if pattern is StorePattern.AAR:
+                store: Any = AarStore(
+                    env, fs, instance_name,
+                    write_buffer_bytes=cfg.write_buffer_bytes,
+                    read_chunk_bytes=cfg.read_chunk_bytes,
+                )
+            elif pattern is StorePattern.AUR:
+                store = AurStore(
+                    env, fs,
+                    predictor or KnownBoundaryPredictor(),
+                    instance_name,
+                    write_buffer_bytes=cfg.write_buffer_bytes,
+                    read_batch_ratio=cfg.read_batch_ratio,
+                    max_space_amplification=cfg.max_space_amplification,
+                    data_segment_bytes=cfg.data_segment_bytes,
+                    prefetch_buffer_bytes=cfg.prefetch_buffer_bytes,
+                )
+            elif pattern is StorePattern.RMW:
+                store = RmwStore(
+                    env, fs, instance_name,
+                    write_buffer_bytes=cfg.write_buffer_bytes,
+                    max_space_amplification=cfg.max_space_amplification,
+                    data_segment_bytes=cfg.data_segment_bytes,
+                )
+            else:  # pragma: no cover - exhaustive enum
+                raise PatternError(f"unknown store pattern: {pattern}")
+            self._instances.append(store)
+
+    # ------------------------------------------------------------------
+    @property
+    def pattern(self) -> StorePattern:
+        return self._pattern
+
+    @property
+    def instances(self) -> list[Any]:
+        return list(self._instances)
+
+    # Routing salt: the engine already partitions keys with crc32(key) %
+    # parallelism; re-using the same hash here would leave all but one of
+    # the m instances empty (the residues are fully correlated).  Hashing
+    # a suffixed key decorrelates the two levels.
+    _ROUTE_SALT = b"\x9e\x37\x79\xb9"
+
+    def _route(self, key: bytes) -> Any:
+        index = zlib.crc32(key + self._ROUTE_SALT) % len(self._instances)
+        return self._instances[index]
+
+    def _encode(self, obj: Any) -> bytes:
+        data = self._serde.serialize(obj)
+        self._env.charge_cpu(CAT_SERDE, self._env.cpu.serde(len(data)))
+        return data
+
+    def _decode(self, data: bytes) -> Any:
+        self._env.charge_cpu(CAT_SERDE, self._env.cpu.serde(len(data)))
+        return self._serde.deserialize(data)
+
+    def _require(self, *patterns: StorePattern) -> None:
+        if self._pattern not in patterns:
+            raise PatternError(
+                f"operation not supported by {self._pattern.name} store"
+            )
+
+    # ------------------------------------------------------------------
+    # append pattern
+    # ------------------------------------------------------------------
+    def append(self, key: bytes, window: Window, value: Any, timestamp: float) -> None:
+        self._require(StorePattern.AAR, StorePattern.AUR)
+        data = self._encode(value)
+        store = self._route(key)
+        if self._pattern is StorePattern.AAR:
+            store.append(key, data, window)
+        else:
+            store.append(key, data, window, timestamp)
+
+    def read_window(self, window: Window) -> Iterator[tuple[bytes, list[Any]]]:
+        self._require(StorePattern.AAR)
+        for store in self._instances:
+            for key, values in store.get_window(window):
+                yield key, [self._decode(v) for v in values]
+
+    def read_key_window(self, key: bytes, window: Window) -> list[Any]:
+        self._require(StorePattern.AUR)
+        values = self._route(key).get(key, window)
+        return [self._decode(v) for v in values]
+
+    # ------------------------------------------------------------------
+    # RMW pattern
+    # ------------------------------------------------------------------
+    def rmw_get(self, key: bytes, window: Window) -> Any | None:
+        self._require(StorePattern.RMW)
+        data = self._route(key).get(key, window)
+        return None if data is None else self._decode(data)
+
+    def rmw_put(self, key: bytes, window: Window, aggregate: Any) -> None:
+        self._require(StorePattern.RMW)
+        self._route(key).put(key, window, self._encode(aggregate))
+
+    def rmw_remove(self, key: bytes, window: Window) -> Any | None:
+        self._require(StorePattern.RMW)
+        data = self._route(key).remove(key, window)
+        return None if data is None else self._decode(data)
+
+    # ------------------------------------------------------------------
+    def on_watermark(self, timestamp: float) -> None:
+        if self._pattern is StorePattern.AUR:
+            for store in self._instances:
+                store.on_watermark(timestamp)
+
+    def flush(self) -> None:
+        for store in self._instances:
+            store.flush()
+
+    def snapshot(self, upload_env=None):
+        """Checkpoint all ``m`` instances (§8, Fault Tolerance).
+
+        With ``upload_env`` the file transfers are charged to that
+        environment (asynchronous upload) rather than the store's clock.
+        """
+        from repro.snapshot import StoreSnapshot
+
+        parts = [store.snapshot(upload_env=upload_env) for store in self._instances]
+        meta = pickle.dumps(
+            [(part.kind, part.meta) for part in parts],
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        files: dict[str, bytes] = {}
+        for part in parts:
+            files.update(part.files)
+        return StoreSnapshot(f"flowkv:{self._pattern.value}", meta, files)
+
+    def restore(self, snapshot) -> None:
+        from repro.snapshot import StoreSnapshot
+
+        parts_meta = pickle.loads(snapshot.meta)
+        if len(parts_meta) != len(self._instances):
+            raise ValueError(
+                f"snapshot has {len(parts_meta)} instances, store has "
+                f"{len(self._instances)} — num_instances must match"
+            )
+        for store, (kind, meta) in zip(self._instances, parts_meta):
+            prefix = store._name + "/"  # noqa: SLF001 - same package
+            files = {
+                name: data for name, data in snapshot.files.items()
+                if name.startswith(prefix)
+            }
+            store.restore(StoreSnapshot(kind, meta, files))
+
+    def close(self) -> None:
+        for store in self._instances:
+            store.close()
+
+    @property
+    def memory_bytes(self) -> int:
+        return sum(store.memory_bytes for store in self._instances)
+
+    @property
+    def disk_bytes(self) -> int:
+        return sum(store.disk_bytes for store in self._instances)
+
+    # ------------------------------------------------------------------
+    # reporting helpers
+    # ------------------------------------------------------------------
+    @property
+    def compaction_count(self) -> int:
+        return sum(getattr(store, "compaction_count", 0) for store in self._instances)
+
+    @property
+    def prefetch_loads(self) -> int:
+        if self._pattern is not StorePattern.AUR:
+            return 0
+        return sum(store.prefetch_stats.loads for store in self._instances)
+
+    @property
+    def prefetch_hits(self) -> int:
+        if self._pattern is not StorePattern.AUR:
+            return 0
+        return sum(store.prefetch_stats.hits for store in self._instances)
+
+    @property
+    def prefetch_hit_ratio(self) -> float:
+        """Aggregate prefetch hit ratio over AUR instances (Figure 11b)."""
+        loads = self.prefetch_loads
+        return self.prefetch_hits / loads if loads else 0.0

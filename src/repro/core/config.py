@@ -1,0 +1,54 @@
+"""FlowKV configuration.
+
+The paper exposes four user-configurable parameters (§6): read batch
+ratio, write buffer size, maximum space amplification (MSA), and the
+number of store instances per physical window operator.  The paper's
+empirical settings are ratio 0.02, buffer 2048 MB, MSA 1.5, m = 2 — the
+defaults here keep those ratios at laptop scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FlowKVConfig:
+    """Knobs shared by all three FlowKV store types.
+
+    Attributes:
+        read_batch_ratio: fraction of known (key, window) states selected
+            for one predictive batch read (N = ratio × live windows);
+            0 disables predictive batch read entirely (Figure 11 ablation).
+        write_buffer_bytes: in-memory write buffer capacity per store
+            instance; exceeding it flushes to disk.
+        max_space_amplification: total/live byte ratio of the on-disk logs
+            that triggers compaction (MSA, §4.2).
+        num_instances: store instances ``m`` per physical window operator;
+            each compacts independently on its state partition (§3).
+        data_segment_bytes: size at which the AUR/RMW stores roll their
+            data log to a new segment file.
+        read_chunk_bytes: slab size of the AAR store's gradual state
+            loading (one GetWindow partition).
+        prefetch_buffer_bytes: soft cap for the AUR prefetch buffer.
+    """
+
+    read_batch_ratio: float = 0.02
+    write_buffer_bytes: int = 2 << 20
+    max_space_amplification: float = 1.5
+    num_instances: int = 2
+    data_segment_bytes: int = 4 << 20
+    read_chunk_bytes: int = 2 << 20
+    prefetch_buffer_bytes: int = 16 << 20
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.read_batch_ratio <= 1.0:
+            raise ValueError(f"read_batch_ratio must be in [0, 1]: {self.read_batch_ratio}")
+        if self.max_space_amplification < 1.0:
+            raise ValueError(
+                f"max_space_amplification must be >= 1: {self.max_space_amplification}"
+            )
+        if self.num_instances < 1:
+            raise ValueError(f"num_instances must be >= 1: {self.num_instances}")
+        if self.write_buffer_bytes <= 0:
+            raise ValueError("write_buffer_bytes must be positive")

@@ -1,0 +1,84 @@
+"""Estimated-trigger-time (ETT) predictors (§4.2).
+
+FlowKV predicts *when* each window will be read by combining statically
+defined window semantics (window size, session gap) with runtime data
+(tuple timestamps).  Predictors return the new ETT after observing a
+tuple, or ``None`` when no safe lower bound on the trigger time exists
+(count windows, opaque custom windows) — in which case predictive batch
+read cannot help and the AUR store falls back to direct reads.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.model import Window
+
+
+class EttPredictor(ABC):
+    """Computes the estimated trigger time of a window as tuples arrive."""
+
+    @abstractmethod
+    def update(
+        self, window: Window, timestamp: float, current_ett: float | None
+    ) -> float | None:
+        """New ETT after a tuple with ``timestamp`` joined ``window``.
+
+        Returns ``None`` if the trigger time cannot be bounded.  For
+        predictable window functions the returned ETT is a *lower bound*:
+        the window is guaranteed not to trigger before it, which is what
+        makes prefetched state safe until read or explicitly evicted.
+        """
+
+
+class KnownBoundaryPredictor(EttPredictor):
+    """Fixed/sliding/global windows: the trigger time is the window end."""
+
+    def update(
+        self, window: Window, timestamp: float, current_ett: float | None
+    ) -> float | None:
+        return window.end
+
+
+class SessionGapPredictor(EttPredictor):
+    """Session windows: ETT = max tuple timestamp + session gap.
+
+    No tuple can close the session before ``t_max + gap`` (§4.2), so the
+    window is guaranteed not to trigger earlier; a newer tuple extends the
+    session and *raises* the ETT (the store must then evict any
+    prematurely prefetched state).
+    """
+
+    def __init__(self, gap: float) -> None:
+        if gap <= 0:
+            raise ValueError(f"session gap must be positive: {gap}")
+        self.gap = gap
+
+    def update(
+        self, window: Window, timestamp: float, current_ett: float | None
+    ) -> float | None:
+        candidate = timestamp + self.gap
+        if current_ett is None:
+            return candidate
+        return max(current_ett, candidate)
+
+
+class CountWindowPredictor(EttPredictor):
+    """Count windows trigger on arrival counts: no time bound exists."""
+
+    def update(
+        self, window: Window, timestamp: float, current_ett: float | None
+    ) -> float | None:
+        return None
+
+
+class CallablePredictor(EttPredictor):
+    """Wraps a user-supplied ETT function for custom windows (§8)."""
+
+    def __init__(self, fn) -> None:
+        self._fn = fn
+
+    def update(
+        self, window: Window, timestamp: float, current_ett: float | None
+    ) -> float | None:
+        return self._fn(window, timestamp, current_ett)

@@ -1,0 +1,66 @@
+"""Store-pattern determination (§3.1).
+
+At application launch FlowKV inspects the window operation's function
+signatures:
+
+* aggregate function — implements the incremental-merge interface
+  (Flink's ``AggregateFunction``) → **RMW**; requires the full tuple list
+  (``ProcessWindowFunction``) → **Append**;
+* window function — fixed/sliding create windows at fixed intervals →
+  **Aligned Read**; session/count determine boundaries per key →
+  **Unaligned Read**; custom functions default to Unaligned, which can
+  cover both (§8).
+
+Read alignment is irrelevant for RMW (state is read on every arrival).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import PatternError
+
+
+class StorePattern(enum.Enum):
+    """The three customized FlowKV stores."""
+
+    AAR = "append_aligned_read"
+    AUR = "append_unaligned_read"
+    RMW = "read_modify_write"
+
+
+class WindowKind(enum.Enum):
+    """Window-function families and their read alignment."""
+
+    FIXED = "fixed"
+    SLIDING = "sliding"
+    SESSION = "session"
+    GLOBAL = "global"
+    COUNT = "count"
+    CUSTOM = "custom"
+
+    @property
+    def aligned(self) -> bool:
+        """Whether windows of all keys share trigger times."""
+        if self in (WindowKind.FIXED, WindowKind.SLIDING, WindowKind.GLOBAL):
+            return True
+        if self in (WindowKind.SESSION, WindowKind.COUNT, WindowKind.CUSTOM):
+            return False
+        raise PatternError(f"unknown window kind: {self}")  # pragma: no cover
+
+
+def determine_pattern(incremental: bool, window_kind: WindowKind) -> StorePattern:
+    """Map (aggregate signature, window function) to a store pattern.
+
+    Args:
+        incremental: True if the aggregate function merges each tuple into
+            an intermediate aggregate (Flink ``AggregateFunction``); False
+            if it needs the full tuple list (``ProcessWindowFunction``).
+        window_kind: the window-function family.
+
+    Returns:
+        The FlowKV store pattern to deploy for this operation.
+    """
+    if incremental:
+        return StorePattern.RMW
+    return StorePattern.AAR if window_kind.aligned else StorePattern.AUR

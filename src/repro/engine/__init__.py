@@ -1,0 +1,52 @@
+"""A miniature stream processing engine (the Flink stand-in).
+
+Provides what the paper's evaluation needs from an SPE:
+
+* timestamped keyed streams with event-time watermarks,
+* logical plans built through a fluent :class:`~repro.engine.plan.DataStream`
+  API, compiled to physical plans with configurable parallelism,
+* stateful window operators over pluggable state backends (heap, LSM,
+  hash-KV, FlowKV) that produce exactly the paper's three access
+  patterns — AAR, AUR and RMW,
+* a simulated-time executor that models pipelined parallel execution,
+  open-loop arrivals for latency runs, OOM and timeout failures.
+"""
+
+from repro.engine.functions import (
+    AggregateFunction,
+    CountAggregate,
+    MaxAggregate,
+    MedianProcessFunction,
+    ProcessWindowFunction,
+    SumAggregate,
+)
+from repro.engine.plan import StreamEnvironment
+from repro.engine.runtime import JobResult
+from repro.engine.state import GenericKVBackend, OperatorInfo
+from repro.engine.windows import (
+    CountWindowAssigner,
+    GlobalWindowAssigner,
+    SessionWindowAssigner,
+    SlidingWindowAssigner,
+    TumblingWindowAssigner,
+    WindowAssigner,
+)
+
+__all__ = [
+    "StreamEnvironment",
+    "JobResult",
+    "AggregateFunction",
+    "ProcessWindowFunction",
+    "CountAggregate",
+    "SumAggregate",
+    "MaxAggregate",
+    "MedianProcessFunction",
+    "WindowAssigner",
+    "TumblingWindowAssigner",
+    "SlidingWindowAssigner",
+    "SessionWindowAssigner",
+    "GlobalWindowAssigner",
+    "CountWindowAssigner",
+    "GenericKVBackend",
+    "OperatorInfo",
+]

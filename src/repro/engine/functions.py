@@ -1,0 +1,161 @@
+"""User-function interfaces of the programming model (§2.1).
+
+The two families map one-to-one onto the paper's aggregate-function
+classification:
+
+* :class:`AggregateFunction` — associative/commutative incremental
+  aggregation (Flink ``AggregateFunction``): the operator keeps one
+  accumulator per (key, window) and **read-modify-writes** it per tuple;
+* :class:`ProcessWindowFunction` — needs the complete tuple list at
+  trigger time (Flink ``ProcessWindowFunction``): the operator **appends**
+  every tuple to window state.
+
+A few stock implementations used by the NEXMark queries are included.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterable
+from typing import Any
+
+from repro.model import Window
+
+
+class AggregateFunction(ABC):
+    """Incremental aggregation: tuples merge into an accumulator."""
+
+    @abstractmethod
+    def create_accumulator(self) -> Any:
+        """A fresh accumulator for a new (key, window)."""
+
+    @abstractmethod
+    def add(self, value: Any, accumulator: Any) -> Any:
+        """Fold one input value into the accumulator; returns it."""
+
+    @abstractmethod
+    def get_result(self, accumulator: Any) -> Any:
+        """The window result extracted from the final accumulator."""
+
+    def merge(self, a: Any, b: Any) -> Any:
+        """Merge two accumulators (session-window merging)."""
+        raise NotImplementedError(f"{type(self).__name__} does not support merging")
+
+
+class ProcessWindowFunction(ABC):
+    """Full-window processing: sees every tuple of the (key, window)."""
+
+    @abstractmethod
+    def process(self, key: bytes, window: Window, values: list[Any]) -> Iterable[Any]:
+        """Produce zero or more outputs from the complete value list."""
+
+
+# ----------------------------------------------------------------------
+# stock aggregate functions
+# ----------------------------------------------------------------------
+class CountAggregate(AggregateFunction):
+    """Counts tuples (NEXMark Q5/Q11/Q12 shape)."""
+
+    def create_accumulator(self) -> int:
+        return 0
+
+    def add(self, value: Any, accumulator: int) -> int:
+        return accumulator + 1
+
+    def get_result(self, accumulator: int) -> int:
+        return accumulator
+
+    def merge(self, a: int, b: int) -> int:
+        return a + b
+
+
+class SumAggregate(AggregateFunction):
+    """Sums ``extract(value)``."""
+
+    def __init__(self, extract=lambda v: v) -> None:
+        self._extract = extract
+
+    def create_accumulator(self) -> float:
+        return 0
+
+    def add(self, value: Any, accumulator: float) -> float:
+        return accumulator + self._extract(value)
+
+    def get_result(self, accumulator: float) -> float:
+        return accumulator
+
+    def merge(self, a: float, b: float) -> float:
+        return a + b
+
+
+class MaxAggregate(AggregateFunction):
+    """Tracks ``(max metric, value)`` pairs (argmax)."""
+
+    def __init__(self, extract=lambda v: v) -> None:
+        self._extract = extract
+
+    def create_accumulator(self) -> tuple[Any, Any] | None:
+        return None
+
+    def add(self, value: Any, accumulator: tuple[Any, Any] | None) -> tuple[Any, Any]:
+        metric = self._extract(value)
+        if accumulator is None or metric > accumulator[0]:
+            return (metric, value)
+        return accumulator
+
+    def get_result(self, accumulator: tuple[Any, Any] | None) -> Any:
+        return accumulator
+
+    def merge(
+        self, a: tuple[Any, Any] | None, b: tuple[Any, Any] | None
+    ) -> tuple[Any, Any] | None:
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return a if a[0] >= b[0] else b
+
+
+# ----------------------------------------------------------------------
+# stock process-window functions
+# ----------------------------------------------------------------------
+class MedianProcessFunction(ProcessWindowFunction):
+    """Non-associative median (Q11-Median): needs the whole list."""
+
+    def __init__(self, extract=lambda v: v) -> None:
+        self._extract = extract
+
+    def process(self, key: bytes, window: Window, values: list[Any]) -> Iterable[Any]:
+        if not values:
+            return
+        metrics = sorted(self._extract(v) for v in values)
+        mid = len(metrics) // 2
+        if len(metrics) % 2:
+            yield metrics[mid]
+        else:
+            yield (metrics[mid - 1] + metrics[mid]) / 2
+
+
+class MaxProcessFunction(ProcessWindowFunction):
+    """Max computed non-incrementally (forced Append pattern, Q7 shape)."""
+
+    def __init__(self, extract=lambda v: v) -> None:
+        self._extract = extract
+
+    def process(self, key: bytes, window: Window, values: list[Any]) -> Iterable[Any]:
+        best = None
+        best_value = None
+        for value in values:
+            metric = self._extract(value)
+            if best is None or metric > best:
+                best = metric
+                best_value = value
+        if best is not None:
+            yield (best, best_value)
+
+
+class CollectProcessFunction(ProcessWindowFunction):
+    """Emits the (key, window, values) triple — used in tests."""
+
+    def process(self, key: bytes, window: Window, values: list[Any]) -> Iterable[Any]:
+        yield (key, window, list(values))

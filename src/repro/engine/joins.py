@@ -1,0 +1,149 @@
+"""Interval joins (§8, Join Operations).
+
+The paper's windowed joins (Q8) fall out of window state naturally; it
+names *interval joins* — ``right.ts in [left.ts + lower, left.ts + upper]``
+per key — as the interesting extension.  Flink implements them with
+per-key MapState buffers on both sides, cleaned up by watermark; this
+operator does the same, holding the buffers as engine-managed state (the
+horizon-bounded working set Flink would keep hot) and charging engine CPU
+for probes and scans.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.model import StreamRecord
+from repro.simenv import CAT_ENGINE, CAT_QUERY, SimEnv
+
+Collector = Callable[[StreamRecord], None]
+
+LEFT = "L"
+RIGHT = "R"
+
+
+@dataclass
+class _SideBuffer:
+    """Timestamp-sorted records of one side of one key."""
+
+    entries: list[tuple[float, Any]] = field(default_factory=list)
+
+    def add(self, timestamp: float, value: Any) -> None:
+        insort(self.entries, (timestamp, value), key=lambda e: e[0])
+
+    def range(self, low: float, high: float) -> list[tuple[float, Any]]:
+        """Entries with ``low <= ts <= high``."""
+        lo = bisect_left(self.entries, low, key=lambda e: e[0])
+        hi = bisect_right(self.entries, high, key=lambda e: e[0])
+        return self.entries[lo:hi]
+
+    def expire_before(self, timestamp: float) -> int:
+        """Drop entries with ``ts < timestamp``; returns how many."""
+        cut = bisect_left(self.entries, timestamp, key=lambda e: e[0])
+        if cut:
+            del self.entries[:cut]
+        return cut
+
+
+@dataclass
+class IntervalJoinOperator:
+    """One physical instance of a keyed interval join.
+
+    Inputs arrive tagged ``(side, value)`` where side is ``"L"``/``"R"``.
+    For every new record the opposite buffer is probed for partners whose
+    timestamps satisfy the interval; matches emit ``join_fn(left, right)``
+    with the later timestamp.  Watermarks expire buffer entries that can
+    no longer join anything.
+    """
+
+    lower: float
+    upper: float
+    join_fn: Callable[[Any, Any], Any]
+    name: str = "interval_join"
+
+    env: SimEnv = field(init=False, default=None)
+    backend: Any = field(init=False, default=None)  # unused: state is engine-managed
+    collector: Collector = field(init=False, default=None)
+
+    def __post_init__(self) -> None:
+        if self.lower > self.upper:
+            raise ValueError(f"interval lower {self.lower} > upper {self.upper}")
+        self._left: dict[bytes, _SideBuffer] = {}
+        self._right: dict[bytes, _SideBuffer] = {}
+        self.results_emitted = 0
+
+    def open(self, env: SimEnv, backend: Any, collector: Collector) -> None:
+        self.env = env
+        self.backend = backend
+        self.collector = collector
+
+    @property
+    def memory_entries(self) -> int:
+        return sum(len(b.entries) for b in self._left.values()) + sum(
+            len(b.entries) for b in self._right.values()
+        )
+
+    # ------------------------------------------------------------------
+    def process(self, record: StreamRecord) -> None:
+        self.env.charge_cpu(CAT_ENGINE, self.env.cpu.function_call)
+        side, value = record.value
+        if side == LEFT:
+            own, other = self._left, self._right
+            low = record.timestamp + self.lower
+            high = record.timestamp + self.upper
+        elif side == RIGHT:
+            own, other = self._right, self._left
+            # right.ts in [left.ts + lower, left.ts + upper]  <=>
+            # left.ts in [right.ts - upper, right.ts - lower]
+            low = record.timestamp - self.upper
+            high = record.timestamp - self.lower
+        else:
+            raise ValueError(f"interval join record without side tag: {record.value!r}")
+        self.env.charge_cpu(CAT_ENGINE, 2 * self.env.cpu.hash_probe)
+        partners = other.get(record.key)
+        if partners is not None:
+            matches = partners.range(low, high)
+            self.env.charge_cpu(
+                CAT_ENGINE,
+                self.env.cpu.sorted_search(max(1, len(partners.entries)))
+                + len(matches) * self.env.cpu.branch_step,
+            )
+            for partner_ts, partner_value in matches:
+                self.env.charge_cpu(CAT_QUERY, self.env.cpu.function_call)
+                if side == LEFT:
+                    output = self.join_fn(value, partner_value)
+                else:
+                    output = self.join_fn(partner_value, value)
+                self.results_emitted += 1
+                self.collector(
+                    StreamRecord(record.key, output, max(record.timestamp, partner_ts))
+                )
+        buffer = own.setdefault(record.key, _SideBuffer())
+        buffer.add(record.timestamp, value)
+
+    def on_watermark(self, watermark: float) -> None:
+        """Expire entries that can no longer find a partner.
+
+        A left record at ``ts`` can still match right records up to
+        ``ts + upper``; once the watermark passes that, it is dead.
+        Symmetrically for the right side.
+        """
+        left_cut = watermark - self.upper
+        right_cut = watermark + self.lower
+        for buffers, cut in ((self._left, left_cut), (self._right, right_cut)):
+            dead_keys = []
+            for key, buffer in buffers.items():
+                expired = buffer.expire_before(cut)
+                if expired:
+                    self.env.charge_cpu(CAT_ENGINE, expired * self.env.cpu.branch_step)
+                if not buffer.entries:
+                    dead_keys.append(key)
+            for key in dead_keys:
+                del buffers[key]
+
+    def finish(self) -> None:
+        self._left.clear()
+        self._right.clear()

@@ -1,0 +1,284 @@
+"""The keyed window operator.
+
+One :class:`WindowOperator` instance is one physical operator ``p_i``: it
+owns a state backend, assigns incoming tuples to windows (replicating
+across sliding windows), merges session windows per key, registers
+event-time timers, and on watermark advance triggers windows — reading
+state back through exactly the access pattern its function pair implies:
+
+* incremental aggregate  -> RMW: ``rmw_get``/``rmw_put`` per tuple,
+* full-window function + aligned windows -> AAR: ``append`` per tuple,
+  ``read_window`` at trigger,
+* full-window function + session/count windows -> AUR: ``append`` per
+  tuple, ``read_key_window`` per key at trigger.
+
+Session state is always written under the session's *initial* window
+boundary (fixed at creation); merges only update in-operator metadata and
+the state of every merged initial window is read at trigger time.  This
+matches FlowKV's AUR design (§4.2) and works identically on all backends.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.engine.functions import AggregateFunction, ProcessWindowFunction
+from repro.engine.windows import CountWindowAssigner, WindowAssigner
+from repro.kvstores.api import WindowStateBackend
+from repro.model import GLOBAL_WINDOW, StreamRecord, Window
+from repro.simenv import CAT_ENGINE, CAT_QUERY, SimEnv
+
+# Per-value user-computation charge at trigger time (deserialized object
+# handling inside the window function).
+_QUERY_PER_VALUE = 250e-9
+
+Collector = Callable[[StreamRecord], None]
+
+
+@dataclass
+class _Session:
+    """Metadata of one active session window of one key."""
+
+    initials: list[Window]  # state namespaces holding this session's tuples
+    current: Window  # merged (extended) boundary
+
+    def absorb(self, other: "_Session") -> None:
+        self.initials.extend(other.initials)
+        self.current = self.current.cover(other.current)
+
+
+@dataclass
+class WindowOperator:
+    """A physical window operator instance over one key-space partition."""
+
+    assigner: WindowAssigner
+    function: AggregateFunction | ProcessWindowFunction
+    name: str = "window"
+    with_window: bool = False  # emit (key, window, result) instead of result
+
+    env: SimEnv = field(init=False, default=None)
+    backend: WindowStateBackend = field(init=False, default=None)
+    collector: Collector = field(init=False, default=None)
+
+    def __post_init__(self) -> None:
+        self.incremental = isinstance(self.function, AggregateFunction)
+        # Whether a triggered window can be read with one whole-window
+        # read (AAR) or must be read per key (AUR).  Custom assigners may
+        # carry the §8 @AlignedRead-style annotation.
+        self.aligned_reads = (
+            self.assigner.kind.aligned
+            or getattr(self.assigner, "aligned_hint", None) is True
+        )
+        self._timers: list[tuple[float, int, tuple]] = []
+        self._timer_seq = 0
+        self._pending_aligned: set[Window] = set()
+        self._window_keys: dict[Window, set[bytes]] = {}  # aligned RMW only
+        self._sessions: dict[bytes, list[_Session]] = {}
+        self._count_state: dict[bytes, tuple[int, int]] = {}  # key -> (ordinal, count)
+        self._max_timestamp = float("-inf")
+        self.results_emitted = 0
+
+    # ------------------------------------------------------------------
+    def open(self, env: SimEnv, backend: WindowStateBackend, collector: Collector) -> None:
+        self.env = env
+        self.backend = backend
+        self.collector = collector
+
+    def _register_timer(self, timestamp: float, payload: tuple) -> None:
+        self._timer_seq += 1
+        heapq.heappush(self._timers, (timestamp, self._timer_seq, payload))
+
+    # ------------------------------------------------------------------
+    # tuple path
+    # ------------------------------------------------------------------
+    def process(self, record: StreamRecord) -> None:
+        self.env.charge_cpu(CAT_ENGINE, self.env.cpu.function_call)
+        if record.timestamp > self._max_timestamp:
+            self._max_timestamp = record.timestamp
+        if isinstance(self.assigner, CountWindowAssigner):
+            self._process_count(record)
+        elif self.assigner.merging:
+            self._process_session(record)
+        else:
+            self._process_aligned(record)
+
+    def _process_aligned(self, record: StreamRecord) -> None:
+        windows = self.assigner.assign(record.timestamp)
+        for window in windows:
+            self.env.charge_cpu(CAT_ENGINE, self.env.cpu.branch_step)
+            if self.incremental:
+                self._rmw_add(record.key, window, record.value)
+                self._track_window_key(window, record.key)
+            else:
+                self.backend.append(record.key, window, record.value, record.timestamp)
+                if self.aligned_reads:
+                    if window not in self._pending_aligned:
+                        self._pending_aligned.add(window)
+                        self._arm_aligned_window(window)
+                else:
+                    # Custom windows without an alignment hint read per
+                    # key through the AUR store (§8).
+                    self._track_window_key(window, record.key)
+
+    def _track_window_key(self, window: Window, key: bytes) -> None:
+        keys = self._window_keys.get(window)
+        if keys is None:
+            keys = set()
+            self._window_keys[window] = keys
+            self._arm_aligned_window(window)
+        keys.add(key)
+
+    def _arm_aligned_window(self, window: Window) -> None:
+        self._register_timer(window.end, ("aligned", window))
+
+    def _process_session(self, record: StreamRecord) -> None:
+        raw = self.assigner.assign(record.timestamp)[0]
+        sessions = self._sessions.setdefault(record.key, [])
+        self.env.charge_cpu(CAT_ENGINE, self.env.cpu.hash_probe)
+        target: _Session | None = None
+        for session in sessions:
+            if session.current.intersects(raw):
+                target = session
+                break
+        if target is None:
+            target = _Session(initials=[raw], current=raw)
+            sessions.append(target)
+        else:
+            target.current = target.current.cover(raw)
+            # Extension may bridge into a neighbouring session.
+            for other in list(sessions):
+                if other is not target and other.current.intersects(target.current):
+                    target.absorb(other)
+                    sessions.remove(other)
+        if self.incremental:
+            self._rmw_add(record.key, target.initials[0], record.value)
+        else:
+            self.backend.append(record.key, target.initials[0], record.value, record.timestamp)
+        self._register_timer(target.current.end, ("session", record.key, target))
+
+    def _process_count(self, record: StreamRecord) -> None:
+        assigner: CountWindowAssigner = self.assigner  # type: ignore[assignment]
+        ordinal, count = self._count_state.get(record.key, (0, 0))
+        window = Window(float(ordinal), float(ordinal + 1))
+        if self.incremental:
+            self._rmw_add(record.key, window, record.value)
+        else:
+            self.backend.append(record.key, window, record.value, record.timestamp)
+        count += 1
+        if count >= assigner.count:
+            self._fire_key_window(record.key, window, window)
+            self._count_state[record.key] = (ordinal + 1, 0)
+        else:
+            self._count_state[record.key] = (ordinal, count)
+
+    def _rmw_add(self, key: bytes, window: Window, value: Any) -> None:
+        accumulator = self.backend.rmw_get(key, window)
+        if accumulator is None:
+            accumulator = self.function.create_accumulator()
+        self.env.charge_cpu(CAT_QUERY, self.env.cpu.function_call)
+        accumulator = self.function.add(value, accumulator)
+        self.backend.rmw_put(key, window, accumulator)
+
+    # ------------------------------------------------------------------
+    # trigger path
+    # ------------------------------------------------------------------
+    def on_watermark(self, watermark: float) -> None:
+        self.backend.on_watermark(watermark)
+        while self._timers and self._timers[0][0] <= watermark:
+            _ts, _seq, payload = heapq.heappop(self._timers)
+            self.env.charge_cpu(CAT_ENGINE, self.env.cpu.branch_step)
+            if payload[0] == "aligned":
+                self._fire_aligned(payload[1])
+            else:
+                _kind, key, session = payload
+                self._fire_session(key, session, fired_at=_ts)
+
+    def finish(self) -> None:
+        """End of stream: fire everything still pending (global windows)."""
+        self.on_watermark(float("inf"))
+        self.backend.flush()
+
+    def _fire_aligned(self, window: Window) -> None:
+        if self.incremental:
+            keys = self._window_keys.pop(window, None)
+            if keys is None:
+                return
+            for key in sorted(keys):
+                accumulator = self.backend.rmw_remove(key, window)
+                if accumulator is None:
+                    continue
+                self.env.charge_cpu(CAT_QUERY, self.env.cpu.function_call)
+                self._emit(key, window, self.function.get_result(accumulator))
+        elif not self.aligned_reads:
+            keys = self._window_keys.pop(window, None)
+            if keys is None:
+                return
+            for key in sorted(keys):
+                values = self.backend.read_key_window(key, window)
+                if values:
+                    self._process_and_emit(key, window, values)
+        else:
+            if window not in self._pending_aligned:
+                return
+            self._pending_aligned.discard(window)
+            # Collect per key across gradual-loading partitions.
+            per_key: dict[bytes, list[Any]] = {}
+            for key, values in self.backend.read_window(window):
+                per_key.setdefault(key, []).extend(values)
+            for key in sorted(per_key):
+                self._process_and_emit(key, window, per_key[key])
+
+    def _fire_session(self, key: bytes, session: _Session, fired_at: float) -> None:
+        sessions = self._sessions.get(key)
+        if not sessions or not any(s is session for s in sessions):
+            return  # stale timer: session already fired
+        if session.current.end > fired_at:
+            return  # stale timer: session was extended; a newer timer exists
+        sessions[:] = [s for s in sessions if s is not session]
+        if not sessions:
+            self._sessions.pop(key, None)
+        self._fire_key_window(key, session.initials, session.current)
+
+    def _fire_key_window(
+        self, key: bytes, initials: Window | list[Window], merged: Window
+    ) -> None:
+        if isinstance(initials, Window):
+            initials = [initials]
+        if self.incremental:
+            accumulator = None
+            for initial in initials:
+                part = self.backend.rmw_remove(key, initial)
+                if part is None:
+                    continue
+                if accumulator is None:
+                    accumulator = part
+                else:
+                    self.env.charge_cpu(CAT_QUERY, self.env.cpu.function_call)
+                    accumulator = self.function.merge(accumulator, part)
+            if accumulator is None:
+                return
+            self.env.charge_cpu(CAT_QUERY, self.env.cpu.function_call)
+            self._emit(key, merged, self.function.get_result(accumulator))
+        else:
+            values: list[Any] = []
+            for initial in initials:
+                values.extend(self.backend.read_key_window(key, initial))
+            if values:
+                self._process_and_emit(key, merged, values)
+
+    def _process_and_emit(self, key: bytes, window: Window, values: list[Any]) -> None:
+        self.env.charge_cpu(
+            CAT_QUERY, self.env.cpu.function_call + len(values) * _QUERY_PER_VALUE
+        )
+        for output in self.function.process(key, window, values):
+            self._emit(key, window, output)
+
+    def _emit(self, key: bytes, window: Window, output: Any) -> None:
+        timestamp = min(window.end, self._max_timestamp) if window is GLOBAL_WINDOW else window.end
+        self.results_emitted += 1
+        if self.with_window:
+            output = (key, window, output)
+        self.collector(StreamRecord(key=key, value=output, timestamp=timestamp))

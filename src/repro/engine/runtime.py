@@ -1,0 +1,326 @@
+"""Physical execution on simulated time.
+
+Execution model (documented in DESIGN.md):
+
+* every physical window-operator instance has its own
+  :class:`~repro.simenv.SimEnv` (clock + ledger) and its own simulated
+  filesystem/state store — states are never shared (§2.1);
+* stages are assumed fully pipelined (the paper's workers run 16 task
+  slots on 8 vCPUs): job completion time is the *maximum busy time* over
+  all instances, not the sum;
+* for latency runs, records arrive open-loop at a fixed rate and every
+  instance is a single-server FIFO queue: a unit of work starts at
+  ``max(arrival, previous completion)`` and its service time is the
+  simulated time its processing charged.  Downstream work inherits the
+  upstream completion time as its arrival — a queueing network driven by
+  the same cost charges that produce throughput numbers;
+* a sink record's latency is ``completion_wall - result_timestamp``
+  (the window's end), matching the paper's event-time latency metric.
+
+Failure modes surface as typed exceptions: :class:`StoreOOMError` (heap
+backend), :class:`SimTimeoutError` (simulated-time budget exceeded) and
+:class:`EngineOverloadError` (latency backlog diverged).
+"""
+
+from __future__ import annotations
+
+import heapq
+import zlib
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.engine.joins import IntervalJoinOperator
+from repro.engine.operators import WindowOperator
+from repro.engine.plan import LogicalNode, StreamEnvironment
+from repro.errors import PlanError, ReproError, SimTimeoutError
+from repro.model import StreamRecord
+from repro.simenv import MetricsLedger, MetricsSnapshot, SimEnv
+from repro.storage.filesystem import SimFileSystem
+
+
+class EngineOverloadError(ReproError):
+    """The arrival rate exceeds sustainable throughput (backlog diverged)."""
+
+
+@dataclass
+class PhysicalInstance:
+    """One parallel instance of a window operator."""
+
+    name: str
+    env: SimEnv
+    operator: WindowOperator
+    wall_available: float = 0.0
+    outbox: list[StreamRecord] = field(default_factory=list)
+
+
+@dataclass
+class JobResult:
+    """Everything the benchmark harness needs from one run."""
+
+    sink_outputs: dict[str, list[Any]]
+    latencies: list[float]
+    job_seconds: float
+    input_records: int
+    metrics: MetricsSnapshot
+    per_operator: dict[str, MetricsSnapshot]
+    operator_stats: dict[str, dict[str, Any]]
+    failure: str | None = None
+
+    @property
+    def throughput(self) -> float:
+        """Input records per simulated second."""
+        return self.input_records / self.job_seconds if self.job_seconds > 0 else 0.0
+
+    def p95_latency(self) -> float:
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        return ordered[min(len(ordered) - 1, int(0.95 * len(ordered)))]
+
+
+class Executor:
+    """Compiles a logical plan and pushes records through it."""
+
+    def __init__(self, plan_env: StreamEnvironment) -> None:
+        self._plan = plan_env
+        self._children: dict[int, list[LogicalNode]] = {}
+        for node in plan_env.nodes():
+            for parent in node.parents:
+                self._children.setdefault(parent.node_id, []).append(node)
+        self._stateful_nodes = [
+            n for n in plan_env.nodes() if n.kind in ("window", "interval_join")
+        ]
+        self._instances: dict[int, list[PhysicalInstance]] = {}
+        self._sinks: dict[str, list[Any]] = {
+            n.name: [] for n in plan_env.nodes() if n.kind == "sink"
+        }
+        self._latencies: list[float] = []
+        self._build_instances()
+
+    def _build_instances(self) -> None:
+        factory = self._plan.backend_factory
+        if factory is None:
+            raise PlanError("StreamEnvironment has no backend_factory")
+        n = self._plan.parallelism * self._plan.workers
+        for node in self._stateful_nodes:
+            instances = []
+            for i in range(n):
+                env = SimEnv(cpu=self._plan.cpu, ssd=self._plan.ssd)
+                fs = SimFileSystem(env)
+                name = f"{node.name}/p{i}"
+                if node.kind == "interval_join":
+                    backend = None  # engine-managed buffers (MapState analogue)
+                    operator = IntervalJoinOperator(
+                        lower=node.params["lower"],
+                        upper=node.params["upper"],
+                        join_fn=node.params["fn"],
+                        name=name,
+                    )
+                else:
+                    backend = factory(env, fs, name, node.params["info"])
+                    operator = WindowOperator(
+                        assigner=node.params["assigner"],
+                        function=node.params["fn"],
+                        name=name,
+                        with_window=node.params.get("with_window", False),
+                    )
+                instance = PhysicalInstance(name=name, env=env, operator=operator)
+                operator.open(env, backend, instance.outbox.append)
+                instances.append(instance)
+            self._instances[node.node_id] = instances
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        arrival_rate: float | None = None,
+        watermark_interval: int = 50,
+        sim_timeout: float | None = None,
+        overload_backlog: float = 600.0,
+        watermark_delay: float = 0.0,
+    ) -> JobResult:
+        """Execute the job.
+
+        Args:
+            arrival_rate: records/second open-loop arrival rate; None runs
+                in throughput mode (all records available at time 0).
+            watermark_interval: records between watermark broadcasts.
+            sim_timeout: abort with :class:`SimTimeoutError` once any
+                instance's busy time exceeds this many simulated seconds
+                (the paper kills jobs at 7200 s).
+            overload_backlog: in latency mode, abort with
+                :class:`EngineOverloadError` when any instance's queue
+                backlog exceeds this many seconds.
+            watermark_delay: bounded out-of-orderness — watermarks trail
+                the maximum seen timestamp by this much, so records up to
+                ``delay`` late are still on time.
+        """
+        merged = self._merged_sources()
+        count = 0
+        max_ts = float("-inf")
+        arrival = 0.0
+        failure: str | None = None
+        try:
+            for source_node, value, timestamp in merged:
+                if arrival_rate:
+                    arrival = count / arrival_rate
+                record = StreamRecord(b"", value, timestamp)
+                self._push(source_node, record, arrival)
+                count += 1
+                if timestamp > max_ts:
+                    max_ts = timestamp
+                if count % watermark_interval == 0:
+                    self._broadcast_watermark(max_ts - watermark_delay, arrival)
+                    self._check_limits(sim_timeout, arrival_rate, arrival, overload_backlog)
+            self._finish(arrival)
+        except SimTimeoutError:
+            failure = "timeout"
+        except EngineOverloadError:
+            failure = "overload"
+        return self._result(count, failure)
+
+    def _merged_sources(self):
+        """Merge all sources in timestamp order."""
+        streams = []
+        for idx, (node, records) in enumerate(self._plan.sources()):
+            iterator = iter(records)
+            streams.append((idx, node, iterator))
+        heap = []
+        for idx, node, iterator in streams:
+            first = next(iterator, None)
+            if first is not None:
+                value, ts = first
+                heap.append((ts, idx, value, node, iterator))
+        heapq.heapify(heap)
+        while heap:
+            ts, idx, value, node, iterator = heapq.heappop(heap)
+            yield node, value, ts
+            nxt = next(iterator, None)
+            if nxt is not None:
+                nvalue, nts = nxt
+                heapq.heappush(heap, (nts, idx, nvalue, node, iterator))
+
+    # ------------------------------------------------------------------
+    def _push(self, node: LogicalNode, record: StreamRecord, arrival: float) -> None:
+        for child in self._children.get(node.node_id, []):
+            self._handle(child, record, arrival)
+
+    def _handle(self, node: LogicalNode, record: StreamRecord, arrival: float) -> None:
+        kind = node.kind
+        if kind == "map":
+            out = StreamRecord(record.key, node.params["fn"](record.value), record.timestamp)
+            self._push(node, out, arrival)
+        elif kind == "filter":
+            if node.params["fn"](record.value):
+                self._push(node, record, arrival)
+        elif kind == "flat_map":
+            for value in node.params["fn"](record.value):
+                self._push(node, StreamRecord(record.key, value, record.timestamp), arrival)
+        elif kind == "key_by":
+            key = node.params["fn"](record.value)
+            if not isinstance(key, bytes):
+                raise PlanError(f"key_by {node.name} must return bytes, got {type(key)}")
+            self._push(node, StreamRecord(key, record.value, record.timestamp), arrival)
+        elif kind == "union":
+            self._push(node, record, arrival)
+        elif kind in ("window", "interval_join"):
+            instance = self._route(node, record.key)
+            self._run_unit(node, instance, arrival, lambda: instance.operator.process(record))
+        elif kind == "sink":
+            self._sinks[node.name].append(record.value)
+            self._latencies.append(max(0.0, arrival - record.timestamp))
+        else:  # pragma: no cover - source has no inbound records
+            raise PlanError(f"cannot handle node kind {kind}")
+
+    def _route(self, node: LogicalNode, key: bytes) -> PhysicalInstance:
+        instances = self._instances[node.node_id]
+        return instances[zlib.crc32(key) % len(instances)]
+
+    def _run_unit(
+        self, node: LogicalNode, instance: PhysicalInstance, arrival: float, thunk
+    ) -> None:
+        start = instance.env.clock.now
+        thunk()
+        service = instance.env.clock.now - start
+        instance.wall_available = max(arrival, instance.wall_available) + service
+        completion = instance.wall_available
+        if instance.outbox:
+            emitted = list(instance.outbox)
+            instance.outbox.clear()
+            for out in emitted:
+                self._push(node, out, completion)
+
+    def _broadcast_watermark(self, watermark: float, arrival: float) -> None:
+        for node in self._stateful_nodes:
+            for instance in self._instances[node.node_id]:
+                self._run_unit(
+                    node, instance, arrival,
+                    lambda inst=instance: inst.operator.on_watermark(watermark),
+                )
+
+    def _finish(self, arrival: float) -> None:
+        for node in self._stateful_nodes:
+            for instance in self._instances[node.node_id]:
+                self._run_unit(
+                    node, instance, arrival,
+                    lambda inst=instance: inst.operator.finish(),
+                )
+
+    def _check_limits(
+        self,
+        sim_timeout: float | None,
+        arrival_rate: float | None,
+        arrival: float,
+        overload_backlog: float,
+    ) -> None:
+        if sim_timeout is not None:
+            busiest = max(
+                (inst.env.clock.now for insts in self._instances.values() for inst in insts),
+                default=0.0,
+            )
+            if busiest > sim_timeout:
+                raise SimTimeoutError(f"busy time {busiest:.0f}s exceeds {sim_timeout:.0f}s")
+        if arrival_rate:
+            backlog = max(
+                (inst.wall_available - arrival
+                 for insts in self._instances.values() for inst in insts),
+                default=0.0,
+            )
+            if backlog > overload_backlog:
+                raise EngineOverloadError(f"backlog {backlog:.0f}s at rate {arrival_rate}")
+
+    # ------------------------------------------------------------------
+    def _result(self, count: int, failure: str | None) -> JobResult:
+        total = MetricsLedger()
+        per_operator: dict[str, MetricsSnapshot] = {}
+        operator_stats: dict[str, dict[str, Any]] = {}
+        job_seconds = 0.0
+        for node in self._stateful_nodes:
+            node_ledger = MetricsLedger()
+            stats: dict[str, Any] = {"results": 0, "memory_bytes": 0}
+            for instance in self._instances[node.node_id]:
+                snapshot = instance.env.ledger.snapshot()
+                node_ledger.merge(snapshot)
+                total.merge(snapshot)
+                job_seconds = max(job_seconds, instance.env.clock.now)
+                stats["results"] += instance.operator.results_emitted
+                backend = instance.operator.backend
+                stats["memory_bytes"] += getattr(backend, "memory_bytes", 0)
+                for attr in ("compaction_count", "disk_bytes", "prefetch_loads", "prefetch_hits"):
+                    value = getattr(backend, attr, None)
+                    if value is not None:
+                        stats[attr] = stats.get(attr, 0) + value
+            loads = stats.get("prefetch_loads", 0)
+            if loads:
+                stats["prefetch_hit_ratio"] = stats.get("prefetch_hits", 0) / loads
+            per_operator[node.name] = node_ledger.snapshot()
+            operator_stats[node.name] = stats
+        return JobResult(
+            sink_outputs=dict(self._sinks),
+            latencies=self._latencies,
+            job_seconds=job_seconds,
+            input_records=count,
+            metrics=total.snapshot(),
+            per_operator=per_operator,
+            operator_stats=operator_stats,
+            failure=failure,
+        )

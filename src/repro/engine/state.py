@@ -1,0 +1,144 @@
+"""State-backend glue between window operators and KV stores.
+
+:class:`GenericKVBackend` adapts any byte-oriented :class:`KVStore`
+(the LSM and hash-KV baselines) to the window-state interface the way
+Flink's RocksDB backend does: composite ``window || key`` keys, list state
+via merge/append, aligned triggers via prefix scans, serialization on
+every access.  FlowKV and the heap backend implement the interface
+natively.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.patterns import StorePattern, WindowKind, determine_pattern
+from repro.kvstores.api import KVStore, WindowStateBackend, composite_key
+from repro.kvstores.lsm.format import unpack_list_value
+from repro.model import PickleSerde, Serde, Window
+from repro.simenv import CAT_SERDE, SimEnv
+from repro.storage.filesystem import SimFileSystem
+
+
+@dataclass(frozen=True)
+class OperatorInfo:
+    """What a backend factory gets to know about a window operator.
+
+    This is the information FlowKV extracts from function signatures at
+    application launch (§3.1): whether aggregation is incremental and
+    which window-function family is used — plus the §8 user hints for
+    custom window functions (read-alignment annotation and a user ETT
+    predictor).
+    """
+
+    name: str
+    incremental: bool
+    window_kind: WindowKind
+    session_gap: float | None = None
+    aligned_hint: bool | None = None
+    ett_predictor: Any = None  # EttPredictor from the window assigner
+
+    @property
+    def effective_aligned(self) -> bool:
+        """Read alignment, honouring the §8 annotation for custom windows."""
+        if self.window_kind is WindowKind.CUSTOM and self.aligned_hint is not None:
+            return self.aligned_hint
+        return self.window_kind.aligned
+
+    @property
+    def pattern(self) -> StorePattern:
+        if self.incremental:
+            return StorePattern.RMW
+        if self.effective_aligned:
+            return StorePattern.AAR
+        return determine_pattern(self.incremental, self.window_kind)
+
+
+# A factory builds one backend per physical operator instance.
+BackendFactory = Callable[[SimEnv, SimFileSystem, str, OperatorInfo], WindowStateBackend]
+
+
+class GenericKVBackend(WindowStateBackend):
+    """Window state over a generic KV store (the §2.2 baseline glue).
+
+    * list state  -> ``append(window||key, element)`` merge operands,
+    * aligned trigger -> ``scan_prefix(window bytes)`` + per-key delete,
+    * unaligned trigger -> ``get`` + ``delete``,
+    * aggregates  -> ``put`` / ``get`` full values.
+    """
+
+    def __init__(self, env: SimEnv, store: KVStore, serde: Serde | None = None) -> None:
+        self._env = env
+        self._store = store
+        self._serde = serde or PickleSerde()
+
+    @property
+    def store(self) -> KVStore:
+        return self._store
+
+    def _encode(self, obj: Any) -> bytes:
+        data = self._serde.serialize(obj)
+        self._env.charge_cpu(CAT_SERDE, self._env.cpu.serde(len(data)))
+        return data
+
+    def _decode(self, data: bytes) -> Any:
+        self._env.charge_cpu(CAT_SERDE, self._env.cpu.serde(len(data)))
+        return self._serde.deserialize(data)
+
+    # ------------------------------------------------------------------
+    def append(self, key: bytes, window: Window, value: Any, timestamp: float) -> None:
+        self._store.append(composite_key(window, key), self._encode(value))
+
+    def read_window(self, window: Window) -> Iterator[tuple[bytes, list[Any]]]:
+        prefix = window.key_bytes()
+        to_delete: list[bytes] = []
+        for ck, merged in self._store.scan_prefix(prefix):
+            key = ck[16:]
+            values = [self._decode(e) for e in unpack_list_value(merged)]
+            to_delete.append(ck)
+            yield key, values
+        for ck in to_delete:
+            self._store.delete(ck)
+
+    def read_key_window(self, key: bytes, window: Window) -> list[Any]:
+        ck = composite_key(window, key)
+        merged = self._store.get(ck)
+        if merged is None:
+            return []
+        self._store.delete(ck)
+        return [self._decode(e) for e in unpack_list_value(merged)]
+
+    # ------------------------------------------------------------------
+    def rmw_get(self, key: bytes, window: Window) -> Any | None:
+        data = self._store.get(composite_key(window, key))
+        return None if data is None else self._decode(data)
+
+    def rmw_put(self, key: bytes, window: Window, aggregate: Any) -> None:
+        self._store.put(composite_key(window, key), self._encode(aggregate))
+
+    def rmw_remove(self, key: bytes, window: Window) -> Any | None:
+        ck = composite_key(window, key)
+        data = self._store.get(ck)
+        if data is None:
+            return None
+        self._store.delete(ck)
+        return self._decode(data)
+
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        self._store.flush()
+
+    def snapshot(self, upload_env=None):
+        return self._store.snapshot(upload_env=upload_env)
+
+    def restore(self, snapshot) -> None:
+        self._store.restore(snapshot)
+
+    def close(self) -> None:
+        self._store.close()
+
+    @property
+    def memory_bytes(self) -> int:
+        return self._store.memory_bytes

@@ -1,0 +1,205 @@
+"""Window assigners (the paper's window functions, §2.1).
+
+Each assigner maps a tuple timestamp to the set of windows it belongs to
+and declares its :class:`~repro.core.patterns.WindowKind`, from which
+FlowKV derives read alignment and the ETT predictor (§3.1, §4.2).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.core.ett import (
+    CountWindowPredictor,
+    EttPredictor,
+    KnownBoundaryPredictor,
+    SessionGapPredictor,
+)
+from repro.core.patterns import WindowKind
+from repro.model import GLOBAL_WINDOW, Window
+
+
+class WindowAssigner(ABC):
+    """Assigns tuples to windows."""
+
+    kind: WindowKind
+
+    @abstractmethod
+    def assign(self, timestamp: float) -> list[Window]:
+        """Windows the tuple at ``timestamp`` belongs to.
+
+        Session assigners return the raw per-tuple window
+        ``[t, t + gap)``; merging happens in the operator.
+        """
+
+    @property
+    def merging(self) -> bool:
+        """Whether assigned windows must be merged per key (sessions)."""
+        return False
+
+    def make_predictor(self) -> EttPredictor:
+        """The ETT predictor FlowKV maps to this window function (§4.2)."""
+        return KnownBoundaryPredictor()
+
+    def max_windows_per_tuple(self) -> int:
+        """How many windows one tuple can be replicated into."""
+        return 1
+
+
+class TumblingWindowAssigner(WindowAssigner):
+    """Fixed windows of ``size`` seconds (aligned)."""
+
+    kind = WindowKind.FIXED
+
+    def __init__(self, size: float) -> None:
+        if size <= 0:
+            raise ValueError(f"window size must be positive: {size}")
+        self.size = float(size)
+
+    def assign(self, timestamp: float) -> list[Window]:
+        start = (timestamp // self.size) * self.size
+        # Floating-point floor-division can land one bucket off
+        # (1.0 // 0.1 == 9.0); nudge until the window truly contains ts.
+        if timestamp >= start + self.size:
+            start += self.size
+        elif timestamp < start:
+            start -= self.size
+        return [Window(max(0.0, start), start + self.size)]
+
+
+class SlidingWindowAssigner(WindowAssigner):
+    """Sliding windows of ``size`` every ``slide`` seconds (aligned).
+
+    A tuple is replicated into ``ceil(size / slide)`` windows (§2.1:
+    "if a tuple is assigned to two or more windows SPEs replicate the
+    tuple and store each of the replicated tuples separately").
+    """
+
+    kind = WindowKind.SLIDING
+
+    def __init__(self, size: float, slide: float) -> None:
+        if size <= 0 or slide <= 0:
+            raise ValueError(f"size and slide must be positive: {size}, {slide}")
+        if slide > size:
+            raise ValueError(f"slide {slide} must not exceed size {size}")
+        self.size = float(size)
+        self.slide = float(slide)
+
+    def assign(self, timestamp: float) -> list[Window]:
+        last_start = (timestamp // self.slide) * self.slide
+        # Same floating-point nudge as the tumbling assigner.
+        if timestamp >= last_start + self.slide:
+            last_start += self.slide
+        elif timestamp < last_start:
+            last_start -= self.slide
+        windows = []
+        start = last_start
+        while start > timestamp - self.size:
+            # Clamp at 0: event time is non-negative, so the truncated
+            # first windows group exactly the same tuples.
+            windows.append(Window(max(0.0, start), start + self.size))
+            start -= self.slide
+        return windows
+
+    def max_windows_per_tuple(self) -> int:
+        return int(-(-self.size // self.slide))
+
+
+class SessionWindowAssigner(WindowAssigner):
+    """Per-key session windows delimited by ``gap`` seconds of inactivity."""
+
+    kind = WindowKind.SESSION
+
+    def __init__(self, gap: float) -> None:
+        if gap <= 0:
+            raise ValueError(f"session gap must be positive: {gap}")
+        self.gap = float(gap)
+
+    def assign(self, timestamp: float) -> list[Window]:
+        return [Window(timestamp, timestamp + self.gap)]
+
+    @property
+    def merging(self) -> bool:
+        return True
+
+    def make_predictor(self) -> EttPredictor:
+        return SessionGapPredictor(self.gap)
+
+
+class GlobalWindowAssigner(WindowAssigner):
+    """One window covering the whole stream (Q12); triggers at stream end."""
+
+    kind = WindowKind.GLOBAL
+
+    def assign(self, timestamp: float) -> list[Window]:
+        return [GLOBAL_WINDOW]
+
+
+class CustomWindowAssigner(WindowAssigner):
+    """A user-defined window function (§8, Custom Window Operations).
+
+    FlowKV cannot see inside user code, so by default custom windows get
+    the covering Unaligned-Read pattern and no ETT prediction (frequent
+    prefetch misses).  The paper's remedy is user hints, supported here:
+
+    * ``aligned_hint=True`` — the @AlignedRead-style annotation: windows
+      of all keys trigger together, enabling the AAR store,
+    * ``ett_fn(window, timestamp, current_ett)`` — a user-defined
+      trigger-time estimator that re-enables predictive batch read.
+
+    ``assign_fn`` maps a timestamp to a list of windows whose end time is
+    their event-time trigger.
+    """
+
+    kind = WindowKind.CUSTOM
+
+    def __init__(
+        self,
+        assign_fn,
+        aligned_hint: bool | None = None,
+        ett_fn=None,
+    ) -> None:
+        self._assign_fn = assign_fn
+        self.aligned_hint = aligned_hint
+        self._ett_fn = ett_fn
+
+    def assign(self, timestamp: float) -> list[Window]:
+        windows = self._assign_fn(timestamp)
+        if not windows:
+            raise ValueError(f"custom assigner returned no windows for t={timestamp}")
+        return list(windows)
+
+    def make_predictor(self) -> EttPredictor:
+        from repro.core.ett import CallablePredictor
+
+        if self._ett_fn is not None:
+            return CallablePredictor(self._ett_fn)
+        if self.aligned_hint:
+            return KnownBoundaryPredictor()
+        return CountWindowPredictor()
+
+    def max_windows_per_tuple(self) -> int:
+        return 4  # conservative default for replication estimates
+
+
+class CountWindowAssigner(WindowAssigner):
+    """Per-key windows of ``count`` tuples (unaligned, unpredictable ETT).
+
+    The operator tracks per-key counters and synthesizes window
+    boundaries from the window ordinal.
+    """
+
+    kind = WindowKind.COUNT
+
+    def __init__(self, count: int) -> None:
+        if count <= 0:
+            raise ValueError(f"count must be positive: {count}")
+        self.count = int(count)
+
+    def assign(self, timestamp: float) -> list[Window]:
+        raise NotImplementedError(
+            "count windows are assigned by the operator from per-key counters"
+        )
+
+    def make_predictor(self) -> EttPredictor:
+        return CountWindowPredictor()

@@ -1,0 +1,58 @@
+"""Exception hierarchy for the FlowKV reproduction.
+
+Every failure mode the paper's evaluation exercises (out-of-memory heap
+state, simulated-time job timeouts, misuse of store APIs) maps to a typed
+exception so that the benchmark harness can distinguish "crossed bar"
+failures (Figure 8/9) from genuine bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class StoreError(ReproError):
+    """Base class for state-store failures."""
+
+
+class StoreClosedError(StoreError):
+    """An operation was attempted on a store that has been closed."""
+
+
+class StoreOOMError(StoreError):
+    """A store exceeded its memory capacity.
+
+    Raised by the in-memory (heap) backend when live state outgrows the
+    configured heap, mirroring the JVM OutOfMemoryError failures the paper
+    reports for Flink's in-memory store on large windows.
+    """
+
+
+class SimTimeoutError(ReproError):
+    """A simulated job exceeded its simulated-time budget.
+
+    The paper terminates jobs that run past 7200 s (Figure 4); the harness
+    raises this to mark such runs as did-not-finish.
+    """
+
+
+class FileSystemError(ReproError):
+    """Base class for simulated-filesystem failures."""
+
+
+class FileNotFoundInStoreError(FileSystemError):
+    """The named file does not exist in the simulated filesystem."""
+
+
+class FileExistsInStoreError(FileSystemError):
+    """A file with the given name already exists."""
+
+
+class PlanError(ReproError):
+    """A streaming job graph is malformed or cannot be compiled."""
+
+
+class PatternError(ReproError):
+    """A window operation could not be mapped to a FlowKV store pattern."""

@@ -1,0 +1,18 @@
+"""State-store backends.
+
+This package holds the generic KV-store interface used by the baselines,
+plus the three baseline stores the paper evaluates against:
+
+* :mod:`repro.kvstores.memory` — Flink-style heap state with a GC cost
+  model and OOM failure,
+* :mod:`repro.kvstores.lsm` — a RocksDB-style LSM tree (memtable, merge
+  operator, SSTables, bloom filters, block cache, leveled compaction),
+* :mod:`repro.kvstores.hashkv` — a Faster-style hash store (hash index,
+  hybrid log, in-place updates, epoch-synchronization charges).
+
+The FlowKV stores themselves live in :mod:`repro.core`.
+"""
+
+from repro.kvstores.api import KVStore, WindowStateBackend
+
+__all__ = ["KVStore", "WindowStateBackend"]

@@ -1,0 +1,153 @@
+"""Store interfaces.
+
+Two layers:
+
+* :class:`KVStore` — the generic byte-oriented KV API that existing
+  persistent stores expose (Get/Put/Append-merge/Scan/Delete).  The LSM and
+  hash-KV baselines implement it; Flink-style glue maps window state onto
+  it with composite ``window || key`` keys, exactly as §2.2 describes.
+* :class:`WindowStateBackend` — what a window operator actually needs from
+  state: append a tuple to a window, read a whole window (aligned trigger),
+  read one key's window (unaligned trigger), and read-modify-write an
+  aggregate.  FlowKV implements this natively with its semantic API;
+  baselines are adapted through :class:`repro.engine.state.GenericKVBackend`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterator
+from typing import Any
+
+from repro.model import Window
+
+
+class KVStore(ABC):
+    """Generic persistent KV store interface (byte keys, byte values)."""
+
+    @abstractmethod
+    def get(self, key: bytes) -> bytes | None:
+        """Return the (fully merged) value for ``key``, or None."""
+
+    @abstractmethod
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert or overwrite ``key``."""
+
+    @abstractmethod
+    def append(self, key: bytes, value: bytes) -> None:
+        """Append ``value`` to the list of values stored under ``key``.
+
+        For the LSM store this is a RocksDB-style merge operand (lazy
+        merging); for the hash store it is a read-modify-write of the whole
+        list (the paper's Faster I/O-amplification failure mode).
+        """
+
+    @abstractmethod
+    def delete(self, key: bytes) -> None:
+        """Remove ``key`` (tombstone for log-structured stores)."""
+
+    @abstractmethod
+    def scan_prefix(self, prefix: bytes) -> Iterator[tuple[bytes, bytes]]:
+        """Iterate all live ``(key, merged_value)`` pairs with ``prefix``,
+        in key order for sorted stores."""
+
+    @abstractmethod
+    def flush(self) -> None:
+        """Persist buffered writes."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Release resources; the store must not be used afterwards."""
+
+    @property
+    @abstractmethod
+    def memory_bytes(self) -> int:
+        """Approximate bytes of live in-memory structures."""
+
+    @property
+    def disk_bytes(self) -> int:
+        """Approximate bytes of on-disk structures (0 for pure-memory)."""
+        return 0
+
+
+class WindowStateBackend(ABC):
+    """Window-operator-facing state interface.
+
+    Values and aggregates cross this boundary as Python objects; backends
+    that persist to the simulated device serialize them (and charge serde
+    time), the heap backend stores them directly (as Flink's heap state
+    does).  ``read_window`` / ``read_key_window`` / ``rmw_remove`` are
+    *fetch-and-remove*, matching Listing 1 in the paper.
+    """
+
+    # --- append-pattern (list state) -----------------------------------
+    @abstractmethod
+    def append(self, key: bytes, window: Window, value: Any, timestamp: float) -> None:
+        """Add ``value`` to the list state of ``(key, window)``."""
+
+    @abstractmethod
+    def read_window(self, window: Window) -> Iterator[tuple[bytes, list[Any]]]:
+        """Fetch & remove all keys of ``window`` (aligned trigger).
+
+        Yields ``(key, values)`` pairs; backends may load gradually so
+        only a partition of the window is resident at once (FlowKV §4.1).
+        """
+
+    @abstractmethod
+    def read_key_window(self, key: bytes, window: Window) -> list[Any]:
+        """Fetch & remove the values of one ``(key, window)`` (unaligned)."""
+
+    # --- read-modify-write pattern (aggregate state) --------------------
+    @abstractmethod
+    def rmw_get(self, key: bytes, window: Window) -> Any | None:
+        """Read the current aggregate of ``(key, window)`` (no removal)."""
+
+    @abstractmethod
+    def rmw_put(self, key: bytes, window: Window, aggregate: Any) -> None:
+        """Write back the updated aggregate of ``(key, window)``."""
+
+    @abstractmethod
+    def rmw_remove(self, key: bytes, window: Window) -> Any | None:
+        """Fetch & remove the aggregate of ``(key, window)`` (trigger)."""
+
+    # --- lifecycle ------------------------------------------------------
+    @abstractmethod
+    def flush(self) -> None: ...
+
+    @abstractmethod
+    def close(self) -> None: ...
+
+    @property
+    @abstractmethod
+    def memory_bytes(self) -> int: ...
+
+    def on_watermark(self, timestamp: float) -> None:
+        """Advance the backend's notion of time (enables prefetching)."""
+
+    # --- checkpointing (§8, Fault Tolerance) ----------------------------
+    def snapshot(self):
+        """Capture a :class:`repro.snapshot.StoreSnapshot` of this backend.
+
+        Implementations flush in-memory buffers first so the bulk of the
+        snapshot is on-disk files that an SPE can upload asynchronously.
+        """
+        raise NotImplementedError(f"{type(self).__name__} does not support snapshots")
+
+    def restore(self, snapshot) -> None:
+        """Load a snapshot into this (freshly constructed) backend."""
+        raise NotImplementedError(f"{type(self).__name__} does not support snapshots")
+
+
+def composite_key(window: Window, key: bytes) -> bytes:
+    """``window || key`` composite encoding used by generic-KV glue.
+
+    The window comes first so that a sorted store clusters all keys of one
+    window together and an aligned trigger becomes a prefix scan — this is
+    how Flink lays out window state in RocksDB.
+    """
+    return window.key_bytes() + key
+
+
+def split_composite_key(data: bytes) -> tuple[Window, bytes]:
+    """Inverse of :func:`composite_key`."""
+    return Window.from_key_bytes(data), bytes(data[16:])

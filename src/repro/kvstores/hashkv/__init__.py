@@ -1,0 +1,17 @@
+"""A Faster-style hash KV store with a hybrid log.
+
+Reproduces the behaviours of the paper's Faster baseline:
+
+* O(1) hash-index access with in-place updates in the mutable log region
+  (why it beats RocksDB on RMW, §2.2),
+* per-operation epoch-protection synchronization charges — the overhead
+  FlowKV's single-threaded-by-design stores avoid (§6.3),
+* read-copy-update appends that read and rewrite the *entire* value list
+  on every ``Append()``, the I/O amplification that makes Faster time out
+  on append patterns (Figures 4, 8 and 9),
+* no ordered scans: prefix scans walk the whole index.
+"""
+
+from repro.kvstores.hashkv.store import FasterConfig, FasterStore
+
+__all__ = ["FasterStore", "FasterConfig"]

@@ -1,0 +1,18 @@
+"""A RocksDB-style log-structured merge-tree KV store.
+
+Reproduces the behaviours of the paper's RocksDB baseline:
+
+* a sorted memtable with **merge operands** (lazy append merging §2.2:
+  "RocksDB adopts lazy merging, which first appends values to log files
+  without reading existing values that then get merged later"),
+* SSTables with data blocks, an index block and a bloom filter,
+* an LRU block cache,
+* L0 + leveled compaction whose sorted merges are the CPU overhead the
+  paper's Figure 4/10 attribute RocksDB's losses to,
+* key-sorted search (memtable -> L0 files -> levels) whose comparison
+  costs explain the RMW losses against hash stores.
+"""
+
+from repro.kvstores.lsm.store import LsmConfig, LsmStore
+
+__all__ = ["LsmStore", "LsmConfig"]

@@ -1,0 +1,56 @@
+"""LRU block cache shared by all SSTables of one LSM store instance."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.kvstores.lsm.format import Entry
+from repro.simenv import CAT_STORE_READ, SimEnv
+
+
+class BlockCache:
+    """Caches decoded data blocks keyed by ``(file, offset)``.
+
+    A hit costs one hash probe; a miss is paid by the caller (device read
+    plus block decode) and inserted with :meth:`insert`.
+    """
+
+    def __init__(self, env: SimEnv, capacity_bytes: int) -> None:
+        self._env = env
+        self._capacity = capacity_bytes
+        self._blocks: OrderedDict[tuple[str, int], tuple[list[Entry], int]] = OrderedDict()
+        self._used = 0
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    def get(self, file_name: str, offset: int) -> list[Entry] | None:
+        self._env.charge_cpu(CAT_STORE_READ, self._env.cpu.hash_probe)
+        cached = self._blocks.get((file_name, offset))
+        if cached is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._blocks.move_to_end((file_name, offset))
+        return cached[0]
+
+    def insert(self, file_name: str, offset: int, entries: list[Entry], size: int) -> None:
+        key = (file_name, offset)
+        if key in self._blocks:
+            _, old_size = self._blocks.pop(key)
+            self._used -= old_size
+        self._blocks[key] = (entries, size)
+        self._used += size
+        while self._used > self._capacity and self._blocks:
+            _, (_, evicted_size) = self._blocks.popitem(last=False)
+            self._used -= evicted_size
+
+    def drop_file(self, file_name: str) -> None:
+        """Remove all blocks of a deleted SSTable."""
+        stale = [key for key in self._blocks if key[0] == file_name]
+        for key in stale:
+            _, size = self._blocks.pop(key)
+            self._used -= size

@@ -1,0 +1,57 @@
+"""A simple double-hashing bloom filter for SSTable key membership."""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def _hash_pair(key: bytes) -> tuple[int, int]:
+    digest = hashlib.blake2b(key, digest_size=16).digest()
+    return (
+        int.from_bytes(digest[:8], "little"),
+        int.from_bytes(digest[8:], "little") | 1,  # odd step avoids cycles
+    )
+
+
+class BloomFilter:
+    """Fixed-size bloom filter with Kirsch-Mitzenmacher double hashing."""
+
+    def __init__(self, n_keys: int, bits_per_key: int = 10) -> None:
+        # Round up to a whole byte so serialization round-trips exactly
+        # (n_bits is recovered from the byte length on load).
+        self._n_bits = (max(64, n_keys * bits_per_key) + 7) // 8 * 8
+        self._n_hashes = max(1, min(12, int(round(bits_per_key * 0.69))))
+        self._bits = bytearray((self._n_bits + 7) // 8)
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self._bits)
+
+    @property
+    def n_hashes(self) -> int:
+        return self._n_hashes
+
+    def add(self, key: bytes) -> None:
+        h1, h2 = _hash_pair(key)
+        for i in range(self._n_hashes):
+            bit = (h1 + i * h2) % self._n_bits
+            self._bits[bit >> 3] |= 1 << (bit & 7)
+
+    def may_contain(self, key: bytes) -> bool:
+        h1, h2 = _hash_pair(key)
+        for i in range(self._n_hashes):
+            bit = (h1 + i * h2) % self._n_bits
+            if not self._bits[bit >> 3] & (1 << (bit & 7)):
+                return False
+        return True
+
+    def to_bytes(self) -> bytes:
+        return bytes([self._n_hashes]) + bytes(self._bits)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "BloomFilter":
+        filt = cls.__new__(cls)
+        filt._n_hashes = data[0]
+        filt._bits = bytearray(data[1:])
+        filt._n_bits = len(filt._bits) * 8
+        return filt

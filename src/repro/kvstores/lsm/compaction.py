@@ -1,0 +1,91 @@
+"""Sorted-merge machinery for LSM compaction and scans.
+
+The k-way merge here is the CPU cost center the paper attributes RocksDB's
+append-workload overhead to (§2.2: lazy merging defers work into
+compactions that must re-sort and re-merge every operand).  Every heap pop
+charges a merge step and key comparisons.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Iterable, Iterator
+
+from repro.kvstores.lsm.format import (
+    KIND_DELETE,
+    KIND_MERGE,
+    KIND_PUT,
+    Entry,
+    merge_entries,
+)
+from repro.simenv import SimEnv
+
+
+def merge_sorted_entries(
+    env: SimEnv, sources: list[Iterable[Entry]], category: str
+) -> Iterator[Entry]:
+    """K-way merge of key-sorted entry streams into one stream.
+
+    Within a key, newer sources must be listed first; output preserves
+    newest-first order per key via the source index tiebreak.
+    """
+    heap: list[tuple[bytes, int, int, Entry, Iterator[Entry]]] = []
+    for src_idx, source in enumerate(sources):
+        iterator = iter(source)
+        first = next(iterator, None)
+        if first is not None:
+            heap.append((first.key, -first.seq, src_idx, first, iterator))
+    heapq.heapify(heap)
+    n_sources = max(1, len(heap))
+    while heap:
+        key, neg_seq, src_idx, entry, iterator = heapq.heappop(heap)
+        env.charge_cpu(
+            category,
+            env.cpu.merge_per_entry + env.cpu.sorted_search(n_sources),
+        )
+        yield entry
+        nxt = next(iterator, None)
+        if nxt is not None:
+            heapq.heappush(heap, (nxt.key, -nxt.seq, src_idx, nxt, iterator))
+
+
+def collapse_versions(
+    env: SimEnv,
+    merged: Iterable[Entry],
+    category: str,
+    bottom_level: bool,
+) -> Iterator[Entry]:
+    """Collapse per-key version runs from a newest-first merged stream.
+
+    * a PUT/DELETE base absorbs every newer merge operand into one PUT,
+    * bare merge operands (no base in the inputs) stay a single combined
+      MERGE entry — deeper levels may still hold the base,
+    * tombstones are dropped only at the bottom level.
+    """
+    run: list[Entry] = []
+    current_key: bytes | None = None
+
+    def emit(run: list[Entry]) -> Iterator[Entry]:
+        env.charge_cpu(category, len(run) * env.cpu.merge_per_entry)
+        has_base = any(e.kind in (KIND_PUT, KIND_DELETE) for e in run)
+        if has_base:
+            collapsed = merge_entries(run)
+            if collapsed is None:
+                return
+            if collapsed.kind == KIND_DELETE and bottom_level:
+                return
+            yield collapsed
+        else:
+            # newest-first operands -> oldest-first on disk order
+            combined = b"".join(e.value for e in reversed(run))
+            yield Entry(run[0].key, run[0].seq, KIND_MERGE, combined)
+
+    for entry in merged:
+        if entry.key != current_key:
+            if run:
+                yield from emit(run)
+            run = []
+            current_key = entry.key
+        run.append(entry)
+    if run:
+        yield from emit(run)

@@ -1,0 +1,103 @@
+"""On-disk entry and value-list encodings shared across the LSM store.
+
+An *entry* is ``(key, seq, kind, value)``.  Kinds:
+
+* ``PUT`` — a full value,
+* ``MERGE`` — one merge operand (an appended list element),
+* ``DELETE`` — a tombstone.
+
+List values (the Append access pattern) are represented as a
+concatenation of length-prefixed elements, so merging operands is pure
+byte concatenation — exactly RocksDB's ``StringAppendOperator`` shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.serde.codec import decode_bytes, decode_varint, encode_bytes, encode_varint
+
+KIND_PUT = 0
+KIND_MERGE = 1
+KIND_DELETE = 2
+
+_KIND_NAMES = {KIND_PUT: "PUT", KIND_MERGE: "MERGE", KIND_DELETE: "DELETE"}
+
+
+@dataclass(frozen=True)
+class Entry:
+    """One versioned KV record inside a memtable or SSTable."""
+
+    key: bytes
+    seq: int
+    kind: int
+    value: bytes = b""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Entry({self.key!r}, seq={self.seq}, {_KIND_NAMES[self.kind]}, {len(self.value)}B)"
+
+
+def encode_entry(entry: Entry) -> bytes:
+    """Serialize one entry."""
+    return (
+        encode_bytes(entry.key)
+        + encode_varint(entry.seq)
+        + bytes([entry.kind])
+        + encode_bytes(entry.value)
+    )
+
+
+def decode_entry(data: bytes, offset: int = 0) -> tuple[Entry, int]:
+    """Deserialize one entry; returns ``(entry, next_offset)``."""
+    key, pos = decode_bytes(data, offset)
+    seq, pos = decode_varint(data, pos)
+    kind = data[pos]
+    pos += 1
+    value, pos = decode_bytes(data, pos)
+    return Entry(key, seq, kind, value), pos
+
+
+def pack_list_value(elements: list[bytes]) -> bytes:
+    """Concatenate length-prefixed list elements (merged Append value)."""
+    out = bytearray()
+    for element in elements:
+        out += encode_bytes(element)
+    return bytes(out)
+
+
+def unpack_list_value(data: bytes) -> list[bytes]:
+    """Split a merged Append value back into its elements."""
+    elements: list[bytes] = []
+    pos = 0
+    while pos < len(data):
+        element, pos = decode_bytes(data, pos)
+        elements.append(element)
+    return elements
+
+
+def merge_entries(entries: list[Entry]) -> Entry | None:
+    """Collapse all versions of one key into a single logical entry.
+
+    ``entries`` must be newest-first.  Returns the surviving entry (a PUT
+    with merged value, or a DELETE tombstone) or None if the key never
+    existed.  Merge operands newer than a base PUT are appended after it;
+    operands above a DELETE (or with no base) form a bare list.
+    """
+    if not entries:
+        return None
+    operands: list[bytes] = []  # newest-first merge operands
+    for entry in entries:
+        if entry.kind == KIND_MERGE:
+            operands.append(entry.value)
+            continue
+        if entry.kind == KIND_DELETE:
+            if not operands:
+                return Entry(entries[0].key, entries[0].seq, KIND_DELETE)
+            base = b""
+        else:
+            base = entry.value
+        merged = base + b"".join(reversed(operands))
+        return Entry(entries[0].key, entries[0].seq, KIND_PUT, merged)
+    # Only merge operands, no base record.
+    merged = b"".join(reversed(operands))
+    return Entry(entries[0].key, entries[0].seq, KIND_PUT, merged)

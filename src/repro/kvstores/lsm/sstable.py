@@ -1,0 +1,267 @@
+"""SSTable writer and reader.
+
+Layout (all little-endian):
+
+```
+[data block 0][data block 1]...[index block][bloom block][footer]
+```
+
+* data blocks: concatenated encoded entries, key-sorted, ~``block_bytes``
+  each; a key's versions never straddle a block boundary,
+* index block: per block ``(first_key, offset, length)``,
+* bloom block: serialized :class:`BloomFilter` over all keys,
+* footer: fixed-size offsets of the index and bloom blocks.
+"""
+
+from __future__ import annotations
+
+import struct
+from bisect import bisect_right
+from collections.abc import Iterable, Iterator
+
+from repro.errors import StoreError
+from repro.kvstores.lsm.blockcache import BlockCache
+from repro.kvstores.lsm.bloom import BloomFilter
+from repro.kvstores.lsm.format import Entry, decode_entry, encode_entry
+from repro.serde.codec import decode_bytes, encode_bytes
+from repro.simenv import CAT_STORE_READ, SimEnv
+from repro.storage.filesystem import SimFileSystem
+
+_FOOTER = struct.Struct("<QIQIQI")  # index_off, index_len, bloom_off, bloom_len, n_entries, magic
+_MAGIC = 0x5354414C  # "STAL"
+
+
+class SSTableWriter:
+    """Builds one SSTable from a key-sorted entry stream and writes it."""
+
+    def __init__(
+        self,
+        env: SimEnv,
+        fs: SimFileSystem,
+        name: str,
+        block_bytes: int = 4096,
+        bloom_bits_per_key: int = 10,
+        category: str = "store_write",
+    ) -> None:
+        self._env = env
+        self._fs = fs
+        self._name = name
+        self._block_bytes = block_bytes
+        self._bloom_bits = bloom_bits_per_key
+        self._category = category
+
+    def write(self, entries: Iterable[Entry]) -> "SSTableReader | None":
+        """Write all entries; returns a reader, or None if empty."""
+        blocks: list[bytes] = []
+        index: list[tuple[bytes, int, int]] = []  # first_key, offset, length
+        current = bytearray()
+        current_first: bytes | None = None
+        last_key: bytes | None = None
+        keys: list[bytes] = []
+        n_entries = 0
+        offset = 0
+
+        def close_block() -> None:
+            nonlocal current, current_first, offset
+            if not current:
+                return
+            index.append((current_first or b"", offset, len(current)))
+            offset += len(current)
+            blocks.append(bytes(current))
+            current = bytearray()
+            current_first = None
+
+        for entry in entries:
+            if last_key is not None and entry.key < last_key:
+                raise StoreError(
+                    f"entries out of order writing {self._name}: {entry.key!r} < {last_key!r}"
+                )
+            # Only split blocks at key boundaries so one key's versions
+            # always live in a single block.
+            if len(current) >= self._block_bytes and entry.key != last_key:
+                close_block()
+            if current_first is None:
+                current_first = entry.key
+            if entry.key != last_key:
+                keys.append(entry.key)
+            current += encode_entry(entry)
+            last_key = entry.key
+            n_entries += 1
+        close_block()
+
+        if n_entries == 0:
+            return None
+
+        bloom = BloomFilter(len(keys), self._bloom_bits)
+        for key in keys:
+            bloom.add(key)
+            self._env.charge_cpu(self._category, self._env.cpu.bloom_check)
+
+        index_block = bytearray()
+        for first_key, block_off, block_len in index:
+            index_block += encode_bytes(first_key)
+            index_block += struct.pack("<QI", block_off, block_len)
+        bloom_block = bloom.to_bytes()
+
+        data_len = offset
+        payload = b"".join(blocks) + bytes(index_block) + bloom_block
+        footer = _FOOTER.pack(
+            data_len, len(index_block), data_len + len(index_block), len(bloom_block),
+            n_entries, _MAGIC,
+        )
+        # One sequential device write for the whole table.
+        self._fs.append(self._name, payload + footer, category=self._category)
+        return SSTableReader(self._env, self._fs, self._name, category=self._category)
+
+
+class SSTableReader:
+    """Opens an SSTable; index and bloom filter stay pinned in memory."""
+
+    def __init__(
+        self,
+        env: SimEnv,
+        fs: SimFileSystem,
+        name: str,
+        category: str = "store_read",
+    ) -> None:
+        self._env = env
+        self._fs = fs
+        self.name = name
+        file_size = fs.size(name)
+        footer = fs.read(name, file_size - _FOOTER.size, _FOOTER.size, category=category)
+        index_off, index_len, bloom_off, bloom_len, n_entries, magic = _FOOTER.unpack(footer)
+        if magic != _MAGIC:
+            raise StoreError(f"bad SSTable magic in {name}")
+        self.entry_count = n_entries
+        index_raw = fs.read(name, index_off, index_len, category=category)
+        self._block_first_keys: list[bytes] = []
+        self._block_offsets: list[tuple[int, int]] = []
+        pos = 0
+        while pos < len(index_raw):
+            first_key, pos = decode_bytes(index_raw, pos)
+            block_off, block_len = struct.unpack_from("<QI", index_raw, pos)
+            pos += 12
+            self._block_first_keys.append(first_key)
+            self._block_offsets.append((block_off, block_len))
+        bloom_raw = fs.read(name, bloom_off, bloom_len, category=category)
+        self._bloom = BloomFilter.from_bytes(bloom_raw)
+        self._data_len = index_off
+        self._index_bytes = index_len + bloom_len
+        self.smallest_key = self._block_first_keys[0] if self._block_first_keys else b""
+        self.largest_key = self._find_largest_key(category)
+
+    def _find_largest_key(self, category: str) -> bytes:
+        if not self._block_offsets:
+            return b""
+        entries = self._decode_block_raw(len(self._block_offsets) - 1, category)
+        return entries[-1].key if entries else b""
+
+    # ------------------------------------------------------------------
+    @property
+    def memory_bytes(self) -> int:
+        """Pinned index + bloom memory."""
+        return self._index_bytes + sum(len(k) for k in self._block_first_keys)
+
+    @property
+    def data_bytes(self) -> int:
+        return self._data_len
+
+    def file_size(self) -> int:
+        return self._fs.size(self.name)
+
+    def may_contain(self, key: bytes) -> bool:
+        self._env.charge_cpu(CAT_STORE_READ, self._env.cpu.bloom_check)
+        return self._bloom.may_contain(key)
+
+    # ------------------------------------------------------------------
+    def _decode_block_raw(self, block_idx: int, category: str = CAT_STORE_READ) -> list[Entry]:
+        """Read and decode one block from the device (no cache)."""
+        block_off, block_len = self._block_offsets[block_idx]
+        raw = self._fs.read(self.name, block_off, block_len, category=category)
+        self._env.charge_cpu(category, block_len * self._env.cpu.block_decode_per_byte)
+        entries: list[Entry] = []
+        pos = 0
+        while pos < len(raw):
+            entry, pos = decode_entry(raw, pos)
+            entries.append(entry)
+        return entries
+
+    def _load_block(self, block_idx: int, cache: BlockCache | None) -> list[Entry]:
+        block_off, block_len = self._block_offsets[block_idx]
+        if cache is not None:
+            cached = cache.get(self.name, block_off)
+            if cached is not None:
+                return cached
+        entries = self._decode_block_raw(block_idx)
+        if cache is not None:
+            cache.insert(self.name, block_off, entries, block_len)
+        return entries
+
+    def get_versions(self, key: bytes, cache: BlockCache | None = None) -> list[Entry]:
+        """All versions of ``key`` in this table, newest first."""
+        if not self._block_offsets or not self.may_contain(key):
+            return []
+        self._env.charge_cpu(
+            CAT_STORE_READ, self._env.cpu.sorted_search(len(self._block_offsets))
+        )
+        block_idx = bisect_right(self._block_first_keys, key) - 1
+        if block_idx < 0:
+            return []
+        entries = self._load_block(block_idx, cache)
+        # Binary search within the block, then collect the key's run.
+        self._env.charge_cpu(CAT_STORE_READ, self._env.cpu.sorted_search(len(entries)))
+        lo, hi = 0, len(entries)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if entries[mid].key < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        versions: list[Entry] = []
+        while lo < len(entries) and entries[lo].key == key:
+            versions.append(entries[lo])
+            lo += 1
+        return versions
+
+    def iter_entries(
+        self,
+        start_key: bytes | None = None,
+        category: str = CAT_STORE_READ,
+        readahead_bytes: int = 1 << 20,
+    ) -> Iterator[Entry]:
+        """Sequential scan of all entries with key >= ``start_key``.
+
+        Bypasses the block cache and reads the data region in
+        ``readahead_bytes`` slabs — compaction and range scans are
+        sequential with readahead, as in RocksDB.
+        """
+        if not self._block_offsets:
+            return
+        first = 0
+        if start_key is not None:
+            first = max(0, bisect_right(self._block_first_keys, start_key) - 1)
+        slab = b""
+        slab_start = 0
+        for block_idx in range(first, len(self._block_offsets)):
+            block_off, block_len = self._block_offsets[block_idx]
+            if block_off + block_len > slab_start + len(slab):
+                slab_start = block_off
+                slab = self._fs.read(
+                    self.name,
+                    slab_start,
+                    min(max(readahead_bytes, block_len), self._data_len - slab_start),
+                    category=category,
+                )
+            raw = slab[block_off - slab_start : block_off - slab_start + block_len]
+            self._env.charge_cpu(category, block_len * self._env.cpu.block_decode_per_byte)
+            pos = 0
+            while pos < len(raw):
+                entry, pos = decode_entry(raw, pos)
+                if start_key is not None and entry.key < start_key:
+                    continue
+                self._env.charge_cpu(category, self._env.cpu.branch_step)
+                yield entry
+
+    def overlaps(self, smallest: bytes, largest: bytes) -> bool:
+        """Whether this table's key range intersects ``[smallest, largest]``."""
+        return not (self.largest_key < smallest or largest < self.smallest_key)

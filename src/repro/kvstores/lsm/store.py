@@ -1,0 +1,422 @@
+"""The leveled LSM store (RocksDB-style baseline)."""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.errors import StoreClosedError
+from repro.kvstores.api import KVStore
+from repro.kvstores.lsm.blockcache import BlockCache
+from repro.kvstores.lsm.compaction import collapse_versions, merge_sorted_entries
+from repro.kvstores.lsm.format import (
+    KIND_DELETE,
+    KIND_MERGE,
+    KIND_PUT,
+    Entry,
+    merge_entries,
+)
+from repro.kvstores.lsm.memtable import MemTable
+from repro.kvstores.lsm.sstable import SSTableReader, SSTableWriter
+from repro.serde.codec import encode_bytes
+from repro.simenv import (
+    CAT_COMPACTION,
+    CAT_STORE_READ,
+    CAT_STORE_WRITE,
+    SimEnv,
+)
+from repro.storage.filesystem import SimFileSystem
+
+
+@dataclass(frozen=True)
+class LsmConfig:
+    """Tuning knobs, mirroring the RocksDB options the paper configures.
+
+    Attributes:
+        write_buffer_bytes: memtable flush threshold (paper: 2048 MB at
+            400 GB scale; default here is proportionally scaled down).
+        block_bytes: data block size.
+        block_cache_bytes: LRU cache capacity.
+        l0_compaction_trigger: number of L0 files that triggers L0->L1.
+        level1_bytes: target size of L1; deeper levels multiply.
+        level_multiplier: growth factor between levels.
+        max_file_bytes: compaction output file size.
+        bloom_bits_per_key: bloom filter density.
+        max_levels: number of levels below L0.
+    """
+
+    write_buffer_bytes: int = 4 << 20
+    block_bytes: int = 4096
+    block_cache_bytes: int = 16 << 20
+    l0_compaction_trigger: int = 4
+    level1_bytes: int = 32 << 20
+    level_multiplier: int = 10
+    max_file_bytes: int = 8 << 20
+    bloom_bits_per_key: int = 10
+    max_levels: int = 5
+
+
+class LsmStore(KVStore):
+    """A leveled LSM tree over the simulated filesystem.
+
+    Supports RocksDB-style merge operands for the Append pattern, prefix
+    scans with full multi-level merge, and leveled compaction; reads go
+    memtable -> L0 (newest first) -> L1..Ln with bloom filters and a block
+    cache on the way.
+    """
+
+    def __init__(
+        self,
+        env: SimEnv,
+        fs: SimFileSystem,
+        name: str = "lsm",
+        config: LsmConfig | None = None,
+    ) -> None:
+        self._env = env
+        self._fs = fs
+        self._name = name
+        self._config = config or LsmConfig()
+        self._memtable = MemTable(env)
+        self._cache = BlockCache(env, self._config.block_cache_bytes)
+        # levels[0] is newest-first and may overlap; deeper levels are
+        # key-ordered and disjoint.
+        self._levels: list[list[SSTableReader]] = [[] for _ in range(self._config.max_levels + 1)]
+        self._seq = 0
+        self._file_counter = 0
+        self._closed = False
+        self.compaction_count = 0
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StoreClosedError(f"LSM store {self._name} is closed")
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def _next_file_name(self) -> str:
+        self._file_counter += 1
+        return f"{self._name}/sst_{self._file_counter:08d}.sst"
+
+    def _maybe_flush(self) -> None:
+        if self._memtable.approximate_bytes >= self._config.write_buffer_bytes:
+            self.flush()
+
+    # ------------------------------------------------------------------
+    # KVStore API
+    # ------------------------------------------------------------------
+    def put(self, key: bytes, value: bytes) -> None:
+        self._check_open()
+        self._memtable.put(key, self._next_seq(), value)
+        self._maybe_flush()
+
+    def append(self, key: bytes, value: bytes) -> None:
+        """Lazy merge: record an operand without reading the old value.
+
+        The operand is framed so that merged values remain parseable with
+        :func:`repro.kvstores.lsm.format.unpack_list_value` after pure
+        byte concatenation (RocksDB string-append semantics).
+        """
+        self._check_open()
+        self._memtable.merge(key, self._next_seq(), encode_bytes(value))
+        self._maybe_flush()
+
+    def delete(self, key: bytes) -> None:
+        self._check_open()
+        self._memtable.delete(key, self._next_seq())
+        self._maybe_flush()
+
+    def get(self, key: bytes) -> bytes | None:
+        self._check_open()
+        versions: list[Entry] = []
+        for entry in self._memtable.get_versions(key):
+            versions.append(entry)
+            if entry.kind != KIND_MERGE:
+                return self._finish_get(versions)
+        for table in self._levels[0]:
+            for entry in table.get_versions(key, self._cache):
+                versions.append(entry)
+                if entry.kind != KIND_MERGE:
+                    return self._finish_get(versions)
+        for level in self._levels[1:]:
+            table = self._find_level_file(level, key)
+            if table is None:
+                continue
+            for entry in table.get_versions(key, self._cache):
+                versions.append(entry)
+                if entry.kind != KIND_MERGE:
+                    return self._finish_get(versions)
+        return self._finish_get(versions)
+
+    def _finish_get(self, versions: list[Entry]) -> bytes | None:
+        if not versions:
+            return None
+        self._env.charge_cpu(CAT_STORE_READ, len(versions) * self._env.cpu.merge_per_entry)
+        merged = merge_entries(versions)
+        if merged is None or merged.kind == KIND_DELETE:
+            return None
+        return merged.value
+
+    def _find_level_file(self, level: list[SSTableReader], key: bytes) -> SSTableReader | None:
+        if not level:
+            return None
+        self._env.charge_cpu(CAT_STORE_READ, self._env.cpu.sorted_search(len(level)))
+        idx = bisect_right([t.smallest_key for t in level], key) - 1
+        if idx < 0:
+            return None
+        table = level[idx]
+        return table if key <= table.largest_key else None
+
+    def scan_prefix(self, prefix: bytes) -> Iterator[tuple[bytes, bytes]]:
+        """Merged, key-ordered iteration over all live keys with ``prefix``."""
+        self._check_open()
+        sources: list = [
+            [e for e in self._memtable.iter_sorted() if e.key.startswith(prefix) or e.key > prefix]
+        ]
+        for table in self._levels[0]:
+            sources.append(table.iter_entries(start_key=prefix))
+        for level in self._levels[1:]:
+            if not level:
+                continue
+
+            def level_iter(tables: list[SSTableReader] = level) -> Iterator[Entry]:
+                start = max(0, bisect_right([t.smallest_key for t in tables], prefix) - 1)
+                for table in tables[start:]:
+                    if table.largest_key < prefix:
+                        continue
+                    yield from table.iter_entries(start_key=prefix)
+
+            sources.append(level_iter())
+        merged = merge_sorted_entries(self._env, sources, CAT_STORE_READ)
+        run: list[Entry] = []
+        current: bytes | None = None
+        for entry in merged:
+            if not entry.key.startswith(prefix):
+                if entry.key > prefix:
+                    break
+                continue
+            if entry.key != current:
+                yield from self._emit_scan_run(run)
+                run = []
+                current = entry.key
+            run.append(entry)
+        yield from self._emit_scan_run(run)
+
+    def _emit_scan_run(self, run: list[Entry]) -> Iterator[tuple[bytes, bytes]]:
+        if not run:
+            return
+        self._env.charge_cpu(CAT_STORE_READ, len(run) * self._env.cpu.merge_per_entry)
+        merged = merge_entries(run)
+        if merged is not None and merged.kind == KIND_PUT:
+            yield merged.key, merged.value
+
+    # ------------------------------------------------------------------
+    # flush & compaction
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Flush the memtable to a new L0 SSTable and maybe compact."""
+        self._check_open()
+        if self._memtable.is_empty():
+            return
+        writer = SSTableWriter(
+            self._env,
+            self._fs,
+            self._next_file_name(),
+            block_bytes=self._config.block_bytes,
+            bloom_bits_per_key=self._config.bloom_bits_per_key,
+            category=CAT_STORE_WRITE,
+        )
+        reader = writer.write(self._memtable.iter_sorted())
+        if reader is not None:
+            self._levels[0].insert(0, reader)
+        self._memtable = MemTable(self._env)
+        self._maybe_compact()
+
+    def _level_target_bytes(self, level_idx: int) -> int:
+        return self._config.level1_bytes * (self._config.level_multiplier ** (level_idx - 1))
+
+    def _maybe_compact(self) -> None:
+        if len(self._levels[0]) >= self._config.l0_compaction_trigger:
+            self._compact_level0()
+        for level_idx in range(1, len(self._levels) - 1):
+            level_bytes = sum(t.file_size() for t in self._levels[level_idx])
+            if level_bytes > self._level_target_bytes(level_idx):
+                self._compact_level(level_idx)
+
+    def _compact_level0(self) -> None:
+        inputs = list(self._levels[0])
+        if not inputs:
+            return
+        smallest = min(t.smallest_key for t in inputs)
+        largest = max(t.largest_key for t in inputs)
+        overlapping = [t for t in self._levels[1] if t.overlaps(smallest, largest)]
+        self._run_compaction(inputs, overlapping, output_level=1)
+        self._levels[0] = []
+        self._levels[1] = sorted(
+            [t for t in self._levels[1] if t not in overlapping] + self._new_outputs,
+            key=lambda t: t.smallest_key,
+        )
+        self._drop_tables(inputs + overlapping)
+
+    def _compact_level(self, level_idx: int) -> None:
+        level = self._levels[level_idx]
+        if not level:
+            return
+        # Pick the oldest (first) file; merge into the next level.
+        victim = level[0]
+        overlapping = [
+            t for t in self._levels[level_idx + 1]
+            if t.overlaps(victim.smallest_key, victim.largest_key)
+        ]
+        self._run_compaction([victim], overlapping, output_level=level_idx + 1)
+        self._levels[level_idx] = level[1:]
+        self._levels[level_idx + 1] = sorted(
+            [t for t in self._levels[level_idx + 1] if t not in overlapping] + self._new_outputs,
+            key=lambda t: t.smallest_key,
+        )
+        self._drop_tables([victim] + overlapping)
+
+    def _run_compaction(
+        self,
+        upper: list[SSTableReader],
+        lower: list[SSTableReader],
+        output_level: int,
+    ) -> None:
+        """Merge ``upper`` (newer) and ``lower`` tables into ``output_level``."""
+        self.compaction_count += 1
+        self._env.bump("lsm_compactions")
+        bottom = output_level >= len(self._levels) - 1 or all(
+            not self._levels[deeper] for deeper in range(output_level + 1, len(self._levels))
+        )
+        sources = [t.iter_entries(category=CAT_COMPACTION) for t in upper]
+        sources += [t.iter_entries(category=CAT_COMPACTION) for t in lower]
+        merged = merge_sorted_entries(self._env, sources, CAT_COMPACTION)
+        collapsed = collapse_versions(self._env, merged, CAT_COMPACTION, bottom_level=bottom)
+
+        self._new_outputs: list[SSTableReader] = []
+        batch: list[Entry] = []
+        batch_bytes = 0
+        last_key: bytes | None = None
+
+        def flush_batch() -> None:
+            nonlocal batch, batch_bytes
+            if not batch:
+                return
+            writer = SSTableWriter(
+                self._env,
+                self._fs,
+                self._next_file_name(),
+                block_bytes=self._config.block_bytes,
+                bloom_bits_per_key=self._config.bloom_bits_per_key,
+                category=CAT_COMPACTION,
+            )
+            reader = writer.write(batch)
+            if reader is not None:
+                self._new_outputs.append(reader)
+            batch = []
+            batch_bytes = 0
+
+        for entry in collapsed:
+            if batch_bytes >= self._config.max_file_bytes and entry.key != last_key:
+                flush_batch()
+            batch.append(entry)
+            batch_bytes += len(entry.key) + len(entry.value) + 16
+            last_key = entry.key
+        flush_batch()
+
+    def _drop_tables(self, tables: list[SSTableReader]) -> None:
+        for table in tables:
+            self._cache.drop_file(table.name)
+            if self._fs.exists(table.name):
+                self._fs.delete(table.name)
+
+    # ------------------------------------------------------------------
+    # checkpointing (§8): Flink forces the memtable to disk before the
+    # snapshot so that SSTables can be uploaded asynchronously.
+    # ------------------------------------------------------------------
+    def snapshot(self, base=None, upload_env=None):
+        """Checkpoint the store; incremental against ``base`` if given.
+
+        SSTables are immutable, so an incremental checkpoint (Flink's
+        incremental checkpointing on RocksDB, which the paper §8 points
+        to) only copies files absent from the base snapshot and records
+        the names it re-uses — recovery resolves them from the base.
+        """
+        from repro.snapshot import StoreSnapshot, copy_files_out, pack_meta
+
+        self._check_open()
+        self.flush()
+        live_names = [[t.name for t in level] for level in self._levels]
+        if base is not None:
+            # Only new files are read and uploaded; unchanged SSTables are
+            # referenced by name (no local read — the incremental saving).
+            current = self._fs.list_files(self._name + "/")
+            reused = [name for name in current if name in base.files]
+            files = {
+                name: self._fs.read(name)
+                for name in current
+                if name not in base.files
+            }
+        else:
+            reused = []
+            files = copy_files_out(self._env, self._fs, self._name + "/", upload_env)
+        meta = pack_meta(
+            self._env,
+            {
+                "seq": self._seq,
+                "file_counter": self._file_counter,
+                "levels": live_names,
+                "reused": reused,
+            },
+        )
+        return StoreSnapshot("lsm", meta, files)
+
+    def restore(self, snapshot, base=None) -> None:
+        """Load a (possibly incremental) snapshot into this fresh store."""
+        from repro.snapshot import copy_files_in, unpack_meta
+
+        self._check_open()
+        state = unpack_meta(self._env, snapshot.meta)
+        files = dict(snapshot.files)
+        for name in state.get("reused", []):
+            if name in files:
+                continue
+            if base is None or name not in base.files:
+                raise StoreClosedError(
+                    f"incremental snapshot references {name} but no base "
+                    "snapshot provides it"
+                )
+            files[name] = base.files[name]
+        copy_files_in(self._env, self._fs, files)
+        self._seq = state["seq"]
+        self._file_counter = state["file_counter"]
+        # Re-open every SSTable: recovery pays the footer/index/bloom reads.
+        self._levels = [
+            [SSTableReader(self._env, self._fs, name) for name in level]
+            for level in state["levels"]
+        ]
+        self._memtable = MemTable(self._env)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for level in self._levels:
+            level.clear()
+
+    @property
+    def memory_bytes(self) -> int:
+        pinned = sum(t.memory_bytes for level in self._levels for t in level)
+        return self._memtable.approximate_bytes + self._cache.used_bytes + pinned
+
+    @property
+    def disk_bytes(self) -> int:
+        return self._fs.total_bytes(self._name + "/")
+
+    @property
+    def level_file_counts(self) -> list[int]:
+        return [len(level) for level in self._levels]

@@ -1,0 +1,231 @@
+"""Flink-style heap state backend with a JVM garbage-collection cost model.
+
+The paper's in-memory baseline stores all window state as objects on the
+JVM heap.  Two behaviours matter for the evaluation and are modelled here:
+
+* **GC pressure** — collection work grows super-linearly as heap occupancy
+  approaches capacity (§6.1: "the in-memory store suffers from the JVM
+  garbage collection, which becomes severe as the state size increases"),
+  which is why FlowKV sometimes beats the in-memory store.
+* **OOM failure** — state that outgrows the heap kills the job (the
+  crossed bars of Figure 8 and early failures of Figure 9), surfaced as
+  :class:`~repro.errors.StoreOOMError`.
+
+Objects are stored directly (no serde), as Flink's heap backend does.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import StoreClosedError, StoreOOMError
+from repro.kvstores.api import WindowStateBackend
+from repro.model import Window
+from repro.simenv import CAT_GC, CAT_STORE_READ, CAT_STORE_WRITE, SimEnv
+
+# Per-object JVM overhead: header + reference + list-node bookkeeping.
+OBJECT_OVERHEAD_BYTES = 48
+
+
+@dataclass(frozen=True)
+class GcModel:
+    """Amortized garbage-collection cost charged per allocated byte.
+
+    The charge per allocated byte is proportional to
+    ``1 / (1 - occupancy)`` (clamped), so a nearly-full heap spends most
+    of its time collecting — a standard copying-collector survival-cost
+    approximation: each minor collection copies live bytes, and
+    collections happen once per young generation's worth of allocation,
+    so cost per allocated byte scales with live/free.
+
+    GC is CPU work, so the per-byte cost is expressed as a multiple of
+    the environment's ``copy_per_byte`` — it scales with the cost menu
+    (important for the uniformly-slowed latency runs).
+    """
+
+    copy_cost_multiple: float = 1.4
+    max_pressure: float = 50.0
+
+    def cost(self, allocated_bytes: int, occupancy: float, copy_per_byte: float) -> float:
+        pressure = min(self.max_pressure, 1.0 / max(1e-9, 1.0 - occupancy))
+        return allocated_bytes * copy_per_byte * self.copy_cost_multiple * pressure
+
+
+class HeapWindowBackend(WindowStateBackend):
+    """Dict-of-dicts window state held as live Python objects.
+
+    Layout mirrors Flink's heap keyed state: an outer map per window
+    namespace, an inner map per key.  List state and aggregate state are
+    kept in separate namespaces like Flink's ListState/ValueState.
+    """
+
+    def __init__(
+        self,
+        env: SimEnv,
+        capacity_bytes: int = 512 << 20,
+        gc_model: GcModel | None = None,
+        sizer: Callable[[Any], int] | None = None,
+    ) -> None:
+        self._env = env
+        self._capacity = capacity_bytes
+        self._gc = gc_model or GcModel()
+        self._sizer = sizer or _default_sizer
+        # window -> key -> list of values (append pattern)
+        self._lists: dict[Window, dict[bytes, list[Any]]] = {}
+        # window -> key -> aggregate (RMW pattern)
+        self._aggs: dict[Window, dict[bytes, Any]] = {}
+        self._live_bytes = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def memory_bytes(self) -> int:
+        return self._live_bytes
+
+    @property
+    def occupancy(self) -> float:
+        return self._live_bytes / self._capacity if self._capacity else 1.0
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StoreClosedError("heap backend is closed")
+
+    def _allocate(self, payload_bytes: int) -> None:
+        """Account an allocation: GC charge, then OOM check."""
+        allocated = payload_bytes + OBJECT_OVERHEAD_BYTES
+        self._env.charge_cpu(
+            CAT_GC, self._gc.cost(allocated, self.occupancy, self._env.cpu.copy_per_byte)
+        )
+        self._env.charge_cpu(CAT_STORE_WRITE, self._env.cpu.allocation)
+        self._live_bytes += allocated
+        if self._live_bytes > self._capacity:
+            raise StoreOOMError(
+                f"heap state {self._live_bytes}B exceeds capacity {self._capacity}B"
+            )
+
+    def _release(self, payload_bytes: int, count: int = 1) -> None:
+        self._live_bytes -= payload_bytes + count * OBJECT_OVERHEAD_BYTES
+        if self._live_bytes < 0:
+            self._live_bytes = 0
+
+    # ------------------------------------------------------------------
+    # append pattern
+    # ------------------------------------------------------------------
+    def append(self, key: bytes, window: Window, value: Any, timestamp: float) -> None:
+        self._check_open()
+        self._env.charge_cpu(CAT_STORE_WRITE, 2 * self._env.cpu.hash_probe)
+        per_key = self._lists.setdefault(window, {})
+        per_key.setdefault(key, []).append((value, self._sizer(value)))
+        self._allocate(per_key[key][-1][1])
+
+    def read_window(self, window: Window) -> Iterator[tuple[bytes, list[Any]]]:
+        self._check_open()
+        per_key = self._lists.pop(window, None)
+        if per_key is None:
+            return
+        self._env.charge_cpu(CAT_STORE_READ, self._env.cpu.hash_probe)
+        for key, sized_values in per_key.items():
+            self._env.charge_cpu(CAT_STORE_READ, self._env.cpu.hash_probe)
+            values = [v for v, _size in sized_values]
+            self._release(sum(size for _v, size in sized_values), count=len(sized_values))
+            yield key, values
+
+    def read_key_window(self, key: bytes, window: Window) -> list[Any]:
+        self._check_open()
+        self._env.charge_cpu(CAT_STORE_READ, 2 * self._env.cpu.hash_probe)
+        per_key = self._lists.get(window)
+        if not per_key:
+            return []
+        sized_values = per_key.pop(key, [])
+        if not per_key:
+            self._lists.pop(window, None)
+        self._release(sum(size for _v, size in sized_values), count=len(sized_values))
+        return [v for v, _size in sized_values]
+
+    # ------------------------------------------------------------------
+    # RMW pattern
+    # ------------------------------------------------------------------
+    def rmw_get(self, key: bytes, window: Window) -> Any | None:
+        self._check_open()
+        self._env.charge_cpu(CAT_STORE_READ, 2 * self._env.cpu.hash_probe)
+        per_key = self._aggs.get(window)
+        if per_key is None:
+            return None
+        entry = per_key.get(key)
+        return entry[0] if entry is not None else None
+
+    def rmw_put(self, key: bytes, window: Window, aggregate: Any) -> None:
+        self._check_open()
+        self._env.charge_cpu(CAT_STORE_WRITE, 2 * self._env.cpu.hash_probe)
+        per_key = self._aggs.setdefault(window, {})
+        new_size = self._sizer(aggregate)
+        old = per_key.get(key)
+        if old is not None:
+            self._release(old[1])
+        per_key[key] = (aggregate, new_size)
+        self._allocate(new_size)
+
+    def rmw_remove(self, key: bytes, window: Window) -> Any | None:
+        self._check_open()
+        self._env.charge_cpu(CAT_STORE_READ, 2 * self._env.cpu.hash_probe)
+        per_key = self._aggs.get(window)
+        if per_key is None:
+            return None
+        entry = per_key.pop(key, None)
+        if not per_key:
+            self._aggs.pop(window, None)
+        if entry is None:
+            return None
+        self._release(entry[1])
+        return entry[0]
+
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        self._check_open()
+
+    def snapshot(self):
+        """Full heap capture (Flink's heap backend snapshots everything)."""
+        from repro.snapshot import StoreSnapshot, pack_meta
+
+        self._check_open()
+        meta = pack_meta(
+            self._env,
+            {"lists": self._lists, "aggs": self._aggs, "live_bytes": self._live_bytes},
+        )
+        return StoreSnapshot("heap", meta)
+
+    def restore(self, snapshot) -> None:
+        from repro.snapshot import unpack_meta
+
+        self._check_open()
+        state = unpack_meta(self._env, snapshot.meta)
+        self._lists = state["lists"]
+        self._aggs = state["aggs"]
+        self._live_bytes = state["live_bytes"]
+        if self._live_bytes > self._capacity:
+            raise StoreOOMError(
+                f"restored state {self._live_bytes}B exceeds capacity {self._capacity}B"
+            )
+
+    def close(self) -> None:
+        self._closed = True
+        self._lists.clear()
+        self._aggs.clear()
+        self._live_bytes = 0
+
+
+def _default_sizer(value: Any) -> int:
+    """Cheap payload-size estimate for common value shapes."""
+    if isinstance(value, (bytes, bytearray, str)):
+        return len(value)
+    if isinstance(value, (int, float)):
+        return 8
+    if isinstance(value, tuple):
+        return 8 + sum(_default_sizer(v) for v in value)
+    if isinstance(value, dict):
+        return 16 + sum(_default_sizer(k) + _default_sizer(v) for k, v in value.items())
+    if hasattr(value, "payload_bytes"):
+        return int(value.payload_bytes)
+    return 64

@@ -1,0 +1,119 @@
+"""Shared primitive types: windows, stream records, serializers.
+
+These sit below both the engine and the stores so that neither needs to
+import the other for basic vocabulary.  A window is the paper's
+``(start_W, end_W)`` pair; stream records are the timestamped key-value
+tuples ``e = (k, v, t)`` of §2.1.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from dataclasses import dataclass
+from typing import Any, Protocol
+
+# Big-endian IEEE-754 doubles: for non-negative timestamps the raw byte
+# order equals numeric order, and the encoding round-trips exactly (no
+# quantization — decoded windows compare equal to the originals).
+_WINDOW_KEY = struct.Struct(">dd")
+
+
+@dataclass(frozen=True, order=True)
+class Window:
+    """A half-open event-time interval ``[start, end)`` in seconds."""
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError(f"window start must be non-negative: {self.start}")
+        if self.end <= self.start:
+            raise ValueError(f"window end must exceed start: [{self.start}, {self.end})")
+
+    @property
+    def length(self) -> float:
+        return self.end - self.start
+
+    @property
+    def max_timestamp(self) -> float:
+        """The largest timestamp that belongs to this window."""
+        return self.end - 1e-3
+
+    def contains(self, timestamp: float) -> bool:
+        return self.start <= timestamp < self.end
+
+    def intersects(self, other: "Window") -> bool:
+        return self.start < other.end and other.start < self.end
+
+    def cover(self, other: "Window") -> "Window":
+        """The smallest window covering both (session merging)."""
+        return Window(min(self.start, other.start), max(self.end, other.end))
+
+    def key_bytes(self) -> bytes:
+        """16-byte big-endian encoding; sorts by (start, end) like the window.
+
+        Boundaries must be non-negative (event time starts at 0) so that
+        the raw IEEE-754 byte order matches numeric order.
+        """
+        return _WINDOW_KEY.pack(self.start, self.end)
+
+    @staticmethod
+    def from_key_bytes(data: bytes, offset: int = 0) -> "Window":
+        start, end = _WINDOW_KEY.unpack_from(data, offset)
+        return Window(start, end)
+
+
+GLOBAL_WINDOW = Window(0.0, float(1 << 40))
+
+
+@dataclass(frozen=True)
+class StreamRecord:
+    """A timestamped key-value tuple ``e = (k, v, t)``.
+
+    ``key`` is raw bytes (the engine partitions on it); ``value`` is any
+    Python object — serialization to store bytes happens at the state
+    backend boundary where its cost is charged.
+    """
+
+    key: bytes
+    value: Any
+    timestamp: float
+
+
+@dataclass(frozen=True)
+class Watermark:
+    """An event-time watermark: no record with ``t < timestamp`` follows."""
+
+    timestamp: float
+
+
+class Serde(Protocol):
+    """Object <-> bytes codec used at the state-store boundary."""
+
+    def serialize(self, obj: Any) -> bytes: ...
+
+    def deserialize(self, data: bytes) -> Any: ...
+
+
+class PickleSerde:
+    """General-purpose serde; NEXMark provides compact struct-based ones."""
+
+    def serialize(self, obj: Any) -> bytes:
+        return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def deserialize(self, data: bytes) -> Any:
+        return pickle.loads(data)
+
+
+class IdentitySerde:
+    """For values that are already bytes (avoids double encoding)."""
+
+    def serialize(self, obj: Any) -> bytes:
+        if not isinstance(obj, (bytes, bytearray)):
+            raise TypeError(f"IdentitySerde requires bytes, got {type(obj).__name__}")
+        return bytes(obj)
+
+    def deserialize(self, data: bytes) -> Any:
+        return data

@@ -1,0 +1,26 @@
+"""The NEXMark benchmark: data model, generator and the eight queries.
+
+NEXMark emulates an online auction system with three event types —
+persons registering, auctions opening, bids arriving — in the 2% / 6% /
+92% mix the paper's input dataset uses, with matching average serialized
+sizes (16 B person, 16 B auction, 84 B bid).  The queries implemented here
+are the paper's evaluation set (§6): Q5, Q5-Append, Q7, Q7-Session, Q8,
+Q11, Q11-Median and Q12.
+"""
+
+from repro.nexmark.generator import GeneratorConfig, generate_events
+from repro.nexmark.model import Auction, Bid, Person
+from repro.nexmark.queries import QUERIES, QuerySpec, build_query
+from repro.nexmark.serde import NexmarkSerde
+
+__all__ = [
+    "Person",
+    "Auction",
+    "Bid",
+    "GeneratorConfig",
+    "generate_events",
+    "NexmarkSerde",
+    "QUERIES",
+    "QuerySpec",
+    "build_query",
+]

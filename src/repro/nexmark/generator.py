@@ -1,0 +1,112 @@
+"""Deterministic NEXMark event generator.
+
+Mirrors the Beam NEXMark generator's behaviour at configurable scale:
+
+* event mix 2% persons / 6% auctions / 92% bids (§6, Input dataset),
+* exponential inter-arrival times at ``events_per_second`` (event time),
+* bids reference a hot set of recent auctions and active bidders with a
+  skewed (80/20-style) popularity distribution,
+* fully deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.nexmark.model import Auction, Bid, Person
+
+Event = Person | Auction | Bid
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Workload shape.
+
+    Attributes:
+        events_per_second: mean event rate in event-time seconds.
+        duration: total event-time span to generate.
+        person_ratio / auction_ratio: event mix (bids take the rest).
+        active_people: size of the live bidder population; per-bidder bid
+            rate is roughly ``0.92 * events_per_second / active_people``,
+            which (with the session gap) controls session lengths.
+        active_auctions: size of the hot auction set bids target.
+        hot_fraction: probability a bid goes to the hot quartile of
+            bidders/auctions (popularity skew).
+        seed: RNG seed; identical configs generate identical streams.
+    """
+
+    events_per_second: float = 100.0
+    duration: float = 1000.0
+    person_ratio: float = 0.02
+    auction_ratio: float = 0.06
+    active_people: int = 200
+    active_auctions: int = 50
+    hot_fraction: float = 0.5
+    seed: int = 20230509
+
+    @property
+    def expected_events(self) -> int:
+        return int(self.events_per_second * self.duration)
+
+
+def generate_events(config: GeneratorConfig) -> Iterator[tuple[Event, float]]:
+    """Yield ``(event, event_timestamp)`` pairs in timestamp order."""
+    rng = random.Random(config.seed)
+    timestamp = 0.0
+    next_person_id = 0
+    next_auction_id = 0
+    people: list[int] = []
+    auctions: list[Auction] = []
+
+    # Pre-seed the minimum population so the first bids have targets.
+    for _ in range(8):
+        people.append(next_person_id)
+        next_person_id += 1
+    for _ in range(4):
+        auctions.append(Auction(next_auction_id, rng.choice(people)))
+        next_auction_id += 1
+
+    mean_gap = 1.0 / config.events_per_second
+    person_cut = config.person_ratio
+    auction_cut = config.person_ratio + config.auction_ratio
+
+    while timestamp < config.duration:
+        timestamp += rng.expovariate(1.0 / mean_gap)
+        if timestamp >= config.duration:
+            return
+        draw = rng.random()
+        if draw < person_cut:
+            person = Person(next_person_id, rng.randrange(64))
+            next_person_id += 1
+            people.append(person.person_id)
+            if len(people) > config.active_people:
+                people.pop(0)
+            yield person, timestamp
+        elif draw < auction_cut:
+            auction = Auction(next_auction_id, _pick(rng, people, config.hot_fraction))
+            next_auction_id += 1
+            auctions.append(auction)
+            if len(auctions) > config.active_auctions:
+                auctions.pop(0)
+            yield auction, timestamp
+        else:
+            auction = auctions[_pick_index(rng, len(auctions), config.hot_fraction)]
+            bidder = _pick(rng, people, config.hot_fraction)
+            price = 100 + rng.randrange(10_000)
+            yield Bid(auction.auction_id, bidder, price), timestamp
+
+
+def _pick_index(rng: random.Random, n: int, hot_fraction: float) -> int:
+    """Skewed index choice: the newest quartile gets ``hot_fraction``."""
+    if n <= 1:
+        return 0
+    if rng.random() < hot_fraction:
+        quartile = max(1, n // 4)
+        return n - 1 - rng.randrange(quartile)
+    return rng.randrange(n)
+
+
+def _pick(rng: random.Random, population: list[int], hot_fraction: float) -> int:
+    return population[_pick_index(rng, len(population), hot_fraction)]

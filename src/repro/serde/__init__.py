@@ -1,0 +1,23 @@
+"""Byte-level encoding helpers shared by all on-disk formats."""
+
+from repro.serde.codec import (
+    decode_bytes,
+    decode_u32,
+    decode_u64,
+    decode_varint,
+    encode_bytes,
+    encode_u32,
+    encode_u64,
+    encode_varint,
+)
+
+__all__ = [
+    "encode_varint",
+    "decode_varint",
+    "encode_bytes",
+    "decode_bytes",
+    "encode_u32",
+    "decode_u32",
+    "encode_u64",
+    "decode_u64",
+]

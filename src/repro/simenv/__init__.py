@@ -1,0 +1,62 @@
+"""Simulated execution environment.
+
+The paper evaluates FlowKV on AWS i3.2xlarge machines with NVMe SSDs and
+measures wall-clock throughput and latency of C++/Java stores.  A pure
+Python reproduction cannot match those speeds, so instead of wall time we
+run every store against a *deterministic simulated clock*:
+
+* real data structures hold real bytes (correctness is testable), and
+* every algorithmic step — hash probes, key comparisons, block decodes,
+  serialization, synchronization primitives, and disk requests — charges a
+  calibrated cost to the clock.
+
+Because all stores are charged from the same cost menu, relative
+performance (who wins, by what factor, where crossovers fall) is decided by
+operation *counts* and *bytes moved* — exactly the quantities the paper's
+flamegraph breakdowns attribute the wins to.
+
+Public surface:
+
+* :class:`SimClock` — monotonically advancing simulated time,
+* :class:`CpuCostModel` / :class:`SsdCostModel` — calibrated cost menus,
+* :class:`MetricsLedger` — CPU time by category, I/O statistics, counters,
+* :class:`SimEnv` — bundles the above; the single charging facade that all
+  stores and the engine use.
+"""
+
+from repro.simenv.clock import SimClock
+from repro.simenv.cpu import CpuCostModel
+from repro.simenv.disk import SsdCostModel
+from repro.simenv.metrics import (
+    CAT_COMPACTION,
+    CAT_ENGINE,
+    CAT_GC,
+    CAT_QUERY,
+    CAT_SERDE,
+    CAT_STORE_READ,
+    CAT_STORE_WRITE,
+    CAT_SYNC,
+    CPU_CATEGORIES,
+    MetricsLedger,
+    MetricsSnapshot,
+)
+from repro.simenv.env import SimEnv, scaled_cost_models
+
+__all__ = [
+    "SimClock",
+    "CpuCostModel",
+    "SsdCostModel",
+    "MetricsLedger",
+    "MetricsSnapshot",
+    "SimEnv",
+    "scaled_cost_models",
+    "CAT_QUERY",
+    "CAT_STORE_WRITE",
+    "CAT_STORE_READ",
+    "CAT_COMPACTION",
+    "CAT_SERDE",
+    "CAT_SYNC",
+    "CAT_ENGINE",
+    "CAT_GC",
+    "CPU_CATEGORIES",
+]

@@ -1,0 +1,39 @@
+"""Deterministic simulated clock."""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """A monotonically advancing simulated clock measured in seconds.
+
+    The clock only moves when work is charged to it (CPU time or I/O wait),
+    which makes every run of the simulator bit-for-bit deterministic.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Advance the clock by ``seconds`` and return the new time.
+
+        Raises:
+            ValueError: if ``seconds`` is negative (time never flows back).
+        """
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by negative time: {seconds}")
+        self._now += seconds
+        return self._now
+
+    def reset(self, start: float = 0.0) -> None:
+        """Reset the clock to ``start`` (used between benchmark runs)."""
+        self._now = float(start)
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now:.6f})"

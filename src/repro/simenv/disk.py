@@ -1,0 +1,43 @@
+"""SSD device cost model.
+
+Models an NVMe SSD of the class in the paper's i3.2xlarge worker nodes
+(1.9 TB NVMe): high sequential bandwidth, low but non-zero per-request
+latency.  A request costs ``request_latency + bytes / bandwidth``.  The
+paper's predictive-batch-read argument (§4.2) rests exactly on this shape —
+modern SSDs have bandwidth to spare, so trading extra sequential bytes for
+fewer CPU cycles is a win — and the model reproduces it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SsdCostModel:
+    """Per-request SSD timing (seconds, bytes/second).
+
+    Attributes:
+        read_bandwidth: sequential read bandwidth in bytes/second.
+        write_bandwidth: sequential write bandwidth in bytes/second.
+        request_latency: fixed device latency per I/O request.
+        capacity_bytes: device capacity; exceeding it raises in the
+            filesystem layer.
+    """
+
+    read_bandwidth: float = 2.0e9
+    write_bandwidth: float = 1.0e9
+    request_latency: float = 80e-6
+    capacity_bytes: int = 1_900_000_000_000
+
+    def read_time(self, n_bytes: int, n_requests: int = 1) -> float:
+        """Device time to read ``n_bytes`` in ``n_requests`` requests."""
+        if n_bytes < 0 or n_requests < 0:
+            raise ValueError("negative I/O size or request count")
+        return n_requests * self.request_latency + n_bytes / self.read_bandwidth
+
+    def write_time(self, n_bytes: int, n_requests: int = 1) -> float:
+        """Device time to write ``n_bytes`` in ``n_requests`` requests."""
+        if n_bytes < 0 or n_requests < 0:
+            raise ValueError("negative I/O size or request count")
+        return n_requests * self.request_latency + n_bytes / self.write_bandwidth

@@ -1,0 +1,99 @@
+"""The simulation environment facade.
+
+A :class:`SimEnv` is owned by one physical operator instance (the paper
+gives each physical window operator its own store instances and a
+single-threaded worker).  All charges — CPU by category, device reads and
+writes — advance the instance's clock and are recorded in its ledger.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from repro.simenv.clock import SimClock
+from repro.simenv.cpu import CpuCostModel
+from repro.simenv.disk import SsdCostModel
+from repro.simenv.metrics import MetricsLedger
+
+
+def scaled_cost_models(
+    factor: float,
+    cpu: CpuCostModel | None = None,
+    ssd: SsdCostModel | None = None,
+) -> tuple[CpuCostModel, SsdCostModel]:
+    """Uniformly slow both cost models down by ``factor``.
+
+    Multiplying every CPU cost and dividing device bandwidth by the same
+    factor is equivalent to running the identical system on a
+    proportionally slower machine: absolute times change, relative
+    behaviour between backends does not.  Latency sweeps use this to
+    bring simulated capacity into the range of tractable arrival rates.
+    """
+    cpu = cpu or CpuCostModel()
+    ssd = ssd or SsdCostModel()
+    scaled_cpu = dataclasses.replace(
+        cpu,
+        **{
+            f.name: getattr(cpu, f.name) * factor
+            for f in dataclasses.fields(cpu)
+        },
+    )
+    scaled_ssd = dataclasses.replace(
+        ssd,
+        read_bandwidth=ssd.read_bandwidth / factor,
+        write_bandwidth=ssd.write_bandwidth / factor,
+        request_latency=ssd.request_latency * factor,
+    )
+    return scaled_cpu, scaled_ssd
+
+
+@dataclass
+class SimEnv:
+    """Bundles the simulated clock, cost models and metrics ledger.
+
+    Attributes:
+        clock: the instance's simulated clock (busy time).
+        cpu: CPU cost menu shared by all stores on this instance.
+        ssd: SSD device cost model.
+        ledger: where charges are attributed.
+    """
+
+    clock: SimClock = field(default_factory=SimClock)
+    cpu: CpuCostModel = field(default_factory=CpuCostModel)
+    ssd: SsdCostModel = field(default_factory=SsdCostModel)
+    ledger: MetricsLedger = field(default_factory=MetricsLedger)
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    def charge_cpu(self, category: str, seconds: float) -> None:
+        """Charge CPU time: advances the clock and books the category."""
+        if seconds == 0.0:
+            return
+        self.clock.advance(seconds)
+        self.ledger.add_cpu(category, seconds)
+
+    def charge_read(self, n_bytes: int, n_requests: int = 1) -> None:
+        """Charge a device read: clock advances by the device time."""
+        seconds = self.ssd.read_time(n_bytes, n_requests)
+        self.clock.advance(seconds)
+        self.ledger.add_read(n_bytes, seconds, n_requests)
+
+    def charge_write(self, n_bytes: int, n_requests: int = 1) -> None:
+        """Charge a device write: clock advances by the device time."""
+        seconds = self.ssd.write_time(n_bytes, n_requests)
+        self.clock.advance(seconds)
+        self.ledger.add_write(n_bytes, seconds, n_requests)
+
+    def bump(self, counter: str, delta: int = 1) -> None:
+        self.ledger.bump(counter, delta)
+
+    def fork(self) -> "SimEnv":
+        """A fresh env sharing cost models but with its own clock/ledger.
+
+        Used when the physical plan fans a logical operator out into
+        parallel instances: each instance accounts independently.
+        """
+        return SimEnv(clock=SimClock(), cpu=self.cpu, ssd=self.ssd, ledger=MetricsLedger())

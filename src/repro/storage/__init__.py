@@ -1,0 +1,13 @@
+"""Simulated storage layer.
+
+Files live in memory as real byte arrays (so on-disk formats are exact and
+testable) while every access is charged to the owning :class:`SimEnv`
+according to the SSD cost model: a syscall CPU charge plus device time per
+request.  This is the substrate on which the LSM baseline, the hash-KV
+baseline and all three FlowKV stores build their log and table files.
+"""
+
+from repro.storage.filesystem import SimFileSystem
+from repro.storage.log import LogReader, LogWriter
+
+__all__ = ["SimFileSystem", "LogWriter", "LogReader"]

@@ -1,0 +1,107 @@
+"""Framed append-only record logs over the simulated filesystem.
+
+A log is a sequence of length-prefixed records.  Writers batch records in
+memory and flush them with a single device write (one request), which is
+how every store in this package amortizes SSD request latency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.serde.codec import decode_varint, encode_varint
+from repro.simenv import CAT_STORE_READ, CAT_STORE_WRITE
+from repro.storage.filesystem import SimFileSystem
+
+
+class LogWriter:
+    """Buffered writer of length-prefixed records to one file."""
+
+    def __init__(self, fs: SimFileSystem, name: str, category: str = CAT_STORE_WRITE) -> None:
+        self._fs = fs
+        self._name = name
+        self._category = category
+        self._buffer = bytearray()
+        self._flushed_bytes = fs.size(name) if fs.exists(name) else 0
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def buffered_bytes(self) -> int:
+        return len(self._buffer)
+
+    @property
+    def total_bytes(self) -> int:
+        """Flushed plus buffered bytes (the log's logical end offset)."""
+        return self._flushed_bytes + len(self._buffer)
+
+    def append_record(self, payload: bytes) -> int:
+        """Buffer one record; returns its eventual file offset."""
+        offset = self._flushed_bytes + len(self._buffer)
+        self._buffer += encode_varint(len(payload))
+        self._buffer += payload
+        return offset
+
+    def flush(self) -> None:
+        """Write all buffered records with a single device request."""
+        if not self._buffer:
+            return
+        self._fs.append(self._name, bytes(self._buffer), category=self._category)
+        self._flushed_bytes += len(self._buffer)
+        self._buffer.clear()
+
+
+class LogReader:
+    """Positional and sequential reader of a framed log file."""
+
+    def __init__(self, fs: SimFileSystem, name: str, category: str = CAT_STORE_READ) -> None:
+        self._fs = fs
+        self._name = name
+        self._category = category
+
+    def read_at(self, offset: int, length: int) -> bytes:
+        """Read the raw byte range ``[offset, offset+length)`` of the file."""
+        return self._fs.read(self._name, offset, length, category=self._category)
+
+    def read_record_at(self, offset: int) -> bytes:
+        """Read one framed record starting at ``offset``."""
+        # Read the varint header (at most 10 bytes) then the payload.
+        header = self._fs.read(self._name, offset, 10, category=self._category)
+        length, header_len = decode_varint(header)
+        if header_len + length <= len(header):
+            return header[header_len : header_len + length]
+        return self._fs.read(self._name, offset + header_len, length, category=self._category)
+
+    def iter_records(
+        self, start: int = 0, end: int | None = None, chunk_bytes: int = 1 << 20
+    ) -> Iterator[tuple[int, bytes]]:
+        """Sequentially scan framed records; yields ``(offset, payload)``.
+
+        Reads the file in ``chunk_bytes`` slabs so that a full scan costs
+        about ``size / chunk_bytes`` device requests, not one per record.
+        """
+        file_size = self._fs.size(self._name)
+        end = file_size if end is None else min(end, file_size)
+        chunk_start = 0
+        chunk = b""
+
+        def ensure(pos: int, need: int) -> None:
+            """Make ``chunk`` cover ``[pos, pos + need)``."""
+            nonlocal chunk, chunk_start
+            if pos >= chunk_start and pos + need <= chunk_start + len(chunk):
+                return
+            chunk_start = pos
+            size = min(max(chunk_bytes, need), end - pos)
+            chunk = self._fs.read(self._name, pos, size, category=self._category)
+
+        pos = start
+        while pos < end:
+            ensure(pos, min(10, end - pos))
+            length, header_end = decode_varint(chunk, pos - chunk_start)
+            record_len = (header_end - (pos - chunk_start)) + length
+            ensure(pos, record_len)
+            length, header_end = decode_varint(chunk, pos - chunk_start)
+            yield pos, bytes(chunk[header_end : header_end + length])
+            pos += record_len

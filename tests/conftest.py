@@ -1,0 +1,20 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simenv import SimEnv
+from repro.storage import SimFileSystem
+
+
+@pytest.fixture()
+def env() -> SimEnv:
+    """A fresh simulation environment."""
+    return SimEnv()
+
+
+@pytest.fixture()
+def fs(env: SimEnv) -> SimFileSystem:
+    """A fresh simulated filesystem charging the fixture env."""
+    return SimFileSystem(env)

@@ -1,0 +1,66 @@
+"""Tests for uniform cost-model scaling (latency-run substrate)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends import memory_backend
+from repro.engine import StreamEnvironment, TumblingWindowAssigner
+from repro.engine.functions import CountAggregate
+from repro.nexmark import GeneratorConfig, build_query
+from repro.simenv import CpuCostModel, SsdCostModel, scaled_cost_models
+
+
+class TestScaledCostModels:
+    def test_cpu_costs_scale_uniformly(self):
+        cpu, _ssd = scaled_cost_models(10.0)
+        base = CpuCostModel()
+        assert cpu.hash_probe == pytest.approx(10 * base.hash_probe)
+        assert cpu.serde_per_byte == pytest.approx(10 * base.serde_per_byte)
+        assert cpu.sync_op == pytest.approx(10 * base.sync_op)
+
+    def test_ssd_bandwidth_divides_latency_multiplies(self):
+        _cpu, ssd = scaled_cost_models(10.0)
+        base = SsdCostModel()
+        assert ssd.read_bandwidth == pytest.approx(base.read_bandwidth / 10)
+        assert ssd.write_bandwidth == pytest.approx(base.write_bandwidth / 10)
+        assert ssd.request_latency == pytest.approx(10 * base.request_latency)
+
+    def test_custom_base_models(self):
+        base_cpu = CpuCostModel(hash_probe=1.0)
+        cpu, _ssd = scaled_cost_models(2.0, cpu=base_cpu)
+        assert cpu.hash_probe == 2.0
+
+    def test_scaling_preserves_relative_job_times(self):
+        """A job on 10x-scaled models takes ~10x the simulated time."""
+
+        def run(scale):
+            gen = GeneratorConfig(events_per_second=50.0, duration=100.0, seed=4)
+            env = build_query("q11", memory_backend(), gen, 20.0, cost_scale=scale)
+            return env.execute().job_seconds
+
+        base = run(1.0)
+        scaled = run(10.0)
+        assert scaled == pytest.approx(10 * base, rel=1e-6)
+
+    def test_identity_scale_uses_defaults(self):
+        gen = GeneratorConfig(events_per_second=20.0, duration=50.0, seed=4)
+        env = build_query("q11", memory_backend(), gen, 20.0, cost_scale=1.0)
+        assert env.cpu == CpuCostModel()
+
+
+class TestEnvironmentCostInjection:
+    def test_stream_environment_accepts_models(self):
+        cpu, ssd = scaled_cost_models(5.0)
+        env = StreamEnvironment(
+            parallelism=1, backend_factory=memory_backend(), cpu=cpu, ssd=ssd
+        )
+        (
+            env.from_source([(("k", 1), 1.0)])
+            .key_by(lambda v: v[0].encode())
+            .window(TumblingWindowAssigner(10.0))
+            .aggregate(CountAggregate())
+            .sink("out")
+        )
+        result = env.execute()
+        assert result.sink_outputs["out"] == [1]

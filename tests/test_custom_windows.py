@@ -1,0 +1,130 @@
+"""Tests for custom window functions and §8 user hints.
+
+Custom windows default to the covering AUR pattern with no ETT
+prediction; users can annotate read alignment (-> AAR) or provide an ETT
+estimator (-> predictive batch read works again).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends import flowkv_backend, memory_backend, predictor_for
+from repro.core.ett import CallablePredictor, CountWindowPredictor
+from repro.core.patterns import StorePattern, WindowKind
+from repro.engine import StreamEnvironment
+from repro.engine.functions import CollectProcessFunction, CountAggregate
+from repro.engine.state import OperatorInfo
+from repro.engine.windows import CustomWindowAssigner
+from repro.model import Window
+
+
+def halfday_windows(timestamp: float) -> list[Window]:
+    """A custom assigner: 12 h windows offset by 6 h (user business logic)."""
+    period = 12.0
+    offset = 6.0
+    start = ((timestamp + offset) // period) * period - offset
+    if timestamp >= start + period:
+        start += period
+    elif timestamp < start:
+        start -= period
+    return [Window(max(0.0, start), start + period)]
+
+
+class TestPatternDerivationWithHints:
+    def _info(self, incremental, aligned_hint=None, ett=None):
+        return OperatorInfo(
+            "op", incremental, WindowKind.CUSTOM,
+            aligned_hint=aligned_hint, ett_predictor=ett,
+        )
+
+    def test_default_custom_is_aur(self):
+        assert self._info(False).pattern is StorePattern.AUR
+
+    def test_aligned_annotation_enables_aar(self):
+        assert self._info(False, aligned_hint=True).pattern is StorePattern.AAR
+
+    def test_explicit_unaligned_annotation(self):
+        assert self._info(False, aligned_hint=False).pattern is StorePattern.AUR
+
+    def test_incremental_custom_is_rmw(self):
+        assert self._info(True, aligned_hint=True).pattern is StorePattern.RMW
+
+    def test_user_predictor_takes_precedence(self):
+        user = CallablePredictor(lambda w, t, cur: w.end)
+        assert predictor_for(self._info(False, ett=user)) is user
+
+    def test_custom_without_predictor_is_unpredictable(self):
+        info = OperatorInfo("op", False, WindowKind.CUSTOM)
+        assert isinstance(predictor_for(info), CountWindowPredictor)
+
+
+class TestAssigner:
+    def test_make_predictor_variants(self):
+        plain = CustomWindowAssigner(halfday_windows)
+        assert isinstance(plain.make_predictor(), CountWindowPredictor)
+        with_ett = CustomWindowAssigner(halfday_windows, ett_fn=lambda w, t, c: w.end)
+        assert isinstance(with_ett.make_predictor(), CallablePredictor)
+
+    def test_empty_assignment_rejected(self):
+        assigner = CustomWindowAssigner(lambda ts: [])
+        with pytest.raises(ValueError):
+            assigner.assign(1.0)
+
+    def test_assigned_windows_contain_timestamp(self):
+        assigner = CustomWindowAssigner(halfday_windows)
+        for ts in (0.0, 5.9, 6.0, 17.9, 18.0, 100.0):
+            (window,) = assigner.assign(ts)
+            assert window.contains(ts)
+
+
+def _source(n=400):
+    return [((f"k{i % 6}", i), i * 0.5) for i in range(n)]
+
+
+def _run(backend_factory, assigner, fn):
+    env = StreamEnvironment(parallelism=2, backend_factory=backend_factory)
+    stream = (
+        env.from_source(_source())
+        .key_by(lambda v: v[0].encode())
+        .window(assigner)
+    )
+    if isinstance(fn, CountAggregate):
+        stream.aggregate(fn).sink("out")
+    else:
+        stream.process(fn).sink("out")
+    return env.execute()
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("hint", [None, True])
+    def test_custom_windows_agree_with_memory(self, hint):
+        assigner = CustomWindowAssigner(
+            halfday_windows, aligned_hint=hint,
+            ett_fn=(lambda w, t, cur: w.end) if hint is None else None,
+        )
+        flow = _run(flowkv_backend(), assigner, CollectProcessFunction())
+        heap = _run(memory_backend(), assigner, CollectProcessFunction())
+        assert sorted(map(str, flow.sink_outputs["out"])) == sorted(
+            map(str, heap.sink_outputs["out"])
+        )
+        assert flow.sink_outputs["out"]
+
+    def test_custom_incremental(self):
+        assigner = CustomWindowAssigner(halfday_windows)
+        flow = _run(flowkv_backend(), assigner, CountAggregate())
+        heap = _run(memory_backend(), assigner, CountAggregate())
+        assert sum(flow.sink_outputs["out"]) == sum(heap.sink_outputs["out"]) == 400
+
+    def test_user_ett_enables_prefetch(self):
+        """With a user predictor, the AUR store prefetches custom windows."""
+        from repro.core import FlowKVConfig
+
+        assigner = CustomWindowAssigner(
+            halfday_windows, ett_fn=lambda w, t, cur: w.end
+        )
+        config = FlowKVConfig(write_buffer_bytes=512, read_batch_ratio=1.0)
+        result = _run(flowkv_backend(config), assigner, CollectProcessFunction())
+        stats = next(iter(result.operator_stats.values()))
+        assert stats.get("prefetch_loads", 0) > 0
+        assert stats.get("prefetch_hits", 0) > 0

@@ -1,0 +1,105 @@
+"""Determinism guarantees and resource-limit edge cases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import run_query
+from repro.bench.profiles import TINY_PROFILE
+from repro.core.aur import AurStore
+from repro.core.ett import SessionGapPredictor
+from repro.model import Window
+from repro.simenv import SimEnv
+from repro.storage import SimFileSystem
+
+
+class TestDeterminism:
+    """Every simulated run is bit-for-bit reproducible — the property the
+    whole evaluation methodology rests on."""
+
+    @pytest.mark.parametrize("query", ["q7", "q11", "q11-median"])
+    def test_identical_runs_produce_identical_numbers(self, query):
+        first = run_query(TINY_PROFILE, query, "flowkv", TINY_PROFILE.window_sizes[0])
+        second = run_query(TINY_PROFILE, query, "flowkv", TINY_PROFILE.window_sizes[0])
+        assert first.job_seconds == second.job_seconds
+        assert first.throughput == second.throughput
+        assert first.results == second.results
+        assert first.metrics.cpu_seconds == second.metrics.cpu_seconds
+        assert first.metrics.bytes_read == second.metrics.bytes_read
+        assert first.metrics.bytes_written == second.metrics.bytes_written
+
+    def test_latency_runs_deterministic(self):
+        first = run_query(
+            TINY_PROFILE, "q11", "flowkv", TINY_PROFILE.latency_window,
+            arrival_rate=10.0, events_per_second=10.0,
+            duration=TINY_PROFILE.latency_duration,
+        )
+        second = run_query(
+            TINY_PROFILE, "q11", "flowkv", TINY_PROFILE.latency_window,
+            arrival_rate=10.0, events_per_second=10.0,
+            duration=TINY_PROFILE.latency_duration,
+        )
+        assert first.p95_latency == second.p95_latency
+
+    def test_different_seeds_differ(self):
+        first = run_query(TINY_PROFILE, "q11", "flowkv",
+                          TINY_PROFILE.window_sizes[0], seed=1)
+        second = run_query(TINY_PROFILE, "q11", "flowkv",
+                           TINY_PROFILE.window_sizes[0], seed=2)
+        assert first.job_seconds != second.job_seconds
+
+
+class TestPrefetchBufferCapacity:
+    def test_capacity_limits_prefetch_loads(self):
+        """When the prefetch buffer is full, extra candidates are skipped
+        (memory-vs-throughput trade-off of §4.2)."""
+
+        def run_with_capacity(capacity: int) -> int:
+            env = SimEnv()
+            fs = SimFileSystem(env)
+            store = AurStore(
+                env, fs, SessionGapPredictor(10.0), "aur",
+                write_buffer_bytes=1 << 20, read_batch_ratio=1.0,
+                prefetch_buffer_bytes=capacity,
+            )
+            for i in range(30):
+                window = Window(float(i), float(i) + 10.0)
+                for j in range(10):
+                    store.append(f"k{i:02d}".encode(), b"v" * 40, window, float(i))
+            store.flush()
+            store.get(b"k00", Window(0.0, 10.0))
+            return store.prefetch_stats.loads
+
+        unlimited = run_with_capacity(1 << 20)
+        tiny = run_with_capacity(600)
+        assert unlimited > tiny
+        assert tiny >= 1
+
+    def test_tiny_capacity_still_correct(self):
+        env = SimEnv()
+        fs = SimFileSystem(env)
+        store = AurStore(
+            env, fs, SessionGapPredictor(10.0), "aur",
+            write_buffer_bytes=256, read_batch_ratio=1.0,
+            prefetch_buffer_bytes=64,  # essentially no prefetch memory
+        )
+        expected = {}
+        for i in range(20):
+            window = Window(float(i), float(i) + 10.0)
+            key = f"k{i:02d}".encode()
+            expected[(key, window)] = [f"{i}-{j}".encode() for j in range(5)]
+            for j in range(5):
+                store.append(key, f"{i}-{j}".encode(), window, float(i))
+        for (key, window), values in expected.items():
+            assert store.get(key, window) == values
+
+
+class TestDeviceLimits:
+    def test_device_capacity_enforced(self):
+        from repro.errors import FileSystemError
+        from repro.simenv import SsdCostModel
+
+        env = SimEnv(ssd=SsdCostModel(capacity_bytes=1024))
+        fs = SimFileSystem(env)
+        with pytest.raises(FileSystemError):
+            fs.append("big", b"x" * 2048)

@@ -1,0 +1,142 @@
+"""Unit tests for user functions and the generic-KV state glue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.functions import (
+    CollectProcessFunction,
+    CountAggregate,
+    MaxAggregate,
+    MaxProcessFunction,
+    MedianProcessFunction,
+    SumAggregate,
+)
+from repro.engine.state import GenericKVBackend, OperatorInfo
+from repro.core.patterns import StorePattern, WindowKind
+from repro.kvstores.hashkv import FasterConfig, FasterStore
+from repro.kvstores.lsm import LsmConfig, LsmStore
+from repro.model import Window
+from repro.simenv import SimEnv
+from repro.storage import SimFileSystem
+
+W1 = Window(0.0, 10.0)
+W2 = Window(10.0, 20.0)
+
+
+class TestAggregateFunctions:
+    def test_count(self):
+        fn = CountAggregate()
+        acc = fn.create_accumulator()
+        for _ in range(5):
+            acc = fn.add(object(), acc)
+        assert fn.get_result(acc) == 5
+        assert fn.merge(3, 4) == 7
+
+    def test_sum(self):
+        fn = SumAggregate(extract=lambda v: v[1])
+        acc = fn.create_accumulator()
+        for i in range(4):
+            acc = fn.add(("x", i), acc)
+        assert fn.get_result(acc) == 6
+        assert fn.merge(2, 5) == 7
+
+    def test_max_argmax(self):
+        fn = MaxAggregate(extract=lambda v: v["price"])
+        acc = fn.create_accumulator()
+        acc = fn.add({"price": 5, "id": "a"}, acc)
+        acc = fn.add({"price": 9, "id": "b"}, acc)
+        acc = fn.add({"price": 2, "id": "c"}, acc)
+        metric, value = fn.get_result(acc)
+        assert metric == 9
+        assert value["id"] == "b"
+
+    def test_max_merge(self):
+        fn = MaxAggregate()
+        assert fn.merge(None, (3, "x")) == (3, "x")
+        assert fn.merge((5, "y"), (3, "x")) == (5, "y")
+        assert fn.merge(None, None) is None
+
+
+class TestProcessFunctions:
+    def test_median_odd(self):
+        fn = MedianProcessFunction()
+        assert list(fn.process(b"k", W1, [5, 1, 3])) == [3]
+
+    def test_median_even(self):
+        fn = MedianProcessFunction()
+        assert list(fn.process(b"k", W1, [4, 1, 3, 2])) == [2.5]
+
+    def test_median_empty(self):
+        assert list(MedianProcessFunction().process(b"k", W1, [])) == []
+
+    def test_max_process(self):
+        fn = MaxProcessFunction(extract=lambda v: v[0])
+        assert list(fn.process(b"k", W1, [(3, "a"), (9, "b"), (5, "c")])) == [(9, (9, "b"))]
+
+    def test_collect(self):
+        fn = CollectProcessFunction()
+        ((key, window, values),) = list(fn.process(b"k", W1, [1, 2]))
+        assert key == b"k" and window == W1 and values == [1, 2]
+
+
+class TestOperatorInfo:
+    def test_pattern_derivation(self):
+        assert OperatorInfo("x", True, WindowKind.SESSION).pattern is StorePattern.RMW
+        assert OperatorInfo("x", False, WindowKind.FIXED).pattern is StorePattern.AAR
+        assert OperatorInfo("x", False, WindowKind.SESSION).pattern is StorePattern.AUR
+
+
+@pytest.fixture(params=["lsm", "faster"])
+def generic_backend(request):
+    env = SimEnv()
+    fs = SimFileSystem(env)
+    if request.param == "lsm":
+        store = LsmStore(env, fs, "s", LsmConfig(write_buffer_bytes=1024))
+    else:
+        store = FasterStore(env, fs, "s", FasterConfig(memory_log_bytes=2048))
+    return GenericKVBackend(env, store)
+
+
+class TestGenericKVBackend:
+    def test_append_and_read_key_window(self, generic_backend):
+        for i in range(20):
+            generic_backend.append(b"k", W1, ("v", i), 0.5)
+        values = generic_backend.read_key_window(b"k", W1)
+        assert values == [("v", i) for i in range(20)]
+        assert generic_backend.read_key_window(b"k", W1) == []
+
+    def test_read_window_scans_all_keys(self, generic_backend):
+        for i in range(30):
+            generic_backend.append(f"key{i:02d}".encode(), W1, i, 0.0)
+        generic_backend.append(b"other", W2, 99, 10.0)
+        grouped = dict(generic_backend.read_window(W1))
+        assert len(grouped) == 30
+        assert grouped[b"key07"] == [7]
+        # W1 consumed, W2 untouched.
+        assert dict(generic_backend.read_window(W1)) == {}
+        assert dict(generic_backend.read_window(W2)) == {b"other": [99]}
+
+    def test_rmw_cycle(self, generic_backend):
+        assert generic_backend.rmw_get(b"k", W1) is None
+        generic_backend.rmw_put(b"k", W1, 10)
+        assert generic_backend.rmw_get(b"k", W1) == 10
+        generic_backend.rmw_put(b"k", W1, 11)
+        assert generic_backend.rmw_remove(b"k", W1) == 11
+        assert generic_backend.rmw_get(b"k", W1) is None
+
+    def test_window_key_isolation(self, generic_backend):
+        generic_backend.rmw_put(b"k", W1, 1)
+        generic_backend.rmw_put(b"k", W2, 2)
+        assert generic_backend.rmw_get(b"k", W1) == 1
+        assert generic_backend.rmw_get(b"k", W2) == 2
+
+    def test_memory_bytes_delegates(self, generic_backend):
+        generic_backend.rmw_put(b"k", W1, 1)
+        assert generic_backend.memory_bytes >= 0
+
+    def test_flush_and_reread(self, generic_backend):
+        for i in range(10):
+            generic_backend.append(b"k", W1, i, 0.0)
+        generic_backend.flush()
+        assert generic_backend.read_key_window(b"k", W1) == list(range(10))

@@ -1,0 +1,142 @@
+"""Unit and property tests for window assigners."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.ett import (
+    CountWindowPredictor,
+    KnownBoundaryPredictor,
+    SessionGapPredictor,
+)
+from repro.core.patterns import WindowKind
+from repro.engine.windows import (
+    CountWindowAssigner,
+    GlobalWindowAssigner,
+    SessionWindowAssigner,
+    SlidingWindowAssigner,
+    TumblingWindowAssigner,
+)
+from repro.model import GLOBAL_WINDOW
+
+timestamps = st.floats(min_value=0.0, max_value=1e8, allow_nan=False)
+
+
+class TestTumbling:
+    def test_basic_assignment(self):
+        assigner = TumblingWindowAssigner(10.0)
+        (window,) = assigner.assign(25.0)
+        assert window.start == 20.0
+        assert window.end == 30.0
+
+    def test_boundary_belongs_to_next_window(self):
+        assigner = TumblingWindowAssigner(10.0)
+        (window,) = assigner.assign(20.0)
+        assert window.start == 20.0
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            TumblingWindowAssigner(0.0)
+
+    def test_metadata(self):
+        assigner = TumblingWindowAssigner(10.0)
+        assert assigner.kind is WindowKind.FIXED
+        assert not assigner.merging
+        assert assigner.max_windows_per_tuple() == 1
+        assert isinstance(assigner.make_predictor(), KnownBoundaryPredictor)
+
+    @given(timestamps, st.floats(min_value=0.1, max_value=1e4))
+    def test_assigned_window_contains_timestamp(self, ts, size):
+        (window,) = TumblingWindowAssigner(size).assign(ts)
+        assert window.contains(ts)
+        assert window.length == pytest.approx(size)
+
+    @given(timestamps, timestamps, st.floats(min_value=0.5, max_value=1e3))
+    def test_windows_partition_time(self, t1, t2, size):
+        """Two timestamps get the same window iff they share the bucket."""
+        assigner = TumblingWindowAssigner(size)
+        (w1,) = assigner.assign(t1)
+        (w2,) = assigner.assign(t2)
+        assert (w1 == w2) == (t1 // size == t2 // size)
+
+
+class TestSliding:
+    def test_replication_count(self):
+        assigner = SlidingWindowAssigner(100.0, 50.0)
+        windows = assigner.assign(175.0)
+        assert len(windows) == 2
+        assert assigner.max_windows_per_tuple() == 2
+
+    def test_all_windows_contain_timestamp(self):
+        assigner = SlidingWindowAssigner(100.0, 25.0)
+        for window in assigner.assign(230.0):
+            assert window.contains(230.0)
+
+    def test_early_windows_clamped_at_zero(self):
+        assigner = SlidingWindowAssigner(100.0, 50.0)
+        windows = assigner.assign(10.0)
+        assert all(w.start >= 0.0 for w in windows)
+        assert any(w.contains(10.0) for w in windows)
+
+    def test_slide_larger_than_size_rejected(self):
+        with pytest.raises(ValueError):
+            SlidingWindowAssigner(10.0, 20.0)
+
+    def test_kind(self):
+        assert SlidingWindowAssigner(10, 5).kind is WindowKind.SLIDING
+
+    @given(timestamps, st.integers(min_value=1, max_value=8))
+    def test_tuple_replicated_into_size_over_slide_windows(self, ts, factor):
+        slide = 10.0
+        size = slide * factor
+        windows = SlidingWindowAssigner(size, slide).assign(ts)
+        assert len(windows) <= factor
+        assert all(w.contains(ts) for w in windows)
+        # Away from the stream start, exactly `factor` windows.
+        if ts >= size:
+            assert len(windows) == factor
+
+
+class TestSession:
+    def test_raw_window_is_gap_long(self):
+        assigner = SessionWindowAssigner(30.0)
+        (window,) = assigner.assign(100.0)
+        assert window.start == 100.0
+        assert window.end == 130.0
+
+    def test_merging_flag(self):
+        assert SessionWindowAssigner(5.0).merging
+        assert not TumblingWindowAssigner(5.0).merging
+
+    def test_predictor_is_session_gap(self):
+        predictor = SessionWindowAssigner(7.0).make_predictor()
+        assert isinstance(predictor, SessionGapPredictor)
+        assert predictor.gap == 7.0
+
+    def test_invalid_gap(self):
+        with pytest.raises(ValueError):
+            SessionWindowAssigner(-1.0)
+
+
+class TestGlobalAndCount:
+    def test_global_assigns_the_global_window(self):
+        (window,) = GlobalWindowAssigner().assign(123.0)
+        assert window is GLOBAL_WINDOW
+
+    def test_global_kind_aligned(self):
+        assert GlobalWindowAssigner().kind is WindowKind.GLOBAL
+        assert GlobalWindowAssigner().kind.aligned
+
+    def test_count_assign_is_operator_driven(self):
+        assigner = CountWindowAssigner(10)
+        with pytest.raises(NotImplementedError):
+            assigner.assign(0.0)
+
+    def test_count_predictor_unpredictable(self):
+        assert isinstance(CountWindowAssigner(5).make_predictor(), CountWindowPredictor)
+
+    def test_count_validation(self):
+        with pytest.raises(ValueError):
+            CountWindowAssigner(0)

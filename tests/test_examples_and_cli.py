@@ -1,0 +1,51 @@
+"""Smoke tests: every example runs cleanly; the CLI prints figures."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("example", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(example):
+    result = subprocess.run(
+        [sys.executable, str(example)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip()
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert {"quickstart.py", "nexmark_showdown.py", "sensor_sessions.py",
+            "store_api_tour.py", "checkpoint_recovery.py"} <= names
+
+
+def test_cli_unknown_figure():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.bench", "fig99"],
+        capture_output=True, text=True, timeout=120,
+    )
+    assert result.returncode == 2
+    assert "unknown figure" in result.stdout
+
+
+def test_cli_runs_one_figure():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.bench", "fig13"],
+        capture_output=True, text=True, timeout=600,
+        env={"REPRO_BENCH_PROFILE": "tiny", "PATH": "/usr/bin:/bin",
+             "HOME": "/root"},
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "workers" in result.stdout

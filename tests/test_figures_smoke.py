@@ -1,0 +1,39 @@
+"""Smoke tests: figure harnesses run at the tiny profile under plain
+pytest (the benchmark suite runs them at scale under --benchmark-only)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.figures import fig4, fig11, fig12, fig13
+from repro.bench.profiles import TINY_PROFILE
+
+
+def test_fig4_runs_and_renders():
+    records = fig4.run(TINY_PROFILE)
+    text = fig4.render(records)
+    assert "q11-median" in text
+    assert any(r.backend == "flowkv" and r.ok for r in records)
+
+
+def test_fig11_runs_and_renders():
+    records = fig11.run(TINY_PROFILE, queries=("q11-median",), ratios=(0.0, 0.2))
+    text = fig11.render(records)
+    assert "read_batch_ratio" in text
+    by_ratio = {r.operator_stats["_sweep"]["ratio"]: r for r in records}
+    assert by_ratio[0.2].throughput >= by_ratio[0.0].throughput
+
+
+def test_fig12_runs_and_renders():
+    records = fig12.run(TINY_PROFILE, queries=("q11-median",), msa_values=(1.1, 3.0))
+    text = fig12.render(records)
+    assert "msa" in text
+    assert all(r.ok for r in records)
+
+
+def test_fig13_runs_and_renders():
+    records = fig13.run(TINY_PROFILE, worker_counts=(1, 2))
+    text = fig13.render(records)
+    assert "speedup" in text
+    by_workers = {r.operator_stats["_sweep"]["workers"]: r for r in records}
+    assert by_workers[2].throughput > by_workers[1].throughput

@@ -1,0 +1,180 @@
+"""Unit tests for the Append and Aligned Read store (§4.1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aar import AarStore
+from repro.errors import StoreClosedError
+from repro.model import Window
+from repro.simenv import SimEnv
+from repro.storage import SimFileSystem
+
+W1 = Window(0.0, 100.0)
+W2 = Window(100.0, 200.0)
+
+
+@pytest.fixture()
+def store(env, fs):
+    return AarStore(env, fs, "aar", write_buffer_bytes=1024, read_chunk_bytes=512)
+
+
+def read_all(store, window):
+    grouped: dict[bytes, list[bytes]] = {}
+    for key, values in store.get_window(window):
+        grouped.setdefault(key, []).extend(values)
+    return grouped
+
+
+class TestAppendAndRead:
+    def test_buffer_only_round_trip(self, env, fs):
+        store = AarStore(env, fs, "aar", write_buffer_bytes=1 << 20)
+        store.append(b"a", b"v1", W1)
+        store.append(b"b", b"v2", W1)
+        store.append(b"a", b"v3", W1)
+        assert read_all(store, W1) == {b"a": [b"v1", b"v3"], b"b": [b"v2"]}
+
+    def test_spilled_round_trip(self, store):
+        for i in range(200):
+            store.append(f"k{i % 7}".encode(), f"value{i:04d}".encode(), W1)
+        grouped = read_all(store, W1)
+        assert grouped[b"k0"] == [f"value{i:04d}".encode() for i in range(0, 200, 7)]
+        assert sum(len(v) for v in grouped.values()) == 200
+
+    def test_windows_are_isolated(self, store):
+        store.append(b"k", b"w1-value", W1)
+        store.append(b"k", b"w2-value", W2)
+        assert read_all(store, W1) == {b"k": [b"w1-value"]}
+        assert read_all(store, W2) == {b"k": [b"w2-value"]}
+
+    def test_fetch_and_remove(self, store):
+        store.append(b"k", b"v", W1)
+        read_all(store, W1)
+        assert read_all(store, W1) == {}
+
+    def test_empty_window(self, store):
+        assert read_all(store, W1) == {}
+
+
+class TestCoarseGrainedLayout:
+    def test_one_file_per_window(self, store, fs):
+        for i in range(100):
+            store.append(f"k{i % 10}".encode(), b"v" * 20, W1)
+            store.append(f"k{i % 10}".encode(), b"v" * 20, W2)
+        store.flush()
+        files = fs.list_files("aar/")
+        assert len(files) == 2  # one log file per window boundary
+
+    def test_file_deleted_after_read(self, store, fs):
+        for i in range(100):
+            store.append(b"k", b"v" * 20, W1)
+        store.flush()
+        assert len(fs.list_files("aar/")) == 1
+        read_all(store, W1)
+        assert fs.list_files("aar/") == []
+
+    def test_flush_is_one_request_per_window(self, env, fs):
+        store = AarStore(env, fs, "aar", write_buffer_bytes=1 << 20)
+        for i in range(50):
+            store.append(f"k{i}".encode(), b"v" * 10, W1)
+            store.append(f"k{i}".encode(), b"v" * 10, W2)
+        before = env.ledger.write_requests
+        store.flush()
+        assert env.ledger.write_requests == before + 2
+
+    def test_fine_grained_ablation_pays_more_requests(self, env, fs):
+        coarse_env = SimEnv()
+        coarse = AarStore(coarse_env, SimFileSystem(coarse_env), "c",
+                          write_buffer_bytes=1 << 20)
+        fine_env = SimEnv()
+        fine = AarStore(fine_env, SimFileSystem(fine_env), "f",
+                        write_buffer_bytes=1 << 20, coarse_grained=False)
+        for s in (coarse, fine):
+            for i in range(100):
+                s.append(f"k{i}".encode(), b"v" * 10, W1)
+            s.flush()
+        assert fine_env.ledger.write_requests > coarse_env.ledger.write_requests
+        # Same data is readable either way.
+        assert read_all(coarse, W1) == read_all(fine, W1)
+
+
+class TestGradualLoading:
+    def test_multiple_partitions_for_large_windows(self, env, fs):
+        store = AarStore(env, fs, "aar", write_buffer_bytes=512, read_chunk_bytes=256)
+        for i in range(300):
+            store.append(f"key{i:04d}".encode(), b"x" * 30, W1)
+        partitions = list(store.get_window(W1))
+        # Gradual loading: far more yield batches than one.
+        assert len(partitions) > 5
+        total = sum(len(values) for _key, values in partitions)
+        assert total == 300
+
+    def test_partition_reads_bounded_by_chunk(self, env, fs):
+        chunk = 256
+        store = AarStore(env, fs, "aar", write_buffer_bytes=512, read_chunk_bytes=chunk)
+        for i in range(300):
+            store.append(b"k", b"x" * 30, W1)
+        store.flush()
+        # Each device read request during the scan is at most chunk bytes.
+        reads_before = env.ledger.bytes_read
+        requests_before = env.ledger.read_requests
+        list(store.get_window(W1))
+        bytes_read = env.ledger.bytes_read - reads_before
+        requests = env.ledger.read_requests - requests_before
+        assert bytes_read / max(1, requests) <= chunk + 1
+
+
+class TestDropWindow:
+    def test_drop_buffered(self, store):
+        store.append(b"k", b"v", W1)
+        store.drop_window(W1)
+        assert read_all(store, W1) == {}
+        assert store.memory_bytes == 0
+
+    def test_drop_flushed(self, store, fs):
+        for i in range(100):
+            store.append(b"k", b"v" * 20, W1)
+        store.flush()
+        store.drop_window(W1)
+        assert fs.list_files("aar/") == []
+
+
+class TestLifecycle:
+    def test_closed_rejects(self, store):
+        store.close()
+        with pytest.raises(StoreClosedError):
+            store.append(b"k", b"v", W1)
+
+    def test_memory_accounting(self, env, fs):
+        store = AarStore(env, fs, "aar", write_buffer_bytes=1 << 20)
+        assert store.memory_bytes == 0
+        store.append(b"k", b"v" * 100, W1)
+        assert store.memory_bytes > 100
+        read_all(store, W1)
+        assert store.memory_bytes == 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 8), st.binary(min_size=1, max_size=50), st.integers(0, 2)),
+        min_size=1,
+        max_size=200,
+    )
+)
+def test_aar_round_trip_property(entries):
+    """Every appended (key, value) comes back exactly once, per window."""
+    env = SimEnv()
+    fs = SimFileSystem(env)
+    store = AarStore(env, fs, "aar", write_buffer_bytes=512, read_chunk_bytes=256)
+    windows = [Window(0, 10), Window(10, 20), Window(20, 30)]
+    expected: dict[Window, dict[bytes, list[bytes]]] = {w: {} for w in windows}
+    for key_idx, value, window_idx in entries:
+        key = f"k{key_idx}".encode()
+        window = windows[window_idx]
+        store.append(key, value, window)
+        expected[window].setdefault(key, []).append(value)
+    for window in windows:
+        assert read_all(store, window) == expected[window]

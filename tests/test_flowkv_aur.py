@@ -1,0 +1,314 @@
+"""Unit tests for the Append and Unaligned Read store (§4.2).
+
+Covers the Stat table, predictive batch read, misprediction eviction,
+read amplification accounting, the on-disk index log, and integrated
+compaction with MSA.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aur import AurStore
+from repro.core.ett import CountWindowPredictor, SessionGapPredictor
+from repro.errors import StoreClosedError
+from repro.model import Window
+from repro.simenv import SimEnv
+from repro.storage import SimFileSystem
+
+GAP = 10.0
+
+
+def make_store(
+    env=None,
+    fs=None,
+    write_buffer=512,
+    ratio=0.5,
+    msa=1.5,
+    predictor=None,
+    **kwargs,
+):
+    env = env or SimEnv()
+    fs = fs or SimFileSystem(env)
+    store = AurStore(
+        env,
+        fs,
+        predictor or SessionGapPredictor(GAP),
+        "aur",
+        write_buffer_bytes=write_buffer,
+        read_batch_ratio=ratio,
+        max_space_amplification=msa,
+        data_segment_bytes=2048,
+        prefetch_buffer_bytes=1 << 20,
+        **kwargs,
+    )
+    return env, fs, store
+
+
+def session_window(start: float) -> Window:
+    return Window(start, start + GAP)
+
+
+class TestAppendGet:
+    def test_buffer_only(self):
+        _env, _fs, store = make_store(write_buffer=1 << 20)
+        w = session_window(0.0)
+        store.append(b"k", b"v1", w, 0.0)
+        store.append(b"k", b"v2", w, 1.0)
+        assert store.get(b"k", w) == [b"v1", b"v2"]
+        assert store.get(b"k", w) == []  # fetch & remove
+
+    def test_spilled_values_combined_with_buffered(self):
+        _env, _fs, store = make_store(write_buffer=256)
+        w = session_window(0.0)
+        for i in range(50):
+            store.append(b"k", f"v{i:03d}".encode(), w, float(i) / 10)
+        assert store.get(b"k", w) == [f"v{i:03d}".encode() for i in range(50)]
+
+    def test_keys_and_windows_isolated(self):
+        _env, _fs, store = make_store(write_buffer=256)
+        w1, w2 = session_window(0.0), session_window(100.0)
+        for i in range(30):
+            store.append(b"a", b"A1", w1, 0.0)
+            store.append(b"a", b"A2", w2, 100.0)
+            store.append(b"b", b"B1", w1, 0.0)
+        assert store.get(b"a", w1) == [b"A1"] * 30
+        assert store.get(b"a", w2) == [b"A2"] * 30
+        assert store.get(b"b", w1) == [b"B1"] * 30
+
+    def test_missing_window(self):
+        _env, _fs, store = make_store()
+        assert store.get(b"k", session_window(5.0)) == []
+
+    def test_closed_rejects(self):
+        _env, _fs, store = make_store()
+        store.close()
+        with pytest.raises(StoreClosedError):
+            store.append(b"k", b"v", session_window(0.0), 0.0)
+
+
+class TestStatTable:
+    def test_ett_tracked_per_key_window(self):
+        _env, _fs, store = make_store()
+        w = session_window(0.0)
+        store.append(b"k", b"v", w, 3.0)
+        assert store._stat[(b"k", w)].ett == pytest.approx(3.0 + GAP)
+        store.append(b"k", b"v", w, 7.0)
+        assert store._stat[(b"k", w)].ett == pytest.approx(7.0 + GAP)
+
+    def test_stat_removed_on_get(self):
+        _env, _fs, store = make_store()
+        w = session_window(0.0)
+        store.append(b"k", b"v", w, 0.0)
+        store.get(b"k", w)
+        assert (b"k", w) not in store._stat
+
+
+class TestPredictiveBatchRead:
+    def _spill_many_windows(self, store, n_keys=20, values_per_key=10):
+        for i in range(n_keys):
+            w = session_window(float(i))
+            for j in range(values_per_key):
+                store.append(f"k{i:02d}".encode(), f"v{j}".encode(), w, float(i) + j * 0.1)
+        store.flush()
+
+    def test_prefetch_loads_soon_windows(self):
+        _env, _fs, store = make_store(write_buffer=1 << 20, ratio=0.5)
+        self._spill_many_windows(store)
+        w0 = session_window(0.0)
+        store.get(b"k00", w0)  # miss: triggers a batch read
+        assert store.prefetch_stats.index_scans == 1
+        assert store.prefetch_stats.loads > 0
+        # The next-soonest windows should now hit the prefetch buffer.
+        store.get(b"k01", session_window(1.0))
+        assert store.prefetch_stats.hits >= 1
+
+    def test_prefetch_amortizes_scans(self):
+        _env, _fs, store = make_store(write_buffer=1 << 20, ratio=1.0)
+        self._spill_many_windows(store, n_keys=20)
+        for i in range(20):
+            store.get(f"k{i:02d}".encode(), session_window(float(i)))
+        # With ratio 1.0 a single scan serves (almost) every trigger.
+        assert store.prefetch_stats.index_scans <= 2
+        assert store.prefetch_stats.hit_ratio > 0.8
+
+    def test_ratio_zero_scans_every_trigger(self):
+        _env, _fs, store = make_store(write_buffer=1 << 20, ratio=0.0)
+        self._spill_many_windows(store, n_keys=10)
+        for i in range(10):
+            store.get(f"k{i:02d}".encode(), session_window(float(i)))
+        assert store.prefetch_stats.index_scans == 10
+        assert store.prefetch_stats.loads == 0
+        assert store.prefetch_stats.direct_reads == 10
+
+    def test_eviction_on_misprediction(self):
+        """A new tuple arriving for a prefetched window evicts it (§4.2:
+        the session was extended, the prediction was wrong)."""
+        _env, _fs, store = make_store(write_buffer=1 << 20, ratio=1.0)
+        self._spill_many_windows(store, n_keys=5)
+        store.get(b"k00", session_window(0.0))  # prefetches the rest
+        assert (b"k01", session_window(1.0)) in store._prefetch
+        store.append(b"k01", b"late", session_window(1.0), 50.0)
+        assert (b"k01", session_window(1.0)) not in store._prefetch
+        assert store.prefetch_stats.evictions == 1
+        # The evicted window is re-read correctly later.
+        values = store.get(b"k01", session_window(1.0))
+        assert values == [f"v{j}".encode() for j in range(10)] + [b"late"]
+
+    def test_eviction_on_flush_of_prefetched_window(self):
+        _env, _fs, store = make_store(write_buffer=1 << 20, ratio=1.0)
+        self._spill_many_windows(store, n_keys=5)
+        w1 = session_window(1.0)
+        store.get(b"k00", session_window(0.0))
+        assert (b"k01", w1) in store._prefetch
+        # New value buffered for the prefetched window, then flushed:
+        store.append(b"k01", b"tail", w1, 60.0)
+        store.flush()
+        values = store.get(b"k01", w1)
+        assert values[-1] == b"tail"
+        assert len(values) == 11
+
+    def test_unpredictable_windows_never_prefetched(self):
+        env, fs, store = make_store(
+            write_buffer=1 << 20, ratio=1.0, predictor=CountWindowPredictor()
+        )
+        self._spill_many_windows(store, n_keys=5)
+        store.get(b"k00", session_window(0.0))
+        assert store.prefetch_stats.loads == 0
+
+    def test_values_preserved_across_batch_read(self):
+        _env, _fs, store = make_store(write_buffer=256, ratio=0.5)
+        windows = {}
+        for i in range(15):
+            w = session_window(float(i * 3))
+            key = f"k{i:02d}".encode()
+            windows[key] = w
+            for j in range(8):
+                store.append(key, f"{i}-{j}".encode(), w, float(i * 3))
+        for key, w in windows.items():
+            i = int(key[1:])
+            assert store.get(key, w) == [f"{i}-{j}".encode() for j in range(8)]
+
+
+class TestIndexLogAndCompaction:
+    def test_index_log_on_disk(self):
+        _env, fs, store = make_store(write_buffer=256)
+        for i in range(50):
+            store.append(b"k", b"v" * 20, session_window(0.0), 0.0)
+        index_files = [f for f in fs.list_files("aur/") if "index" in f]
+        assert len(index_files) == 1
+        assert fs.size(index_files[0]) > 0
+
+    def test_compaction_triggers_at_msa(self):
+        _env, fs, store = make_store(write_buffer=256, msa=1.2, ratio=0.5)
+        for round_idx in range(30):
+            w = session_window(float(round_idx))
+            key = f"k{round_idx:02d}".encode()
+            for j in range(20):
+                store.append(key, b"v" * 30, w, float(round_idx))
+            store.get(key, w)  # consume: creates dead bytes
+        assert store.compaction_count > 0
+
+    def test_compaction_reclaims_disk_space(self):
+        _env, fs, store = make_store(write_buffer=256, msa=1.2, ratio=0.5)
+        for round_idx in range(40):
+            w = session_window(float(round_idx))
+            key = f"k{round_idx:02d}".encode()
+            for j in range(20):
+                store.append(key, b"v" * 30, w, float(round_idx))
+            store.get(key, w)
+        # Disk usage bounded: at most MSA x live plus one active segment.
+        assert store.disk_bytes < 40 * 20 * 32  # far less than total written
+
+    def test_data_survives_compaction(self):
+        _env, _fs, store = make_store(write_buffer=256, msa=1.1, ratio=0.5)
+        survivors = {}
+        for round_idx in range(40):
+            w = session_window(float(round_idx))
+            key = f"k{round_idx:02d}".encode()
+            for j in range(10):
+                store.append(key, f"{round_idx}-{j}".encode(), w, float(round_idx))
+            if round_idx % 2 == 0:
+                store.get(key, w)  # consume half to build garbage
+            else:
+                survivors[key] = w
+        assert store.compaction_count > 0
+        for key, w in survivors.items():
+            round_idx = int(key[1:])
+            assert store.get(key, w) == [
+                f"{round_idx}-{j}".encode() for j in range(10)
+            ]
+
+    def test_space_amplification_metric(self):
+        _env, _fs, store = make_store(write_buffer=128, msa=100.0)
+        assert store.space_amplification == 1.0
+        w = session_window(0.0)
+        for j in range(30):
+            store.append(b"k", b"v" * 30, w, 0.0)
+        store.flush()
+        assert store.space_amplification == pytest.approx(1.0)
+        store.get(b"k", w)
+        assert store.space_amplification == float("inf")  # all dead
+
+    def test_drop_window_marks_dead(self):
+        _env, _fs, store = make_store(write_buffer=128, msa=100.0)
+        w = session_window(0.0)
+        for j in range(30):
+            store.append(b"k", b"v" * 30, w, 0.0)
+        store.flush()
+        store.drop_window(b"k", w)
+        assert store.get(b"k", w) == []
+        assert store.space_amplification == float("inf")
+
+
+class TestReadAmplificationEquation:
+    def test_read_amplification_inverse_of_hit_ratio(self):
+        """Equation 1: expected reads per tuple = 1/r.  With eviction and
+        re-read, a tuple read after one eviction was loaded twice."""
+        _env, _fs, store = make_store(write_buffer=1 << 20, ratio=1.0)
+        w = session_window(0.0)
+        for j in range(10):
+            store.append(b"a", b"v", w, 0.0)
+        store.append(b"b", b"x", session_window(1.0), 1.0)
+        store.flush()
+        store.get(b"b", session_window(1.0))  # prefetches (a, w)
+        store.append(b"a", b"late", w, 5.0)  # evict: misprediction
+        store.flush()
+        store.get(b"a", w)  # re-read from disk
+        assert store.prefetch_stats.evictions == 1
+        # loads counts (a,w) twice? No: once prefetched, once direct via
+        # the requested path — the requested window is not a "load".
+        assert store.prefetch_stats.loads >= 1
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 6), st.integers(0, 4), st.binary(min_size=1, max_size=30)),
+        min_size=1,
+        max_size=150,
+    ),
+    st.sampled_from([0.0, 0.2, 1.0]),
+)
+def test_aur_round_trip_property(entries, ratio):
+    """All appended values come back exactly once per (key, window),
+    in order, regardless of flush/prefetch/compaction interleaving."""
+    env = SimEnv()
+    fs = SimFileSystem(env)
+    store = AurStore(
+        env, fs, SessionGapPredictor(GAP), "aur",
+        write_buffer_bytes=256, read_batch_ratio=ratio,
+        max_space_amplification=1.2, data_segment_bytes=512,
+    )
+    windows = [session_window(float(i * 20)) for i in range(5)]
+    expected: dict[tuple[bytes, Window], list[bytes]] = {}
+    for key_idx, window_idx, value in entries:
+        key = f"k{key_idx}".encode()
+        window = windows[window_idx]
+        store.append(key, value, window, window.start)
+        expected.setdefault((key, window), []).append(value)
+    for (key, window), values in expected.items():
+        assert store.get(key, window) == values
+        assert store.get(key, window) == []

@@ -1,0 +1,142 @@
+"""Unit tests for the FlowKV composite facade (§3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FlowKVComposite, FlowKVConfig, StorePattern
+from repro.core.ett import SessionGapPredictor
+from repro.errors import PatternError
+from repro.model import Window
+from repro.simenv import CAT_SERDE, SimEnv
+from repro.storage import SimFileSystem
+
+W = Window(0.0, 100.0)
+
+
+def make(pattern, instances=2, **cfg):
+    env = SimEnv()
+    fs = SimFileSystem(env)
+    config = FlowKVConfig(num_instances=instances, write_buffer_bytes=1024, **cfg)
+    composite = FlowKVComposite(
+        env, fs, pattern, config, predictor=SessionGapPredictor(10.0), name="c"
+    )
+    return env, fs, composite
+
+
+class TestConfigValidation:
+    def test_bad_ratio(self):
+        with pytest.raises(ValueError):
+            FlowKVConfig(read_batch_ratio=1.5)
+
+    def test_bad_msa(self):
+        with pytest.raises(ValueError):
+            FlowKVConfig(max_space_amplification=0.5)
+
+    def test_bad_instances(self):
+        with pytest.raises(ValueError):
+            FlowKVConfig(num_instances=0)
+
+    def test_bad_buffer(self):
+        with pytest.raises(ValueError):
+            FlowKVConfig(write_buffer_bytes=0)
+
+
+class TestInstanceRouting:
+    def test_m_instances_deployed(self):
+        for m in (1, 2, 4):
+            _env, _fs, composite = make(StorePattern.RMW, instances=m)
+            assert len(composite.instances) == m
+
+    def test_keys_spread_across_instances(self):
+        _env, _fs, composite = make(StorePattern.RMW, instances=4)
+        for i in range(200):
+            composite.rmw_put(f"key{i}".encode(), W, i)
+        used = [s for s in composite.instances if s.memory_bytes > 0]
+        assert len(used) == 4
+
+    def test_routing_is_stable(self):
+        _env, _fs, composite = make(StorePattern.RMW, instances=4)
+        composite.rmw_put(b"stable-key", W, 42)
+        assert composite.rmw_get(b"stable-key", W) == 42
+
+
+class TestPatternEnforcement:
+    def test_aar_rejects_rmw_methods(self):
+        _env, _fs, composite = make(StorePattern.AAR)
+        with pytest.raises(PatternError):
+            composite.rmw_get(b"k", W)
+        with pytest.raises(PatternError):
+            composite.rmw_put(b"k", W, 1)
+
+    def test_rmw_rejects_append(self):
+        _env, _fs, composite = make(StorePattern.RMW)
+        with pytest.raises(PatternError):
+            composite.append(b"k", W, 1, 0.0)
+        with pytest.raises(PatternError):
+            list(composite.read_window(W))
+
+    def test_aur_rejects_read_window(self):
+        _env, _fs, composite = make(StorePattern.AUR)
+        with pytest.raises(PatternError):
+            list(composite.read_window(W))
+
+    def test_aar_rejects_read_key_window(self):
+        _env, _fs, composite = make(StorePattern.AAR)
+        with pytest.raises(PatternError):
+            composite.read_key_window(b"k", W)
+
+
+class TestAcrossInstances:
+    def test_aar_read_window_spans_instances(self):
+        _env, _fs, composite = make(StorePattern.AAR, instances=3)
+        for i in range(60):
+            composite.append(f"key{i}".encode(), W, ("value", i), float(i))
+        grouped: dict[bytes, list] = {}
+        for key, values in composite.read_window(W):
+            grouped.setdefault(key, []).extend(values)
+        assert len(grouped) == 60
+        assert grouped[b"key7"] == [("value", 7)]
+
+    def test_aur_round_trip(self):
+        _env, _fs, composite = make(StorePattern.AUR)
+        for i in range(40):
+            composite.append(b"k", W, i, float(i))
+        assert composite.read_key_window(b"k", W) == list(range(40))
+
+    def test_rmw_round_trip_objects(self):
+        _env, _fs, composite = make(StorePattern.RMW)
+        composite.rmw_put(b"k", W, {"count": 3})
+        assert composite.rmw_get(b"k", W) == {"count": 3}
+        assert composite.rmw_remove(b"k", W) == {"count": 3}
+        assert composite.rmw_get(b"k", W) is None
+
+
+class TestSerdeCharging:
+    def test_serde_cpu_charged_at_boundary(self):
+        env, _fs, composite = make(StorePattern.RMW)
+        composite.rmw_put(b"k", W, list(range(100)))
+        composite.rmw_get(b"k", W)
+        assert env.ledger.cpu_seconds[CAT_SERDE] > 0
+
+
+class TestReporting:
+    def test_prefetch_counters_zero_for_non_aur(self):
+        _env, _fs, composite = make(StorePattern.RMW)
+        assert composite.prefetch_loads == 0
+        assert composite.prefetch_hit_ratio == 0.0
+
+    def test_memory_and_disk_aggregate(self):
+        _env, _fs, composite = make(StorePattern.AAR)
+        for i in range(200):
+            composite.append(f"k{i}".encode(), W, "x" * 50, 0.0)
+        assert composite.memory_bytes >= 0
+        composite.flush()
+        assert composite.disk_bytes > 0
+
+    def test_close_cascades(self):
+        from repro.errors import StoreClosedError
+        _env, _fs, composite = make(StorePattern.AAR)
+        composite.close()
+        with pytest.raises(StoreClosedError):
+            composite.append(b"k", W, 1, 0.0)

@@ -1,0 +1,96 @@
+"""Unit tests for store-pattern determination and ETT predictors."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.ett import (
+    CallablePredictor,
+    CountWindowPredictor,
+    KnownBoundaryPredictor,
+    SessionGapPredictor,
+)
+from repro.core.patterns import StorePattern, WindowKind, determine_pattern
+from repro.model import Window
+
+
+class TestPatternDetermination:
+    @pytest.mark.parametrize("kind", list(WindowKind))
+    def test_incremental_is_always_rmw(self, kind):
+        """Read alignment is irrelevant for RMW (§2.1)."""
+        assert determine_pattern(True, kind) is StorePattern.RMW
+
+    @pytest.mark.parametrize("kind", [WindowKind.FIXED, WindowKind.SLIDING, WindowKind.GLOBAL])
+    def test_full_window_aligned_is_aar(self, kind):
+        assert determine_pattern(False, kind) is StorePattern.AAR
+
+    @pytest.mark.parametrize("kind", [WindowKind.SESSION, WindowKind.COUNT])
+    def test_full_window_unaligned_is_aur(self, kind):
+        assert determine_pattern(False, kind) is StorePattern.AUR
+
+    def test_custom_windows_assumed_unaligned(self):
+        """§3.1: unknown semantics default to the covering AUR pattern."""
+        assert determine_pattern(False, WindowKind.CUSTOM) is StorePattern.AUR
+
+    def test_alignment_property(self):
+        assert WindowKind.FIXED.aligned
+        assert WindowKind.SLIDING.aligned
+        assert WindowKind.GLOBAL.aligned
+        assert not WindowKind.SESSION.aligned
+        assert not WindowKind.COUNT.aligned
+        assert not WindowKind.CUSTOM.aligned
+
+
+class TestKnownBoundaryPredictor:
+    def test_ett_is_window_end(self):
+        predictor = KnownBoundaryPredictor()
+        window = Window(0.0, 100.0)
+        assert predictor.update(window, 50.0, None) == 100.0
+        assert predictor.update(window, 99.0, 100.0) == 100.0
+
+
+class TestSessionGapPredictor:
+    def test_first_tuple(self):
+        predictor = SessionGapPredictor(gap=10.0)
+        assert predictor.update(Window(5.0, 15.0), 5.0, None) == 15.0
+
+    def test_later_tuple_raises_ett(self):
+        predictor = SessionGapPredictor(gap=10.0)
+        ett = predictor.update(Window(5.0, 15.0), 5.0, None)
+        ett = predictor.update(Window(5.0, 15.0), 12.0, ett)
+        assert ett == 22.0
+
+    def test_out_of_order_tuple_never_lowers_ett(self):
+        predictor = SessionGapPredictor(gap=10.0)
+        ett = predictor.update(Window(5.0, 15.0), 12.0, None)
+        assert predictor.update(Window(5.0, 15.0), 6.0, ett) == ett
+
+    def test_invalid_gap(self):
+        with pytest.raises(ValueError):
+            SessionGapPredictor(0.0)
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=30),
+        st.floats(min_value=0.1, max_value=1e3),
+    )
+    def test_ett_is_lower_bound_on_trigger(self, timestamps, gap):
+        """The ETT must never be earlier than max(t) + gap — the guarantee
+        that makes prefetched state safe (§4.2)."""
+        predictor = SessionGapPredictor(gap)
+        window = Window(0.0, gap)
+        ett = None
+        for ts in timestamps:
+            ett = predictor.update(window, ts, ett)
+        assert ett == pytest.approx(max(timestamps) + gap)
+
+
+class TestUnpredictableWindows:
+    def test_count_windows_have_no_ett(self):
+        predictor = CountWindowPredictor()
+        assert predictor.update(Window(0.0, 1.0), 0.5, None) is None
+
+    def test_callable_predictor_delegates(self):
+        predictor = CallablePredictor(lambda w, t, cur: t + 42.0)
+        assert predictor.update(Window(0.0, 1.0), 8.0, None) == 50.0

@@ -1,0 +1,164 @@
+"""Unit tests for the Read-Modify-Write store (§4.3)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rmw import RmwStore
+from repro.errors import StoreClosedError
+from repro.model import Window
+from repro.simenv import CAT_SYNC, SimEnv
+from repro.storage import SimFileSystem
+
+W1 = Window(0.0, 100.0)
+W2 = Window(100.0, 200.0)
+
+
+def make_store(write_buffer=512, msa=1.5, segment=1024):
+    env = SimEnv()
+    fs = SimFileSystem(env)
+    store = RmwStore(
+        env, fs, "rmw",
+        write_buffer_bytes=write_buffer,
+        max_space_amplification=msa,
+        data_segment_bytes=segment,
+    )
+    return env, fs, store
+
+
+class TestGetPutRemove:
+    def test_basic_cycle(self):
+        _env, _fs, store = make_store()
+        assert store.get(b"k", W1) is None
+        store.put(b"k", W1, b"agg1")
+        assert store.get(b"k", W1) == b"agg1"
+        store.put(b"k", W1, b"agg2")
+        assert store.get(b"k", W1) == b"agg2"
+        assert store.remove(b"k", W1) == b"agg2"
+        assert store.get(b"k", W1) is None
+
+    def test_remove_missing(self):
+        _env, _fs, store = make_store()
+        assert store.remove(b"nope", W1) is None
+
+    def test_windows_are_namespaces(self):
+        _env, _fs, store = make_store()
+        store.put(b"k", W1, b"one")
+        store.put(b"k", W2, b"two")
+        assert store.get(b"k", W1) == b"one"
+        assert store.get(b"k", W2) == b"two"
+
+    def test_closed_rejects(self):
+        _env, _fs, store = make_store()
+        store.close()
+        with pytest.raises(StoreClosedError):
+            store.get(b"k", W1)
+
+
+class TestSpillAndReload:
+    def test_values_survive_spill(self):
+        _env, _fs, store = make_store(write_buffer=512)
+        for i in range(200):
+            store.put(f"k{i:03d}".encode(), W1, f"agg{i:04d}".encode())
+        assert store.disk_bytes > 0
+        for i in range(200):
+            assert store.get(f"k{i:03d}".encode(), W1) == f"agg{i:04d}".encode()
+
+    def test_update_after_spill(self):
+        _env, _fs, store = make_store(write_buffer=512)
+        for i in range(200):
+            store.put(f"k{i:03d}".encode(), W1, b"old")
+        store.put(b"k000", W1, b"new")
+        # Fill again so k000 may spill with the new value.
+        for i in range(200, 400):
+            store.put(f"k{i:03d}".encode(), W1, b"x")
+        assert store.get(b"k000", W1) == b"new"
+
+    def test_remove_after_spill(self):
+        _env, _fs, store = make_store(write_buffer=512)
+        for i in range(200):
+            store.put(f"k{i:03d}".encode(), W1, f"agg{i}".encode())
+        assert store.remove(b"k000", W1) == b"agg0"
+        assert store.get(b"k000", W1) is None
+
+    def test_spilled_read_promotes_to_buffer(self):
+        env, _fs, store = make_store(write_buffer=512)
+        for i in range(200):
+            store.put(f"k{i:03d}".encode(), W1, b"agg")
+        reads_before = env.ledger.read_requests
+        store.get(b"k000", W1)
+        first_read = env.ledger.read_requests - reads_before
+        reads_before = env.ledger.read_requests
+        store.get(b"k000", W1)
+        second_read = env.ledger.read_requests - reads_before
+        assert first_read > 0
+        assert second_read == 0  # now hot in the write buffer
+
+
+class TestNoSynchronization:
+    def test_rmw_store_never_charges_sync(self):
+        """Single-threaded by design: unlike Faster, no epoch charges."""
+        env, _fs, store = make_store()
+        for i in range(100):
+            store.put(f"k{i}".encode(), W1, b"agg")
+            store.get(f"k{i}".encode(), W1)
+        assert env.ledger.cpu_seconds[CAT_SYNC] == 0.0
+
+
+class TestCompaction:
+    def test_compaction_triggered_by_msa(self):
+        _env, _fs, store = make_store(write_buffer=256, msa=1.3, segment=512)
+        for i in range(1000):
+            store.put(f"k{i % 20:03d}".encode(), W1, f"agg{i:05d}".encode())
+        assert store.compaction_count > 0
+        for j in range(20):
+            i = 980 + j
+            assert store.get(f"k{j:03d}".encode(), W1) == f"agg{i:05d}".encode()
+
+    def test_disk_bounded_after_churn(self):
+        _env, _fs, store = make_store(write_buffer=256, msa=1.3, segment=512)
+        for i in range(2000):
+            store.put(f"k{i % 10:02d}".encode(), W1, f"agg{i:06d}".encode())
+        live_estimate = 10 * 40
+        assert store.disk_bytes < live_estimate * 20
+
+    def test_removes_create_garbage_collected_space(self):
+        _env, _fs, store = make_store(write_buffer=256, msa=1.3, segment=512)
+        for i in range(500):
+            key = f"k{i:03d}".encode()
+            store.put(key, W1, b"agg" * 10)
+        for i in range(400):
+            store.remove(f"k{i:03d}".encode(), W1)
+        for i in range(400, 500):
+            assert store.get(f"k{i:03d}".encode(), W1) == b"agg" * 10
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["put", "get", "remove"]),
+            st.integers(0, 20),
+            st.binary(min_size=1, max_size=30),
+        ),
+        min_size=1,
+        max_size=300,
+    )
+)
+def test_rmw_matches_reference_model(ops):
+    _env, _fs, store = make_store(write_buffer=384, msa=1.3, segment=512)
+    keys = [f"key{i:02d}".encode() for i in range(21)]
+    reference: dict[bytes, bytes] = {}
+    for op, key_idx, value in ops:
+        key = keys[key_idx]
+        if op == "put":
+            store.put(key, W1, value)
+            reference[key] = value
+        elif op == "get":
+            assert store.get(key, W1) == reference.get(key)
+        else:
+            assert store.remove(key, W1) == reference.pop(key, None)
+    for key in keys:
+        assert store.get(key, W1) == reference.get(key)

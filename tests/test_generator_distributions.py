@@ -1,0 +1,79 @@
+"""Statistical checks on the NEXMark generator beyond the basic mix."""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.nexmark import Auction, Bid, GeneratorConfig, Person, generate_events
+
+CONFIG = GeneratorConfig(events_per_second=80.0, duration=600.0, seed=31,
+                         active_people=100, active_auctions=40)
+
+
+def events():
+    return list(generate_events(CONFIG))
+
+
+class TestArrivalProcess:
+    def test_inter_arrival_mean_matches_rate(self):
+        timestamps = [ts for _e, ts in events()]
+        gaps = [b - a for a, b in zip(timestamps, timestamps[1:])]
+        mean_gap = statistics.fmean(gaps)
+        assert abs(mean_gap - 1.0 / CONFIG.events_per_second) < 0.15 / CONFIG.events_per_second
+
+    def test_inter_arrivals_are_exponential_ish(self):
+        """CV of exponential inter-arrivals is ~1 (not a regular clock)."""
+        timestamps = [ts for _e, ts in events()]
+        gaps = [b - a for a, b in zip(timestamps, timestamps[1:])]
+        cv = statistics.pstdev(gaps) / statistics.fmean(gaps)
+        assert 0.8 < cv < 1.2
+
+
+class TestPopularitySkew:
+    def test_hot_auctions_get_more_bids(self):
+        bids = [e for e, _ts in events() if isinstance(e, Bid)]
+        counts: dict[int, int] = {}
+        for bid in bids:
+            counts[bid.auction] = counts.get(bid.auction, 0) + 1
+        ordered = sorted(counts.values(), reverse=True)
+        top_decile = sum(ordered[: max(1, len(ordered) // 10)])
+        # Hotness is temporal (the newest quartile of a sliding 40-slot
+        # window), so globally the top 10% of all auctions seen over the
+        # run should still take noticeably more than 10% of bids.
+        assert top_decile / len(bids) > 0.13
+
+    def test_bidders_drawn_from_active_window(self):
+        stream = events()
+        alive: set[int] = set(range(8))  # seed population
+        max_window = 8
+        for event, _ts in stream:
+            if isinstance(event, Person):
+                alive.add(event.person_id)
+                max_window = max(max_window, len(alive))
+            elif isinstance(event, Bid):
+                assert event.bidder in alive or event.bidder < max(alive) + 1
+
+
+class TestIdAssignment:
+    def test_person_ids_sequential(self):
+        ids = [e.person_id for e, _ts in events() if isinstance(e, Person)]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == len(ids)
+
+    def test_auction_ids_sequential(self):
+        ids = [e.auction_id for e, _ts in events() if isinstance(e, Auction)]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == len(ids)
+
+    def test_sellers_are_people(self):
+        stream = events()
+        people = set(range(8))
+        for event, _ts in stream:
+            if isinstance(event, Person):
+                people.add(event.person_id)
+            elif isinstance(event, Auction):
+                assert event.seller in people
+
+    def test_prices_positive_and_bounded(self):
+        prices = [e.price for e, _ts in events() if isinstance(e, Bid)]
+        assert all(100 <= p < 10_100 for p in prices)

@@ -1,0 +1,143 @@
+"""Tests for the interval join (§8, Join Operations)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends import memory_backend
+from repro.engine import StreamEnvironment
+from repro.engine.joins import IntervalJoinOperator, _SideBuffer
+from repro.errors import PlanError
+from repro.model import StreamRecord
+from repro.simenv import SimEnv
+
+
+class TestSideBuffer:
+    def test_sorted_insert_and_range(self):
+        buffer = _SideBuffer()
+        for ts in (5.0, 1.0, 3.0, 9.0):
+            buffer.add(ts, f"v{ts}")
+        assert [ts for ts, _v in buffer.entries] == [1.0, 3.0, 5.0, 9.0]
+        assert [v for _ts, v in buffer.range(2.0, 6.0)] == ["v3.0", "v5.0"]
+        assert buffer.range(10.0, 20.0) == []
+
+    def test_range_is_inclusive(self):
+        buffer = _SideBuffer()
+        buffer.add(2.0, "x")
+        assert buffer.range(2.0, 2.0) == [(2.0, "x")]
+
+    def test_expire(self):
+        buffer = _SideBuffer()
+        for ts in (1.0, 2.0, 3.0):
+            buffer.add(ts, ts)
+        assert buffer.expire_before(2.5) == 2
+        assert [ts for ts, _v in buffer.entries] == [3.0]
+
+
+def make_operator(lower=-5.0, upper=5.0):
+    env = SimEnv()
+    operator = IntervalJoinOperator(lower=lower, upper=upper,
+                                    join_fn=lambda a, b: (a, b))
+    outputs: list[StreamRecord] = []
+    operator.open(env, None, outputs.append)
+    return operator, outputs
+
+
+def feed(operator, key, side, value, ts):
+    operator.process(StreamRecord(key, (side, value), ts))
+
+
+class TestOperator:
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            IntervalJoinOperator(lower=1.0, upper=0.0, join_fn=lambda a, b: None)
+
+    def test_matches_within_interval(self):
+        operator, outputs = make_operator(lower=-2.0, upper=2.0)
+        feed(operator, b"k", "L", "left@10", 10.0)
+        feed(operator, b"k", "R", "right@11", 11.0)  # within [8, 12]
+        feed(operator, b"k", "R", "right@13", 13.0)  # outside
+        assert [record.value for record in outputs] == [("left@10", "right@11")]
+
+    def test_join_is_symmetric_in_arrival_order(self):
+        operator, outputs = make_operator(lower=-2.0, upper=2.0)
+        feed(operator, b"k", "R", "right@11", 11.0)
+        feed(operator, b"k", "L", "left@10", 10.0)
+        # left arrives second but output is still (left, right)
+        assert outputs[0].value == ("left@10", "right@11")
+
+    def test_asymmetric_interval(self):
+        operator, outputs = make_operator(lower=0.0, upper=3.0)
+        feed(operator, b"k", "L", "left", 10.0)
+        feed(operator, b"k", "R", "before", 9.0)   # no: right must be >= left
+        feed(operator, b"k", "R", "at", 10.0)      # yes (inclusive)
+        feed(operator, b"k", "R", "after", 13.0)   # yes (inclusive)
+        feed(operator, b"k", "R", "late", 13.1)    # no
+        assert [record.value[1] for record in outputs] == ["at", "after"]
+
+    def test_keys_are_isolated(self):
+        operator, outputs = make_operator()
+        feed(operator, b"a", "L", "left", 10.0)
+        feed(operator, b"b", "R", "right", 10.0)
+        assert outputs == []
+
+    def test_one_to_many(self):
+        operator, outputs = make_operator(lower=-10.0, upper=10.0)
+        for i in range(5):
+            feed(operator, b"k", "R", f"r{i}", float(i))
+        feed(operator, b"k", "L", "left", 5.0)
+        assert len(outputs) == 5
+
+    def test_watermark_expires_dead_entries(self):
+        operator, outputs = make_operator(lower=-2.0, upper=2.0)
+        feed(operator, b"k", "L", "old", 10.0)
+        feed(operator, b"k", "R", "old-r", 10.0)
+        assert operator.memory_entries == 2
+        operator.on_watermark(100.0)
+        assert operator.memory_entries == 0
+        # A right record that could only match the expired left: no output.
+        feed(operator, b"k", "R", "too-late", 11.0)
+        assert len(outputs) == 1  # only the original match
+
+    def test_output_timestamp_is_later_of_pair(self):
+        operator, outputs = make_operator(lower=-5.0, upper=5.0)
+        feed(operator, b"k", "L", "l", 10.0)
+        feed(operator, b"k", "R", "r", 12.0)
+        assert outputs[0].timestamp == 12.0
+
+
+class TestEndToEndPlan:
+    def _run(self, lower=-1.0, upper=1.0):
+        env = StreamEnvironment(parallelism=2, backend_factory=memory_backend())
+        orders = env.from_source(
+            [((f"user{i % 3}", f"order{i}"), float(i)) for i in range(30)]
+        ).key_by(lambda v: v[0].encode())
+        payments = env.from_source(
+            [((f"user{i % 3}", f"payment{i}"), float(i) + 0.5) for i in range(30)]
+        ).key_by(lambda v: v[0].encode())
+        orders.interval_join(
+            payments, lower, upper, lambda o, p: (o[1], p[1])
+        ).sink("joined")
+        return env.execute(watermark_interval=7)
+
+    def test_join_through_the_plan(self):
+        result = self._run(lower=0.0, upper=1.0)
+        joined = result.sink_outputs["joined"]
+        # order i at t=i joins payment j at t=j+0.5 for the same user
+        # (i % 3 == j % 3) with j + 0.5 in [i, i + 1] -> j == i.
+        assert sorted(joined) == sorted(
+            (f"order{i}", f"payment{i}") for i in range(30)
+        )
+
+    def test_wider_interval_joins_more(self):
+        narrow = self._run(lower=0.0, upper=1.0)
+        wide = self._run(lower=-4.0, upper=4.0)
+        assert len(wide.sink_outputs["joined"]) > len(narrow.sink_outputs["joined"])
+
+    def test_unkeyed_interval_join_rejected(self):
+        env = StreamEnvironment(parallelism=1, backend_factory=memory_backend())
+        left = env.from_source([(1, 1.0)])
+        right = env.from_source([(2, 2.0)]).key_by(lambda v: b"k")
+        left.interval_join(right, -1.0, 1.0, lambda a, b: (a, b)).sink("out")
+        with pytest.raises(PlanError):
+            env.execute()

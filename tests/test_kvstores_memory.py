@@ -1,0 +1,120 @@
+"""Unit tests for the heap (in-memory) backend: GC model and OOM."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StoreClosedError, StoreOOMError
+from repro.kvstores.memory import OBJECT_OVERHEAD_BYTES, GcModel, HeapWindowBackend
+from repro.model import Window
+from repro.simenv import CAT_GC, SimEnv
+
+W1 = Window(0.0, 10.0)
+W2 = Window(10.0, 20.0)
+
+
+@pytest.fixture()
+def backend(env):
+    return HeapWindowBackend(env, capacity_bytes=1 << 20)
+
+
+class TestListState:
+    def test_append_and_read_window(self, backend):
+        backend.append(b"a", W1, 1, 0.5)
+        backend.append(b"a", W1, 2, 0.6)
+        backend.append(b"b", W1, 3, 0.7)
+        backend.append(b"a", W2, 9, 10.5)
+        got = dict(backend.read_window(W1))
+        assert got == {b"a": [1, 2], b"b": [3]}
+        # fetch-and-remove semantics
+        assert dict(backend.read_window(W1)) == {}
+        assert dict(backend.read_window(W2)) == {b"a": [9]}
+
+    def test_read_key_window(self, backend):
+        backend.append(b"a", W1, 1, 0.0)
+        backend.append(b"b", W1, 2, 0.0)
+        assert backend.read_key_window(b"a", W1) == [1]
+        assert backend.read_key_window(b"a", W1) == []
+        assert backend.read_key_window(b"b", W1) == [2]
+
+    def test_memory_released_on_read(self, backend):
+        for i in range(100):
+            backend.append(b"k", W1, i, 0.0)
+        assert backend.memory_bytes > 0
+        list(backend.read_window(W1))
+        assert backend.memory_bytes == 0
+
+
+class TestRmwState:
+    def test_get_put_remove(self, backend):
+        assert backend.rmw_get(b"k", W1) is None
+        backend.rmw_put(b"k", W1, 42)
+        assert backend.rmw_get(b"k", W1) == 42
+        backend.rmw_put(b"k", W1, 43)
+        assert backend.rmw_get(b"k", W1) == 43
+        assert backend.rmw_remove(b"k", W1) == 43
+        assert backend.rmw_get(b"k", W1) is None
+        assert backend.rmw_remove(b"k", W1) is None
+
+    def test_windows_are_separate_namespaces(self, backend):
+        backend.rmw_put(b"k", W1, 1)
+        backend.rmw_put(b"k", W2, 2)
+        assert backend.rmw_get(b"k", W1) == 1
+        assert backend.rmw_get(b"k", W2) == 2
+
+    def test_overwrite_does_not_leak_memory(self, backend):
+        backend.rmw_put(b"k", W1, 1)
+        first = backend.memory_bytes
+        for i in range(100):
+            backend.rmw_put(b"k", W1, i)
+        assert backend.memory_bytes == first
+
+
+class TestGcAndOom:
+    def test_oom_raised_past_capacity(self, env):
+        backend = HeapWindowBackend(env, capacity_bytes=2048)
+        with pytest.raises(StoreOOMError):
+            for i in range(1000):
+                backend.append(b"k", W1, b"x" * 64, 0.0)
+
+    def test_gc_pressure_grows_with_occupancy(self, env):
+        backend = HeapWindowBackend(env, capacity_bytes=1 << 20)
+        backend.append(b"k", W1, b"x" * 100, 0.0)
+        low_gc = env.ledger.cpu_seconds[CAT_GC]
+        # Fill to ~90% occupancy.
+        chunk = b"x" * 1000
+        while backend.occupancy < 0.9:
+            backend.append(b"fill", W2, chunk, 0.0)
+        before = env.ledger.cpu_seconds[CAT_GC]
+        backend.append(b"k", W1, b"x" * 100, 0.0)
+        high_gc = env.ledger.cpu_seconds[CAT_GC] - before
+        assert high_gc > low_gc * 2
+
+    def test_gc_model_diverges_near_full(self):
+        gc = GcModel()
+        per_byte = 0.25e-9
+        assert (
+            gc.cost(1000, 0.99, per_byte)
+            > gc.cost(1000, 0.5, per_byte)
+            > gc.cost(1000, 0.0, per_byte)
+        )
+        assert gc.cost(1000, 1.0, per_byte) == gc.cost(1000, 0.9999, per_byte)  # clamped
+
+    def test_object_overhead_accounted(self, env):
+        backend = HeapWindowBackend(env, capacity_bytes=1 << 20)
+        backend.append(b"k", W1, b"", 0.0)
+        assert backend.memory_bytes >= OBJECT_OVERHEAD_BYTES
+
+
+class TestLifecycle:
+    def test_closed_backend_rejects_operations(self, backend):
+        backend.close()
+        with pytest.raises(StoreClosedError):
+            backend.append(b"k", W1, 1, 0.0)
+        with pytest.raises(StoreClosedError):
+            backend.rmw_get(b"k", W1)
+
+    def test_flush_is_noop(self, backend):
+        backend.append(b"k", W1, 1, 0.0)
+        backend.flush()
+        assert backend.read_key_window(b"k", W1) == [1]

@@ -1,0 +1,62 @@
+"""Unit tests for the LRU block cache."""
+
+from __future__ import annotations
+
+from repro.kvstores.lsm.blockcache import BlockCache
+from repro.kvstores.lsm.format import KIND_PUT, Entry
+from repro.simenv import SimEnv
+
+
+def entry(i: int) -> Entry:
+    return Entry(f"k{i}".encode(), i, KIND_PUT, b"v")
+
+
+class TestBlockCache:
+    def test_miss_then_hit(self):
+        cache = BlockCache(SimEnv(), capacity_bytes=1024)
+        assert cache.get("f", 0) is None
+        assert cache.misses == 1
+        cache.insert("f", 0, [entry(1)], size=100)
+        assert cache.get("f", 0) == [entry(1)]
+        assert cache.hits == 1
+
+    def test_lru_eviction_order(self):
+        cache = BlockCache(SimEnv(), capacity_bytes=250)
+        cache.insert("f", 0, [entry(0)], size=100)
+        cache.insert("f", 1, [entry(1)], size=100)
+        cache.get("f", 0)  # touch block 0: block 1 becomes LRU
+        cache.insert("f", 2, [entry(2)], size=100)  # evicts block 1
+        assert cache.get("f", 0) is not None
+        assert cache.get("f", 1) is None
+        assert cache.get("f", 2) is not None
+
+    def test_capacity_respected(self):
+        cache = BlockCache(SimEnv(), capacity_bytes=500)
+        for i in range(20):
+            cache.insert("f", i, [entry(i)], size=100)
+        assert cache.used_bytes <= 500
+
+    def test_reinsert_same_block_replaces(self):
+        cache = BlockCache(SimEnv(), capacity_bytes=1024)
+        cache.insert("f", 0, [entry(1)], size=100)
+        cache.insert("f", 0, [entry(2)], size=200)
+        assert cache.used_bytes == 200
+        assert cache.get("f", 0) == [entry(2)]
+
+    def test_drop_file(self):
+        cache = BlockCache(SimEnv(), capacity_bytes=1024)
+        cache.insert("a", 0, [entry(1)], size=100)
+        cache.insert("a", 4096, [entry(2)], size=100)
+        cache.insert("b", 0, [entry(3)], size=100)
+        cache.drop_file("a")
+        assert cache.get("a", 0) is None
+        assert cache.get("a", 4096) is None
+        assert cache.get("b", 0) is not None
+        assert cache.used_bytes == 100
+
+    def test_lookup_charges_cpu(self):
+        env = SimEnv()
+        cache = BlockCache(env, capacity_bytes=1024)
+        before = env.now
+        cache.get("f", 0)
+        assert env.now > before

@@ -1,0 +1,256 @@
+"""Integration and property tests for the full LSM store."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StoreClosedError
+from repro.kvstores.lsm import LsmConfig, LsmStore
+from repro.kvstores.lsm.format import unpack_list_value
+from repro.simenv import CAT_COMPACTION, SimEnv
+from repro.storage import SimFileSystem
+
+SMALL = LsmConfig(
+    write_buffer_bytes=2048,
+    block_bytes=256,
+    block_cache_bytes=4096,
+    l0_compaction_trigger=3,
+    level1_bytes=8192,
+    max_file_bytes=4096,
+)
+
+
+@pytest.fixture()
+def store(env, fs):
+    return LsmStore(env, fs, "lsm", SMALL)
+
+
+class TestBasicOperations:
+    def test_put_get(self, store):
+        store.put(b"k", b"v")
+        assert store.get(b"k") == b"v"
+
+    def test_get_missing(self, store):
+        assert store.get(b"missing") is None
+
+    def test_overwrite(self, store):
+        store.put(b"k", b"v1")
+        store.put(b"k", b"v2")
+        assert store.get(b"k") == b"v2"
+
+    def test_delete(self, store):
+        store.put(b"k", b"v")
+        store.delete(b"k")
+        assert store.get(b"k") is None
+
+    def test_delete_missing_is_fine(self, store):
+        store.delete(b"never-existed")
+        assert store.get(b"never-existed") is None
+
+    def test_append_builds_list(self, store):
+        for i in range(5):
+            store.append(b"k", f"e{i}".encode())
+        assert unpack_list_value(store.get(b"k")) == [f"e{i}".encode() for i in range(5)]
+
+    def test_append_after_delete_starts_fresh(self, store):
+        store.append(b"k", b"old")
+        store.delete(b"k")
+        store.append(b"k", b"new")
+        assert unpack_list_value(store.get(b"k")) == [b"new"]
+
+    def test_closed_store_rejects(self, store):
+        store.close()
+        with pytest.raises(StoreClosedError):
+            store.get(b"k")
+
+
+class TestPersistenceAcrossFlushes:
+    def test_get_spans_memtable_and_sstables(self, store):
+        store.put(b"k", b"old")
+        store.flush()
+        store.append(b"k", b"oops")  # merge on top of flushed PUT
+        store.flush()
+        value = store.get(b"k")
+        assert value.startswith(b"old")
+
+    def test_many_flushes_trigger_compaction(self, store):
+        for i in range(2000):
+            store.put(f"key{i % 200:04d}".encode(), f"value{i:06d}".encode())
+        assert store.compaction_count > 0
+        # Every key still readable with its latest value.
+        for j in range(200):
+            expected = f"value{1800 + j:06d}".encode()
+            assert store.get(f"key{j:04d}".encode()) == expected
+
+    def test_deletes_survive_compaction(self, store):
+        for i in range(500):
+            store.put(f"k{i:04d}".encode(), b"v")
+        for i in range(0, 500, 2):
+            store.delete(f"k{i:04d}".encode())
+        for _ in range(5):
+            store.flush()
+        for i in range(500):
+            value = store.get(f"k{i:04d}".encode())
+            if i % 2 == 0:
+                assert value is None
+            else:
+                assert value == b"v"
+
+    def test_appends_survive_compaction(self, store):
+        for round_idx in range(20):
+            for key_idx in range(30):
+                store.append(f"k{key_idx:02d}".encode(), f"{round_idx}".encode())
+            store.flush()
+        for key_idx in range(30):
+            elements = unpack_list_value(store.get(f"k{key_idx:02d}".encode()))
+            assert elements == [f"{r}".encode() for r in range(20)]
+
+    def test_compaction_charged_to_compaction_category(self, env, fs):
+        store = LsmStore(env, fs, "lsm", SMALL)
+        for i in range(2000):
+            store.put(f"key{i % 100:04d}".encode(), b"v" * 50)
+        assert store.compaction_count > 0
+        assert env.ledger.cpu_seconds[CAT_COMPACTION] > 0
+
+
+class TestScan:
+    def test_scan_prefix_sorted_and_filtered(self, store):
+        for i in range(100):
+            store.put(f"a{i:03d}".encode(), b"v")
+            store.put(f"b{i:03d}".encode(), b"v")
+        results = list(store.scan_prefix(b"a"))
+        assert len(results) == 100
+        keys = [k for k, _v in results]
+        assert keys == sorted(keys)
+        assert all(k.startswith(b"a") for k in keys)
+
+    def test_scan_sees_memtable_and_disk(self, store):
+        store.put(b"p1", b"disk")
+        store.flush()
+        store.put(b"p2", b"mem")
+        got = dict(store.scan_prefix(b"p"))
+        assert got == {b"p1": b"disk", b"p2": b"mem"}
+
+    def test_scan_merges_appends(self, store):
+        store.append(b"p1", b"a")
+        store.flush()
+        store.append(b"p1", b"b")
+        got = dict(store.scan_prefix(b"p"))
+        assert unpack_list_value(got[b"p1"]) == [b"a", b"b"]
+
+    def test_scan_skips_deleted(self, store):
+        store.put(b"p1", b"v")
+        store.put(b"p2", b"v")
+        store.flush()
+        store.delete(b"p1")
+        assert dict(store.scan_prefix(b"p")) == {b"p2": b"v"}
+
+    def test_scan_empty_prefix_region(self, store):
+        store.put(b"aaa", b"v")
+        assert list(store.scan_prefix(b"zzz")) == []
+
+
+class TestAccounting:
+    def test_memory_bytes_positive_after_writes(self, store):
+        for i in range(100):
+            store.put(f"k{i}".encode(), b"v" * 20)
+        assert store.memory_bytes > 0
+
+    def test_disk_bytes_grow_with_flushes(self, store):
+        assert store.disk_bytes == 0
+        for i in range(500):
+            store.put(f"k{i:04d}".encode(), b"v" * 30)
+        store.flush()
+        assert store.disk_bytes > 0
+
+    def test_level_structure_maintained(self, store):
+        for i in range(3000):
+            store.put(f"key{i % 300:04d}".encode(), b"v" * 20)
+        store.flush()
+        counts = store.level_file_counts
+        assert counts[0] < SMALL.l0_compaction_trigger + 1
+        # Levels >= 1 must be sorted and non-overlapping.
+        for level in store._levels[1:]:
+            for left, right in zip(level, level[1:]):
+                assert left.largest_key < right.smallest_key
+
+
+class ModelCheck:
+    """Reference-model comparison helpers."""
+
+    @staticmethod
+    def run_ops(store, ops):
+        reference: dict[bytes, list[bytes]] = {}
+        for op, key, value in ops:
+            if op == "put":
+                store.put(key, value)
+                reference[key] = [("P", value)]
+            elif op == "append":
+                store.append(key, value)
+                reference.setdefault(key, []).append(("A", value))
+            else:
+                store.delete(key)
+                reference.pop(key, None)
+        return reference
+
+    @staticmethod
+    def check(store, reference, key_space):
+        for key in key_space:
+            value = store.get(key)
+            ops = reference.get(key)
+            if ops is None:
+                assert value is None, key
+                continue
+            if ops[0][0] == "P":
+                base = ops[0][1]
+                appended = [v for tag, v in ops[1:]]
+                assert value is not None and value.startswith(base)
+                assert unpack_list_value(value[len(base):]) == appended
+            else:
+                assert value is not None
+                assert unpack_list_value(value) == [v for _t, v in ops]
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["put", "append", "delete"]),
+            st.integers(min_value=0, max_value=30),
+            st.binary(min_size=1, max_size=40),
+        ),
+        min_size=1,
+        max_size=400,
+    )
+)
+def test_lsm_matches_reference_model(ops):
+    """Random interleavings of put/append/delete match a dict model."""
+    env = SimEnv()
+    fs = SimFileSystem(env)
+    store = LsmStore(env, fs, "lsm", SMALL)
+    key_space = [f"key{i:02d}".encode() for i in range(31)]
+    typed_ops = [(op, key_space[k], v) for op, k, v in ops]
+    reference = ModelCheck.run_ops(store, typed_ops)
+    ModelCheck.check(store, reference, key_space)
+
+
+def test_lsm_random_soak():
+    """A longer seeded soak with periodic flushes and scans."""
+    rng = random.Random(42)
+    env = SimEnv()
+    fs = SimFileSystem(env)
+    store = LsmStore(env, fs, "lsm", SMALL)
+    key_space = [f"key{i:03d}".encode() for i in range(150)]
+    typed_ops = []
+    for i in range(5000):
+        op = rng.choices(["put", "append", "delete"], weights=[5, 4, 1])[0]
+        typed_ops.append((op, rng.choice(key_space), f"v{i}".encode()))
+    reference = ModelCheck.run_ops(store, typed_ops)
+    ModelCheck.check(store, reference, key_space)
+    live = {k for k in reference}
+    scanned = {k for k, _v in store.scan_prefix(b"key")}
+    assert scanned == live

@@ -1,0 +1,110 @@
+"""Unit and property tests for windows, records and serdes."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.kvstores.api import composite_key, split_composite_key
+from repro.model import (
+    GLOBAL_WINDOW,
+    IdentitySerde,
+    PickleSerde,
+    StreamRecord,
+    Watermark,
+    Window,
+)
+
+timestamps = st.floats(min_value=0.0, max_value=1e9, allow_nan=False)
+
+
+def windows():
+    return st.tuples(timestamps, st.floats(min_value=1e-3, max_value=1e6)).map(
+        lambda pair: Window(pair[0], pair[0] + pair[1])
+    )
+
+
+class TestWindow:
+    def test_basic_properties(self):
+        w = Window(10.0, 20.0)
+        assert w.length == 10.0
+        assert w.contains(10.0)
+        assert w.contains(19.999)
+        assert not w.contains(20.0)
+        assert not w.contains(9.999)
+        assert w.max_timestamp < w.end
+
+    def test_invalid_windows_rejected(self):
+        with pytest.raises(ValueError):
+            Window(5.0, 5.0)
+        with pytest.raises(ValueError):
+            Window(5.0, 4.0)
+        with pytest.raises(ValueError):
+            Window(-1.0, 4.0)
+
+    def test_intersects(self):
+        assert Window(0, 10).intersects(Window(5, 15))
+        assert Window(5, 15).intersects(Window(0, 10))
+        assert not Window(0, 10).intersects(Window(10, 20))  # half-open
+        assert Window(0, 10).intersects(Window(9.999, 20))
+
+    def test_cover(self):
+        assert Window(0, 10).cover(Window(5, 15)) == Window(0, 15)
+        assert Window(5, 7).cover(Window(1, 2)) == Window(1, 7)
+
+    def test_ordering_matches_tuple_order(self):
+        assert Window(0, 10) < Window(0, 11) < Window(1, 2)
+
+    def test_global_window(self):
+        assert GLOBAL_WINDOW.contains(0.0)
+        assert GLOBAL_WINDOW.contains(1e12)
+
+    @given(windows())
+    def test_key_bytes_round_trip_exact(self, window):
+        """The encoding must round-trip *exactly* — state identity depends
+        on decoded windows comparing equal to the originals."""
+        assert Window.from_key_bytes(window.key_bytes()) == window
+
+    @given(windows(), windows())
+    def test_key_bytes_order_matches_window_order(self, a, b):
+        assert (a.key_bytes() < b.key_bytes()) == (a < b)
+
+    @given(windows(), st.binary(min_size=0, max_size=64))
+    def test_composite_key_round_trip(self, window, key):
+        window_out, key_out = split_composite_key(composite_key(window, key))
+        assert window_out == window
+        assert key_out == key
+
+    @given(windows(), windows(), st.binary(max_size=16), st.binary(max_size=16))
+    def test_composite_keys_cluster_by_window(self, w1, w2, k1, k2):
+        """All keys of one window sort inside the window's prefix range."""
+        ck1 = composite_key(w1, k1)
+        ck2 = composite_key(w2, k2)
+        if w1 < w2:
+            assert ck1 < ck2 or ck1.startswith(w1.key_bytes()) and ck2.startswith(w2.key_bytes())
+            assert ck1[:16] < ck2[:16]
+
+
+class TestRecordsAndSerde:
+    def test_stream_record_fields(self):
+        record = StreamRecord(b"k", {"v": 1}, 3.5)
+        assert record.key == b"k"
+        assert record.timestamp == 3.5
+
+    def test_watermark(self):
+        assert Watermark(7.0).timestamp == 7.0
+
+    @given(st.one_of(st.integers(), st.text(), st.tuples(st.integers(), st.text())))
+    def test_pickle_serde_round_trip(self, obj):
+        serde = PickleSerde()
+        assert serde.deserialize(serde.serialize(obj)) == obj
+
+    def test_identity_serde(self):
+        serde = IdentitySerde()
+        assert serde.serialize(b"abc") == b"abc"
+        assert serde.deserialize(b"abc") == b"abc"
+
+    def test_identity_serde_rejects_non_bytes(self):
+        with pytest.raises(TypeError):
+            IdentitySerde().serialize("not bytes")

@@ -1,0 +1,78 @@
+"""Tests for the NEXMark queries outside the paper's evaluation set."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.backends import flowkv_backend, memory_backend, rocksdb_backend
+from repro.nexmark import Bid, GeneratorConfig, build_query, generate_events
+from repro.nexmark.queries import EXTRA_QUERIES, QUERIES
+
+GEN = GeneratorConfig(events_per_second=60.0, duration=150.0, seed=17)
+
+
+class TestRegistry:
+    def test_extras_registered(self):
+        assert set(EXTRA_QUERIES) == {"q1", "q2", "q6-count"}
+
+    def test_extras_do_not_collide_with_eval_set(self):
+        assert not set(EXTRA_QUERIES) & set(QUERIES)
+
+    def test_build_query_finds_extras(self):
+        env = build_query("q1", memory_backend(), GEN, 30.0)
+        assert env is not None
+
+    def test_unknown_still_rejected(self):
+        with pytest.raises(KeyError):
+            build_query("q42", memory_backend(), GEN, 30.0)
+
+
+def run(query, factory):
+    return build_query(query, factory, GEN, 30.0).execute()
+
+
+class TestQ1Q2:
+    def test_q1_converts_every_bid(self):
+        result = run("q1", memory_backend())
+        bids = [e for e, _ts in generate_events(GEN) if isinstance(e, Bid)]
+        outputs = result.sink_outputs["results"]
+        assert len(outputs) == len(bids)
+        for original, converted in zip(bids, outputs):
+            assert converted.price == int(original.price * 0.908)
+            assert converted.auction == original.auction
+
+    def test_q2_is_a_selection(self):
+        result = run("q2", memory_backend())
+        for auction, _price in result.sink_outputs["results"]:
+            assert auction % 123 == 0
+
+
+class TestQ6Count:
+    def test_averages_of_full_count_windows(self):
+        result = run("q6-count", memory_backend())
+        outputs = result.sink_outputs["results"]
+        assert outputs
+        prices = [e.price for e, _ts in generate_events(GEN) if isinstance(e, Bid)]
+        low, high = min(prices), max(prices)
+        assert all(low <= avg <= high for avg in outputs)
+
+    def test_agrees_across_backends(self):
+        reference = None
+        for factory in (memory_backend(), flowkv_backend(), rocksdb_backend()):
+            outputs = Counter(map(str, run("q6-count", factory).sink_outputs["results"]))
+            if reference is None:
+                reference = outputs
+            else:
+                assert outputs == reference
+
+    def test_count_windows_disable_prefetch(self):
+        """Unpredictable triggers: the AUR store must fall back to direct
+        reads (§4.2 — 'buffer misses may occur too frequently')."""
+        from repro.core import FlowKVConfig
+
+        config = FlowKVConfig(write_buffer_bytes=2 << 10, read_batch_ratio=1.0)
+        result = run("q6-count", flowkv_backend(config))
+        stats = next(iter(result.operator_stats.values()))
+        assert stats.get("prefetch_loads", 0) == 0

@@ -1,0 +1,255 @@
+"""Hypothesis stateful (model-based) tests for the persistent stores.
+
+Each machine drives a store through random operation sequences while
+maintaining a reference model, checking observable state after every
+step — across flushes, spills, compactions, prefetches and snapshots.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.core.aur import AurStore
+from repro.core.ett import SessionGapPredictor
+from repro.core.rmw import RmwStore
+from repro.kvstores.hashkv import FasterConfig, FasterStore
+from repro.kvstores.lsm import LsmConfig, LsmStore
+from repro.kvstores.lsm.format import unpack_list_value
+from repro.model import Window
+from repro.simenv import SimEnv
+from repro.storage import SimFileSystem
+
+KEYS = [f"key{i:02d}".encode() for i in range(12)]
+VALUES = st.binary(min_size=1, max_size=24)
+
+
+class LsmMachine(RuleBasedStateMachine):
+    """LSM store vs dict model under put/append/delete/flush/snapshot."""
+
+    @initialize()
+    def setup(self):
+        self.env = SimEnv()
+        self.fs = SimFileSystem(self.env)
+        self.store = LsmStore(
+            self.env, self.fs, "lsm",
+            LsmConfig(write_buffer_bytes=768, block_bytes=128,
+                      block_cache_bytes=1024, l0_compaction_trigger=2,
+                      level1_bytes=2048, max_file_bytes=1024),
+        )
+        self.model: dict[bytes, tuple[bytes | None, list[bytes]]] = {}
+
+    @rule(key=st.sampled_from(KEYS), value=VALUES)
+    def put(self, key, value):
+        self.store.put(key, value)
+        self.model[key] = (value, [])
+
+    @rule(key=st.sampled_from(KEYS), value=VALUES)
+    def append(self, key, value):
+        self.store.append(key, value)
+        base, operands = self.model.get(key, (None, []))
+        self.model[key] = (base, operands + [value])
+
+    @rule(key=st.sampled_from(KEYS))
+    def delete(self, key):
+        self.store.delete(key)
+        self.model.pop(key, None)
+
+    @rule()
+    def flush(self):
+        self.store.flush()
+
+    @rule(key=st.sampled_from(KEYS))
+    def check_get(self, key):
+        self._check_key(key)
+
+    @rule()
+    def snapshot_restore(self):
+        snapshot = self.store.snapshot()
+        env2 = SimEnv()
+        fs2 = SimFileSystem(env2)
+        restored = LsmStore(
+            env2, fs2, "lsm",
+            LsmConfig(write_buffer_bytes=768, block_bytes=128,
+                      block_cache_bytes=1024, l0_compaction_trigger=2,
+                      level1_bytes=2048, max_file_bytes=1024),
+        )
+        restored.restore(snapshot)
+        self.env, self.fs, self.store = env2, fs2, restored
+
+    def _check_key(self, key):
+        value = self.store.get(key)
+        if key not in self.model:
+            assert value is None
+            return
+        base, operands = self.model[key]
+        assert value is not None
+        if base is None:
+            assert unpack_list_value(value) == operands
+        else:
+            assert value.startswith(base)
+            assert unpack_list_value(value[len(base):]) == operands
+
+    @invariant()
+    def scan_matches_model(self):
+        live = {k for k, _v in self.store.scan_prefix(b"key")}
+        assert live == set(self.model)
+
+
+class FasterMachine(RuleBasedStateMachine):
+    """Hash store vs dict model under put/get/delete/snapshot."""
+
+    @initialize()
+    def setup(self):
+        self.env = SimEnv()
+        self.fs = SimFileSystem(self.env)
+        self.config = FasterConfig(memory_log_bytes=1024, spill_chunk_bytes=256)
+        self.store = FasterStore(self.env, self.fs, "f", self.config)
+        self.model: dict[bytes, bytes] = {}
+
+    @rule(key=st.sampled_from(KEYS), value=VALUES)
+    def put(self, key, value):
+        self.store.put(key, value)
+        self.model[key] = value
+
+    @rule(key=st.sampled_from(KEYS))
+    def delete(self, key):
+        self.store.delete(key)
+        self.model.pop(key, None)
+
+    @rule(key=st.sampled_from(KEYS))
+    def check_get(self, key):
+        assert self.store.get(key) == self.model.get(key)
+
+    @rule()
+    def snapshot_restore(self):
+        snapshot = self.store.snapshot()
+        env2 = SimEnv()
+        fs2 = SimFileSystem(env2)
+        restored = FasterStore(env2, fs2, "f", self.config)
+        restored.restore(snapshot)
+        self.env, self.fs, self.store = env2, fs2, restored
+
+    @invariant()
+    def live_accounting_sane(self):
+        assert self.store._live_bytes >= 0
+
+
+class AurMachine(RuleBasedStateMachine):
+    """AUR store vs model: per-(key, window) value lists in order.
+
+    Exercises buffer flushes, predictive batch reads, evictions and
+    integrated compaction under random interleavings.
+    """
+
+    windows = [Window(float(i * 30), float(i * 30) + 10.0) for i in range(6)]
+
+    @initialize()
+    def setup(self):
+        self.env = SimEnv()
+        self.fs = SimFileSystem(self.env)
+        self.store = AurStore(
+            self.env, self.fs, SessionGapPredictor(10.0), "aur",
+            write_buffer_bytes=384, read_batch_ratio=0.5,
+            max_space_amplification=1.2, data_segment_bytes=512,
+        )
+        self.model: dict[tuple[bytes, Window], list[bytes]] = {}
+
+    @rule(key=st.sampled_from(KEYS), window=st.sampled_from(windows), value=VALUES)
+    def append(self, key, window, value):
+        self.store.append(key, value, window, window.start)
+        self.model.setdefault((key, window), []).append(value)
+
+    @rule(key=st.sampled_from(KEYS), window=st.sampled_from(windows))
+    def get(self, key, window):
+        values = self.store.get(key, window)
+        assert values == self.model.pop((key, window), [])
+
+    @rule()
+    def flush(self):
+        self.store.flush()
+
+    @rule(key=st.sampled_from(KEYS), window=st.sampled_from(windows))
+    def drop(self, key, window):
+        self.store.drop_window(key, window)
+        self.model.pop((key, window), None)
+
+    @rule()
+    def snapshot_restore(self):
+        snapshot = self.store.snapshot()
+        env2 = SimEnv()
+        fs2 = SimFileSystem(env2)
+        restored = AurStore(
+            env2, fs2, SessionGapPredictor(10.0), "aur",
+            write_buffer_bytes=384, read_batch_ratio=0.5,
+            max_space_amplification=1.2, data_segment_bytes=512,
+        )
+        restored.restore(snapshot)
+        self.env, self.fs, self.store = env2, fs2, restored
+
+    @invariant()
+    def space_accounting_sane(self):
+        assert self.store._live_data_bytes >= 0
+        assert self.store._total_data_bytes >= 0
+
+
+class RmwMachine(RuleBasedStateMachine):
+    """RMW store vs dict model under put/get/remove across spills."""
+
+    window = Window(0.0, 1000.0)
+
+    @initialize()
+    def setup(self):
+        self.env = SimEnv()
+        self.fs = SimFileSystem(self.env)
+        self.store = RmwStore(
+            self.env, self.fs, "rmw",
+            write_buffer_bytes=384, max_space_amplification=1.2,
+            data_segment_bytes=512,
+        )
+        self.model: dict[bytes, bytes] = {}
+
+    @rule(key=st.sampled_from(KEYS), value=VALUES)
+    def put(self, key, value):
+        self.store.put(key, self.window, value)
+        self.model[key] = value
+
+    @rule(key=st.sampled_from(KEYS))
+    def get(self, key):
+        assert self.store.get(key, self.window) == self.model.get(key)
+
+    @rule(key=st.sampled_from(KEYS))
+    def remove(self, key):
+        assert self.store.remove(key, self.window) == self.model.pop(key, None)
+
+    @rule()
+    def snapshot_restore(self):
+        snapshot = self.store.snapshot()
+        env2 = SimEnv()
+        fs2 = SimFileSystem(env2)
+        restored = RmwStore(
+            env2, fs2, "rmw",
+            write_buffer_bytes=384, max_space_amplification=1.2,
+            data_segment_bytes=512,
+        )
+        restored.restore(snapshot)
+        self.env, self.fs, self.store = env2, fs2, restored
+
+
+_settings = settings(max_examples=20, stateful_step_count=40, deadline=None)
+
+TestLsmMachine = LsmMachine.TestCase
+TestLsmMachine.settings = _settings
+TestFasterMachine = FasterMachine.TestCase
+TestFasterMachine.settings = _settings
+TestAurMachine = AurMachine.TestCase
+TestAurMachine.settings = _settings
+TestRmwMachine = RmwMachine.TestCase
+TestRmwMachine.settings = _settings

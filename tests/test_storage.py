@@ -1,0 +1,204 @@
+"""Unit tests for the simulated filesystem and framed logs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import (
+    FileExistsInStoreError,
+    FileNotFoundInStoreError,
+    FileSystemError,
+)
+from repro.simenv import SimEnv
+from repro.storage import LogReader, LogWriter, SimFileSystem
+
+
+class TestFileSystemNamespace:
+    def test_create_and_exists(self, fs):
+        fs.create("a.log")
+        assert fs.exists("a.log")
+        assert not fs.exists("b.log")
+
+    def test_create_duplicate_fails(self, fs):
+        fs.create("a.log")
+        with pytest.raises(FileExistsInStoreError):
+            fs.create("a.log")
+
+    def test_delete(self, fs):
+        fs.create("a.log")
+        fs.delete("a.log")
+        assert not fs.exists("a.log")
+
+    def test_delete_missing_fails(self, fs):
+        with pytest.raises(FileNotFoundInStoreError):
+            fs.delete("nope")
+
+    def test_rename(self, fs):
+        fs.append("a.log", b"hello")
+        fs.rename("a.log", "b.log")
+        assert not fs.exists("a.log")
+        assert fs.read("b.log") == b"hello"
+
+    def test_rename_onto_existing_fails(self, fs):
+        fs.create("a.log")
+        fs.create("b.log")
+        with pytest.raises(FileExistsInStoreError):
+            fs.rename("a.log", "b.log")
+
+    def test_list_files_prefix(self, fs):
+        fs.create("x/a")
+        fs.create("x/b")
+        fs.create("y/c")
+        assert fs.list_files("x/") == ["x/a", "x/b"]
+
+    def test_total_bytes(self, fs):
+        fs.append("x/a", b"12345")
+        fs.append("y/b", b"123")
+        assert fs.total_bytes() == 8
+        assert fs.total_bytes("x/") == 5
+
+
+class TestFileSystemData:
+    def test_append_returns_offsets(self, fs):
+        assert fs.append("a", b"123") == 0
+        assert fs.append("a", b"4567") == 3
+        assert fs.size("a") == 7
+
+    def test_append_creates_lazily(self, fs):
+        fs.append("lazy", b"x")
+        assert fs.exists("lazy")
+
+    def test_read_range(self, fs):
+        fs.append("a", b"0123456789")
+        assert fs.read("a", 2, 4) == b"2345"
+        assert fs.read("a") == b"0123456789"
+        assert fs.read("a", 8, 100) == b"89"  # clamped at EOF
+
+    def test_read_bad_offset(self, fs):
+        fs.append("a", b"xy")
+        with pytest.raises(FileSystemError):
+            fs.read("a", 5, 1)
+
+    def test_read_missing_file(self, fs):
+        with pytest.raises(FileNotFoundInStoreError):
+            fs.read("missing")
+
+    def test_size_missing_file(self, fs):
+        with pytest.raises(FileNotFoundInStoreError):
+            fs.size("missing")
+
+    def test_io_charges_clock(self, env, fs):
+        before = env.now
+        fs.append("a", b"x" * 4096)
+        after_write = env.now
+        assert after_write > before
+        fs.read("a")
+        assert env.now > after_write
+        assert env.ledger.bytes_written == 4096
+        assert env.ledger.bytes_read == 4096
+
+    def test_zero_copy_transfer(self, env, fs):
+        fs.append("src", b"abcdefghij")
+        offset = fs.zero_copy_transfer("src", 2, 5, "dst")
+        assert offset == 0
+        assert fs.read("dst") == b"cdefg"
+        # A second transfer appends.
+        fs.zero_copy_transfer("src", 0, 2, "dst")
+        assert fs.read("dst") == b"cdefgab"
+
+    def test_zero_copy_out_of_range(self, fs):
+        fs.append("src", b"abc")
+        with pytest.raises(FileSystemError):
+            fs.zero_copy_transfer("src", 1, 5, "dst")
+
+    def test_zero_copy_missing_source(self, fs):
+        with pytest.raises(FileNotFoundInStoreError):
+            fs.zero_copy_transfer("nope", 0, 1, "dst")
+
+    def test_zero_copy_charges_no_user_copy_cpu(self, env, fs):
+        """Zero-copy must charge strictly less CPU than a read+append."""
+        fs.append("src", b"z" * (1 << 16))
+        cpu_before = sum(env.ledger.cpu_seconds.values())
+        fs.zero_copy_transfer("src", 0, 1 << 16, "dst1")
+        zero_copy_cpu = sum(env.ledger.cpu_seconds.values()) - cpu_before
+        cpu_before = sum(env.ledger.cpu_seconds.values())
+        data = fs.read("src", 0, 1 << 16)
+        fs.append("dst2", data)
+        copy_cpu = sum(env.ledger.cpu_seconds.values()) - cpu_before
+        assert zero_copy_cpu < copy_cpu
+
+
+class TestLogWriterReader:
+    def test_round_trip(self, env, fs):
+        writer = LogWriter(fs, "log")
+        offsets = [writer.append_record(f"rec{i}".encode()) for i in range(100)]
+        writer.flush()
+        reader = LogReader(fs, "log")
+        records = list(reader.iter_records())
+        assert [payload for _off, payload in records] == [
+            f"rec{i}".encode() for i in range(100)
+        ]
+        assert [off for off, _payload in records] == offsets
+
+    def test_read_record_at_offset(self, env, fs):
+        writer = LogWriter(fs, "log")
+        offsets = [writer.append_record(bytes([i]) * (i + 1)) for i in range(20)]
+        writer.flush()
+        reader = LogReader(fs, "log")
+        for i, offset in enumerate(offsets):
+            assert reader.read_record_at(offset) == bytes([i]) * (i + 1)
+
+    def test_flush_is_single_request(self, env, fs):
+        writer = LogWriter(fs, "log")
+        for i in range(50):
+            writer.append_record(b"x" * 100)
+        requests_before = env.ledger.write_requests
+        writer.flush()
+        assert env.ledger.write_requests == requests_before + 1
+
+    def test_empty_flush_noop(self, env, fs):
+        writer = LogWriter(fs, "log")
+        writer.flush()
+        assert not fs.exists("log")
+
+    def test_buffered_bytes_tracking(self, fs):
+        writer = LogWriter(fs, "log")
+        assert writer.buffered_bytes == 0
+        writer.append_record(b"abc")
+        assert writer.buffered_bytes > 3  # payload + frame header
+        writer.flush()
+        assert writer.buffered_bytes == 0
+        assert writer.total_bytes == fs.size("log")
+
+    def test_record_larger_than_chunk(self, env, fs):
+        writer = LogWriter(fs, "log")
+        big = b"B" * 5000
+        writer.append_record(b"small")
+        writer.append_record(big)
+        writer.append_record(b"tail")
+        writer.flush()
+        reader = LogReader(fs, "log")
+        payloads = [p for _o, p in reader.iter_records(chunk_bytes=512)]
+        assert payloads == [b"small", big, b"tail"]
+
+    def test_iter_from_offset(self, env, fs):
+        writer = LogWriter(fs, "log")
+        offsets = [writer.append_record(f"{i}".encode()) for i in range(10)]
+        writer.flush()
+        reader = LogReader(fs, "log")
+        payloads = [p for _o, p in reader.iter_records(start=offsets[5])]
+        assert payloads == [f"{i}".encode() for i in range(5, 10)]
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.binary(min_size=0, max_size=300), min_size=1, max_size=60))
+    def test_round_trip_property(self, payloads):
+        env = SimEnv()
+        fs = SimFileSystem(env)
+        writer = LogWriter(fs, "log")
+        for payload in payloads:
+            writer.append_record(payload)
+        writer.flush()
+        reader = LogReader(fs, "log")
+        assert [p for _o, p in reader.iter_records(chunk_bytes=64)] == payloads
