@@ -1,0 +1,48 @@
+"""Rescale figure: elastic N->M key-group migration cost on Q11-Median.
+
+Shape asserted: every rescaled run is correct (output identical to the
+fixed-parallelism baseline), moves a nonzero number of key-groups and
+bytes, records nonzero downtime, and charges the ``migration`` ledger
+category.  FlowKV's migration should not be slower than the LSM's at
+the largest window (its state is already batched per window).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench.figures import fig_rescale
+
+
+def test_fig_rescale(benchmark, profile, save_report):
+    records = run_once(benchmark, lambda: fig_rescale.run(profile))
+    save_report("fig_rescale", fig_rescale.render(records))
+
+    by_cell = {}
+    for record in records:
+        sweep = record.operator_stats["_sweep"]
+        by_cell[(record.backend, record.window_size,
+                 sweep["n_from"], sweep["n_to"])] = record
+
+    for (backend, window, n_from, n_to), record in by_cell.items():
+        cell = (backend, window, n_from, n_to)
+        assert record.ok, cell
+        # Correctness: rescaling mid-stream must not change the answer.
+        assert record.output_hash == \
+            record.operator_stats["_sweep"]["baseline_hash"], cell
+        # Exactly one scheduled rescale fired, and it moved real state.
+        assert len(record.rescales) == 1, cell
+        event = record.rescales[0]
+        assert event.old_parallelism == n_from, cell
+        assert event.new_parallelism == n_to, cell
+        assert event.moved_groups > 0, cell
+        assert event.bytes_moved > 0, cell
+        assert event.downtime_seconds > 0, cell
+        assert record.migration_seconds > 0, cell
+
+    largest = max(w for (_, w, _, _) in by_cell)
+    for n_from, n_to in ((2, 4), (4, 2)):
+        flowkv = by_cell[("flowkv", largest, n_from, n_to)]
+        lsm = by_cell[("rocksdb", largest, n_from, n_to)]
+        assert (flowkv.rescales[0].downtime_seconds
+                <= lsm.rescales[0].downtime_seconds), (n_from, n_to)

@@ -18,11 +18,11 @@ See README.md for a tour and DESIGN.md / EXPERIMENTS.md for the
 reproduction methodology and results.
 """
 
-__version__ = "1.0.0"
-
 from repro.backends import BACKENDS, flowkv_backend
 from repro.core import FlowKVComposite, FlowKVConfig, StorePattern
 from repro.model import StreamRecord, Watermark, Window
+
+__version__ = "1.0.0"
 
 __all__ = [
     "__version__",

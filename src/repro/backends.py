@@ -74,7 +74,7 @@ def rocksdb_backend(
     def factory(
         env: SimEnv, fs: SimFileSystem, name: str, info: OperatorInfo
     ) -> WindowStateBackend:
-        return GenericKVBackend(env, LsmStore(env, fs, name, config), serde)
+        return GenericKVBackend(env, LsmStore(env, fs, name, config), serde, info.pattern)
 
     return factory
 
@@ -87,7 +87,7 @@ def faster_backend(
     def factory(
         env: SimEnv, fs: SimFileSystem, name: str, info: OperatorInfo
     ) -> WindowStateBackend:
-        return GenericKVBackend(env, FasterStore(env, fs, name, config), serde)
+        return GenericKVBackend(env, FasterStore(env, fs, name, config), serde, info.pattern)
 
     return factory
 

@@ -16,7 +16,16 @@ from __future__ import annotations
 import sys
 import time
 
-from repro.bench.figures import fig4, fig8, fig9, fig10, fig11, fig12, fig13
+from repro.bench.figures import (
+    fig4,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig_rescale,
+)
 from repro.bench.profiles import active_profile
 
 FIGURES = {
@@ -27,6 +36,7 @@ FIGURES = {
     "fig11": fig11,
     "fig12": fig12,
     "fig13": fig13,
+    "fig_rescale": fig_rescale,
 }
 
 

@@ -1,0 +1,89 @@
+"""Rescale: elastic N->M key-group migration cost on Q11-Median.
+
+Not a paper figure — an extension of the evaluation to elastic
+rescaling: a mid-stream stop-the-world rescale (drain, export the moved
+key-groups, redeploy, import, resume) at half the input, swept over
+state size (window) and both scale directions, for FlowKV versus a
+RocksDB-style LSM.  Reported per cell: key-groups and bytes moved, the
+stop-the-world downtime, total simulated CPU charged to the
+``migration`` ledger category, and throughput recovery relative to a
+fixed-parallelism baseline at the *starting* parallelism.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import RunRecord, run_query
+from repro.bench.profiles import ScaleProfile, active_profile
+from repro.bench.report import format_table
+
+BACKENDS = ("flowkv", "rocksdb")
+TRANSITIONS = ((2, 4), (4, 2))
+QUERY = "q11-median"
+
+
+def run(
+    profile: ScaleProfile,
+    backends: tuple[str, ...] = BACKENDS,
+    transitions: tuple[tuple[int, int], ...] = TRANSITIONS,
+    window_sizes: tuple[float, ...] | None = None,
+) -> list[RunRecord]:
+    sizes = tuple(window_sizes or profile.window_sizes)
+    records = []
+    for backend in backends:
+        for size in sizes:
+            for n_from, n_to in transitions:
+                # Fixed-parallelism baseline at the starting parallelism:
+                # the recovery denominator, and it tells us the input
+                # length so the rescale can fire at the halfway mark.
+                baseline = run_query(profile, QUERY, backend, size,
+                                     parallelism=n_from)
+                rescaled = run_query(
+                    profile, QUERY, backend, size,
+                    parallelism=n_from,
+                    rescale_schedule={max(1, baseline.input_records // 2): n_to},
+                )
+                sweep = rescaled.operator_stats.setdefault("_sweep", {})
+                sweep["n_from"] = n_from
+                sweep["n_to"] = n_to
+                sweep["baseline_throughput"] = baseline.throughput
+                sweep["baseline_hash"] = baseline.output_hash
+                records.append(rescaled)
+    return records
+
+
+def render(records: list[RunRecord]) -> str:
+    rows = []
+    for record in records:
+        sweep = record.operator_stats.get("_sweep", {})
+        n_from = sweep.get("n_from", 0)
+        n_to = sweep.get("n_to", 0)
+        base = sweep.get("baseline_throughput", 0.0)
+        recovery = record.throughput / base if base and record.ok else 0.0
+        event = record.rescales[0] if record.rescales else None
+        rows.append([
+            record.backend,
+            f"{record.window_size:g}",
+            f"{n_from}->{n_to}",
+            f"{event.moved_groups}" if event else "-",
+            f"{event.bytes_moved:,}" if event else "-",
+            f"{event.downtime_seconds * 1e3:.3f}" if event else "-",
+            f"{record.migration_seconds * 1e3:.3f}",
+            f"{record.throughput:,.0f}" if record.ok else record.failure,
+            f"{recovery:.2f}x",
+        ])
+    return format_table(
+        ["backend", "window", "rescale", "groups", "bytes moved",
+         "downtime ms", "migration ms", "throughput", "recovery"],
+        rows,
+    )
+
+
+def main() -> None:
+    profile = active_profile()
+    print(f"Rescale figure (profile={profile.name}): "
+          f"{QUERY} elastic rescaling cost")
+    print(render(run(profile)))
+
+
+if __name__ == "__main__":
+    main()

@@ -7,12 +7,14 @@ become crossed bars (Figure 8), latency overload becomes a missing point
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any
 
 from repro.bench.profiles import ScaleProfile
 from repro.errors import StoreOOMError
 from repro.nexmark.queries import build_query
+from repro.rescale import RescaleEvent, ScheduledRescale
 from repro.simenv import MetricsSnapshot
 
 
@@ -33,6 +35,8 @@ class RunRecord:
     n_instances: int = 1
     metrics: MetricsSnapshot | None = None
     operator_stats: dict[str, dict[str, Any]] = field(default_factory=dict)
+    rescales: list[RescaleEvent] = field(default_factory=list)
+    output_hash: str | None = None  # order-independent digest of sink outputs
 
     @property
     def ok(self) -> bool:
@@ -40,6 +44,13 @@ class RunRecord:
 
     def stat_sum(self, key: str) -> float:
         return sum(stats.get(key, 0) for stats in self.operator_stats.values())
+
+    @property
+    def migration_seconds(self) -> float:
+        """Simulated CPU charged to the ``migration`` ledger category."""
+        if self.metrics is None:
+            return 0.0
+        return self.metrics.cpu_seconds.get("migration", 0.0)
 
 
 def run_query(
@@ -55,13 +66,22 @@ def run_query(
     flowkv_overrides: dict[str, Any] | None = None,
     workers: int | None = None,
     session_gap: float | None = None,
+    parallelism: int | None = None,
+    rescale_schedule: dict[int, int] | None = None,
 ) -> RunRecord:
-    """Execute one cell of the evaluation matrix."""
+    """Execute one cell of the evaluation matrix.
+
+    ``rescale_schedule`` maps record counts to target parallelisms; each
+    entry triggers a mid-stream stop-the-world rescale (see
+    :mod:`repro.rescale`).  ``parallelism`` overrides the profile's
+    starting parallelism (the rescale sweep needs both ends).
+    """
     factory = profile.backend_factory(backend, **(flowkv_overrides or {}))
     generator = profile.generator(
         seed=seed, duration=duration, events_per_second=events_per_second
     )
     effective_workers = workers or profile.workers
+    start_parallelism = parallelism or profile.parallelism
     if session_gap is None:
         session_gap = window_size * profile.session_gap_fraction
     env = build_query(
@@ -69,14 +89,14 @@ def run_query(
         factory,
         generator,
         window_size,
-        parallelism=profile.parallelism,
+        parallelism=start_parallelism,
         workers=effective_workers,
         session_gap=session_gap,
         cost_scale=profile.latency_cost_scale if arrival_rate else 1.0,
     )
     record = RunRecord(query=query, backend=backend, window_size=window_size,
                        arrival_rate=arrival_rate,
-                       n_instances=profile.parallelism * effective_workers)
+                       n_instances=start_parallelism * effective_workers)
     try:
         result = env.execute(
             arrival_rate=arrival_rate,
@@ -87,6 +107,9 @@ def run_query(
             ),
             sim_timeout=sim_timeout,
             overload_backlog=profile.overload_backlog,
+            rescale_policy=(
+                ScheduledRescale(dict(rescale_schedule)) if rescale_schedule else None
+            ),
         )
     except StoreOOMError:
         record.failure = "oom"
@@ -98,9 +121,27 @@ def run_query(
     record.results = sum(len(v) for v in result.sink_outputs.values())
     record.metrics = result.metrics
     record.operator_stats = result.operator_stats
+    record.rescales = result.rescales
+    record.output_hash = output_digest(result.sink_outputs)
     if arrival_rate:
         record.p95_latency = result.p95_latency()
     return record
+
+
+def output_digest(sink_outputs: dict[str, list[Any]]) -> str:
+    """Order-independent digest of all sink outputs.
+
+    Output order varies with parallelism (instances trigger in instance
+    order), but the per-(key, window) results do not — sorting the reprs
+    per sink makes runs at different parallelisms comparable.
+    """
+    digest = hashlib.sha256()
+    for sink in sorted(sink_outputs):
+        digest.update(sink.encode())
+        for item in sorted(repr(value) for value in sink_outputs[sink]):
+            digest.update(item.encode())
+            digest.update(b"\x00")
+    return digest.hexdigest()
 
 
 def run_matrix(

@@ -15,9 +15,10 @@ from __future__ import annotations
 from collections.abc import Iterator
 
 from repro.errors import StoreClosedError
+from repro.kvstores.api import KIND_LIST, ExportedEntry, KeyGroupFn, StateExport
 from repro.model import Window
 from repro.serde.codec import decode_bytes, encode_bytes
-from repro.simenv import CAT_STORE_READ, CAT_STORE_WRITE, SimEnv
+from repro.simenv import CAT_MIGRATION, CAT_STORE_READ, CAT_STORE_WRITE, SimEnv
 from repro.storage.filesystem import SimFileSystem
 
 
@@ -157,7 +158,7 @@ class AarStore:
             yield from grouped.items()
 
     def _parse_records(
-        self, data: bytes, complete: bool
+        self, data: bytes, complete: bool, category: str = CAT_STORE_READ
     ) -> tuple[int, dict[bytes, list[bytes]]]:
         """Parse whole (key, value) records from ``data``.
 
@@ -179,10 +180,62 @@ class AarStore:
             pos = next_pos
             n_records += 1
         self._env.charge_cpu(
-            CAT_STORE_READ,
+            category,
             n_records * self._env.cpu.hash_probe + pos * self._env.cpu.block_decode_per_byte,
         )
         return pos, grouped
+
+    # ------------------------------------------------------------------
+    # elastic rescaling
+    # ------------------------------------------------------------------
+    def export_state(self, key_groups: set[int], key_group_of: KeyGroupFn) -> StateExport:
+        """Extract the moved key-groups from every live window.
+
+        AAR files are bucketed by *window*, not by key, so each per-window
+        log must be read back in full, split by key-group, and the kept
+        remainder rewritten — the price of coarse-grained organization,
+        paid only at rescale time.
+        """
+        self._check_open()
+        self.flush()
+        export = StateExport()
+        for window in sorted(self._flushed_windows, key=lambda w: w.key_bytes()):
+            file_name = self._file_for(window)
+            if not self._fs.exists(file_name):
+                continue
+            data = self._fs.read(
+                file_name, 0, self._fs.size(file_name), category=CAT_MIGRATION
+            )
+            _consumed, grouped = self._parse_records(
+                data, complete=True, category=CAT_MIGRATION
+            )
+            kept = bytearray()
+            for key, values in grouped.items():
+                if key_group_of(key) in key_groups:
+                    export.entries.append(ExportedEntry(key, window, KIND_LIST, values))
+                else:
+                    for value in values:
+                        kept += encode_bytes(key)
+                        kept += encode_bytes(value)
+            self._fs.delete(file_name)
+            if kept:
+                self._fs.append(file_name, bytes(kept), category=CAT_MIGRATION)
+            else:
+                self._flushed_windows.discard(window)
+        return export
+
+    def import_state(self, export: StateExport) -> None:
+        """Append migrated entries straight into the per-window logs."""
+        self._check_open()
+        for entry in export.entries:
+            payload = bytearray()
+            for value in entry.values:
+                payload += encode_bytes(entry.key)
+                payload += encode_bytes(value)
+            self._fs.append(
+                self._file_for(entry.window), bytes(payload), category=CAT_MIGRATION
+            )
+            self._flushed_windows.add(entry.window)
 
     # ------------------------------------------------------------------
     def drop_window(self, window: Window) -> None:

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 
 from repro.errors import StoreClosedError
 from repro.core.ett import EttPredictor
+from repro.kvstores.api import KIND_LIST, ExportedEntry, KeyGroupFn, StateExport
 from repro.model import Window
 from repro.serde.codec import (
     decode_bytes,
@@ -37,6 +38,7 @@ from repro.serde.codec import (
 )
 from repro.simenv import (
     CAT_COMPACTION,
+    CAT_MIGRATION,
     CAT_STORE_READ,
     CAT_STORE_WRITE,
     SimEnv,
@@ -288,8 +290,10 @@ class AurStore:
         self._buffer.clear()
         self._buffer_bytes = 0
 
-    def _write_segment_payload(self, segment: _Segment, payload: bytearray) -> None:
-        self._fs.append(segment.file_name, bytes(payload), category=CAT_STORE_WRITE)
+    def _write_segment_payload(
+        self, segment: _Segment, payload: bytearray, category: str = CAT_STORE_WRITE
+    ) -> None:
+        self._fs.append(segment.file_name, bytes(payload), category=category)
         segment.size += len(payload)
         self._total_data_bytes += len(payload)
 
@@ -343,7 +347,9 @@ class AurStore:
             self.prefetch_stats.loads += 1
         return values
 
-    def _scan_index(self) -> dict[tuple[bytes, Window], list[_IndexEntry]]:
+    def _scan_index(
+        self, category: str = CAT_STORE_READ
+    ) -> dict[tuple[bytes, Window], list[_IndexEntry]]:
         """One sequential pass over the on-disk index log (§4.2 ⑤).
 
         Returns live entries grouped by (key, window); consumed entries
@@ -354,15 +360,15 @@ class AurStore:
         index_file = self._index_file()
         if not self._fs.exists(index_file):
             return {}
-        raw = self._fs.read(index_file, category=CAT_STORE_READ)
+        raw = self._fs.read(index_file, category=category)
         self._env.charge_cpu(
-            CAT_STORE_READ, len(raw) * self._env.cpu.block_decode_per_byte
+            category, len(raw) * self._env.cpu.block_decode_per_byte
         )
         live: dict[tuple[bytes, Window], list[_IndexEntry]] = {}
         pos = 0
         while pos < len(raw):
             entry, pos = _IndexEntry.decode(raw, pos)
-            self._env.charge_cpu(CAT_STORE_READ, self._env.cpu.branch_step)
+            self._env.charge_cpu(category, self._env.cpu.branch_step)
             if entry.epoch < self._consumed.get(
                 (entry.key, entry.window.key_bytes()), 0
             ):
@@ -404,6 +410,7 @@ class AurStore:
         self,
         targets: set[tuple[bytes, Window]],
         live_entries: dict[tuple[bytes, Window], list[_IndexEntry]],
+        category: str = CAT_STORE_READ,
     ) -> dict[tuple[bytes, Window], list[bytes]]:
         """Coalesced device reads of all targets' data ranges (§4.2 ⑥)."""
         wanted: list[tuple[int, int, int, tuple[bytes, Window], int]] = []
@@ -424,10 +431,10 @@ class AurStore:
             start = run[0][1]
             end = run[-1][1] + run[-1][2]
             data = self._fs.read(
-                segment_files[seg_id], start, end - start, category=CAT_STORE_READ
+                segment_files[seg_id], start, end - start, category=category
             )
             self._env.charge_cpu(
-                CAT_STORE_READ, len(data) * self._env.cpu.block_decode_per_byte
+                category, len(data) * self._env.cpu.block_decode_per_byte
             )
             for _seg, offset, length, state_key, seq in run:
                 record = data[offset - start : offset - start + length]
@@ -575,6 +582,103 @@ class AurStore:
             entry.length for entries in live_entries.values() for entry in entries
         )
         return live_entries
+
+    # ------------------------------------------------------------------
+    # elastic rescaling
+    # ------------------------------------------------------------------
+    def export_state(self, key_groups: set[int], key_group_of: KeyGroupFn) -> StateExport:
+        """Extract the moved key-groups: one index scan + coalesced batch
+        reads of exactly the moved windows' data ranges.
+
+        The Stat-table rows (including ETTs) travel with the data so the
+        new owner keeps predictive batch-read eligibility.  The moved
+        on-disk ranges are marked consumed — normal compaction reclaims
+        them later.
+        """
+        self._check_open()
+        self.flush()
+        moved = [sk for sk in self._stat if key_group_of(sk[0]) in key_groups]
+        export = StateExport()
+        if not moved:
+            return export
+        live_entries = self._scan_index(category=CAT_MIGRATION)
+        targets = {
+            sk for sk in moved if sk in live_entries and sk not in self._prefetch
+        }
+        loaded = (
+            self._batch_read(targets, live_entries, category=CAT_MIGRATION)
+            if targets
+            else {}
+        )
+        for state_key in moved:
+            key, window = state_key
+            stat = self._stat.pop(state_key)
+            values = loaded.pop(state_key, [])
+            prefetched = self._prefetch.pop(state_key, None)
+            if prefetched is not None:
+                self._prefetch_bytes -= sum(len(v) for v in prefetched)
+                if not values:
+                    values = prefetched
+            if stat.disk_entries > 0:
+                self._consumed[(key, window.key_bytes())] = stat.epoch + 1
+                self._live_data_bytes -= stat.disk_bytes
+            export.entries.append(
+                ExportedEntry(key, window, KIND_LIST, values, ett=stat.ett)
+            )
+        return export
+
+    def import_state(self, export: StateExport) -> None:
+        """Load migrated windows: data records + index entries + Stat rows.
+
+        Import happens before processing resumes, so the fresh sequence
+        numbers keep every migrated record ordered before any post-rescale
+        append of the same window.
+        """
+        self._check_open()
+        if not export.entries:
+            return
+        index_payload = bytearray()
+        segment = self._current_segment()
+        segment_payload = bytearray()
+        for entry in export.entries:
+            state_key = (entry.key, entry.window)
+            stat = self._stat.get(state_key)
+            if stat is None:
+                stat = _WindowStat(
+                    epoch=self._consumed.get((entry.key, entry.window.key_bytes()), 0)
+                )
+                self._stat[state_key] = stat
+                self._env.charge_cpu(CAT_MIGRATION, self._env.cpu.allocation)
+            if entry.ett is not None and (stat.ett is None or entry.ett > stat.ett):
+                stat.ett = entry.ett
+            if not entry.values:
+                continue
+            record = bytearray()
+            for value in entry.values:
+                record += encode_bytes(value)
+            if (
+                segment.size + len(segment_payload) + len(record) > self._segment_bytes
+                and segment_payload
+            ):
+                self._write_segment_payload(segment, segment_payload, category=CAT_MIGRATION)
+                segment = self._new_segment()
+                segment_payload = bytearray()
+            self._entry_seq += 1
+            index_entry = _IndexEntry(
+                entry.key, entry.window, segment.segment_id,
+                segment.size + len(segment_payload), len(record), len(entry.values),
+                epoch=stat.epoch,
+                seq=self._entry_seq,
+            )
+            segment_payload += record
+            index_payload += index_entry.encode()
+            stat.disk_bytes += len(record)
+            stat.disk_entries += 1
+            self._live_data_bytes += len(record)
+        if segment_payload:
+            self._write_segment_payload(segment, segment_payload, category=CAT_MIGRATION)
+        if index_payload:
+            self._fs.append(self._index_file(), bytes(index_payload), category=CAT_MIGRATION)
 
     # ------------------------------------------------------------------
     def on_watermark(self, timestamp: float) -> None:

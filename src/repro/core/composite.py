@@ -13,7 +13,6 @@ interface, translating objects to bytes at the boundary (serde charged).
 from __future__ import annotations
 
 import pickle
-import zlib
 from collections.abc import Iterator
 from typing import Any
 
@@ -24,8 +23,9 @@ from repro.core.ett import EttPredictor, KnownBoundaryPredictor
 from repro.core.patterns import StorePattern
 from repro.core.rmw import RmwStore
 from repro.errors import PatternError
-from repro.kvstores.api import WindowStateBackend
+from repro.kvstores.api import KeyGroupFn, StateExport, WindowStateBackend
 from repro.model import PickleSerde, Serde, Window
+from repro.rescale.keygroups import key_group_of
 from repro.simenv import CAT_SERDE, SimEnv
 from repro.storage.filesystem import SimFileSystem
 
@@ -89,15 +89,17 @@ class FlowKVComposite(WindowStateBackend):
     def instances(self) -> list[Any]:
         return list(self._instances)
 
-    # Routing salt: the engine already partitions keys with crc32(key) %
-    # parallelism; re-using the same hash here would leave all but one of
-    # the m instances empty (the residues are fully correlated).  Hashing
-    # a suffixed key decorrelates the two levels.
-    _ROUTE_SALT = b"\x9e\x37\x79\xb9"
+    # Routing: stride the key's key-group across the m instances.  The
+    # engine assigns *contiguous* key-group ranges to operator instances
+    # while this takes residues modulo m, so the two levels stay
+    # decorrelated (every store gets an even share of each range) — and
+    # because the store index depends only on the key-group, a migrated
+    # key-group lands in the same store slot on its new owner.
+    def _key_group(self, key: bytes) -> int:
+        return key_group_of(key, self._config.max_key_groups)
 
     def _route(self, key: bytes) -> Any:
-        index = zlib.crc32(key + self._ROUTE_SALT) % len(self._instances)
-        return self._instances[index]
+        return self._instances[self._key_group(key) % len(self._instances)]
 
     def _encode(self, obj: Any) -> bytes:
         data = self._serde.serialize(obj)
@@ -198,6 +200,32 @@ class FlowKVComposite(WindowStateBackend):
                 if name.startswith(prefix)
             }
             store.restore(StoreSnapshot(kind, meta, files))
+
+    # ------------------------------------------------------------------
+    # elastic rescaling
+    # ------------------------------------------------------------------
+    def export_state(self, key_groups: set[int], key_group_of: KeyGroupFn) -> StateExport:
+        """Extract the moved key-groups from all ``m`` instances.
+
+        ``key_group_of`` must agree with the composite's own hash (same
+        ``max_key_groups``); each store only ever holds key-groups with
+        its own residue modulo m, so the per-instance exports are
+        disjoint.
+        """
+        export = StateExport()
+        for store in self._instances:
+            export.entries.extend(store.export_state(key_groups, key_group_of).entries)
+        return export
+
+    def import_state(self, export: StateExport) -> None:
+        """Distribute migrated entries to their stable store slots."""
+        m = len(self._instances)
+        per_instance: dict[int, StateExport] = {}
+        for entry in export.entries:
+            index = self._key_group(entry.key) % m
+            per_instance.setdefault(index, StateExport()).entries.append(entry)
+        for index, part in per_instance.items():
+            self._instances[index].import_state(part)
 
     def close(self) -> None:
         for store in self._instances:

@@ -31,6 +31,10 @@ class FlowKVConfig:
         read_chunk_bytes: slab size of the AAR store's gradual state
             loading (one GetWindow partition).
         prefetch_buffer_bytes: soft cap for the AUR prefetch buffer.
+        max_key_groups: number of key-groups the keyed state is hashed
+            into (the unit of ownership for elastic rescaling); must
+            match the job's setting so composite routing stays stable
+            across rescales.
     """
 
     read_batch_ratio: float = 0.02
@@ -40,6 +44,7 @@ class FlowKVConfig:
     data_segment_bytes: int = 4 << 20
     read_chunk_bytes: int = 2 << 20
     prefetch_buffer_bytes: int = 16 << 20
+    max_key_groups: int = 128
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.read_batch_ratio <= 1.0:
@@ -52,3 +57,5 @@ class FlowKVConfig:
             raise ValueError(f"num_instances must be >= 1: {self.num_instances}")
         if self.write_buffer_bytes <= 0:
             raise ValueError("write_buffer_bytes must be positive")
+        if self.max_key_groups < 1:
+            raise ValueError(f"max_key_groups must be >= 1: {self.max_key_groups}")

@@ -18,10 +18,12 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.errors import StoreClosedError
+from repro.kvstores.api import KIND_AGG, ExportedEntry, KeyGroupFn, StateExport
 from repro.model import Window
 from repro.serde.codec import decode_bytes, encode_bytes
 from repro.simenv import (
     CAT_COMPACTION,
+    CAT_MIGRATION,
     CAT_STORE_READ,
     CAT_STORE_WRITE,
     SimEnv,
@@ -281,6 +283,43 @@ class RmwStore:
     def flush(self) -> None:
         """Persist nothing eagerly — RMW state stays hot in the buffer."""
         self._check_open()
+
+    # ------------------------------------------------------------------
+    # elastic rescaling
+    # ------------------------------------------------------------------
+    def export_state(self, key_groups: set[int], key_group_of: KeyGroupFn) -> StateExport:
+        """Extract the moved key-groups' aggregates (hot + spilled).
+
+        Hot buffer entries leave directly; spilled ones need one indexed
+        read each.  Dead log space left behind is reclaimed by normal
+        compaction.
+        """
+        self._check_open()
+        export = StateExport()
+        for state_key in [sk for sk in self._buffer if key_group_of(sk[0]) in key_groups]:
+            key, window = state_key
+            value = self._buffer.pop(state_key)
+            self._buffer_bytes -= self._entry_bytes(key, window, value)
+            location = self._index.pop(state_key, None)
+            if location is not None:
+                self._live_data_bytes -= location.length
+            export.entries.append(ExportedEntry(key, window, KIND_AGG, [value]))
+        for state_key in [sk for sk in self._index if key_group_of(sk[0]) in key_groups]:
+            key, window = state_key
+            location = self._index.pop(state_key)
+            value = self._read_location(location, CAT_MIGRATION)
+            self._live_data_bytes -= location.length
+            export.entries.append(ExportedEntry(key, window, KIND_AGG, [value]))
+        if export.entries:
+            self._maybe_compact()
+        return export
+
+    def import_state(self, export: StateExport) -> None:
+        """Admit migrated aggregates into the write buffer (hot on arrival)."""
+        self._check_open()
+        for entry in export.entries:
+            self._env.charge_cpu(CAT_MIGRATION, self._env.cpu.hash_probe)
+            self._admit((entry.key, entry.window), entry.values[0], dirty=True)
 
     # ------------------------------------------------------------------
     # checkpointing (§8)

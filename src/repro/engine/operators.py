@@ -27,9 +27,9 @@ from typing import Any
 
 from repro.engine.functions import AggregateFunction, ProcessWindowFunction
 from repro.engine.windows import CountWindowAssigner, WindowAssigner
-from repro.kvstores.api import WindowStateBackend
+from repro.kvstores.api import KeyGroupFn, WindowStateBackend
 from repro.model import GLOBAL_WINDOW, StreamRecord, Window
-from repro.simenv import CAT_ENGINE, CAT_QUERY, SimEnv
+from repro.simenv import CAT_ENGINE, CAT_MIGRATION, CAT_QUERY, SimEnv
 
 # Per-value user-computation charge at trigger time (deserialized object
 # handling inside the window function).
@@ -268,6 +268,67 @@ class WindowOperator:
                 values.extend(self.backend.read_key_window(key, initial))
             if values:
                 self._process_and_emit(key, merged, values)
+
+    # ------------------------------------------------------------------
+    # elastic rescaling: in-operator keyed metadata that must travel with
+    # the backend state (sessions, tracked window keys, count ordinals).
+    # ------------------------------------------------------------------
+    def export_keyed_state(
+        self, key_groups: set[int], key_group_of: KeyGroupFn
+    ) -> dict[str, Any]:
+        """Extract the moved key-groups' in-operator metadata.
+
+        ``pending_aligned`` is *copied*, not removed: an aligned window
+        may hold keys of both moved and kept groups, so both sides keep
+        its trigger armed (firing a window with no remaining state emits
+        nothing).  Stale source timers for moved sessions are harmless —
+        the firing path re-checks session liveness.
+        """
+        state: dict[str, Any] = {
+            "sessions": {},
+            "window_keys": [],
+            "count_state": {},
+            "pending_aligned": set(self._pending_aligned),
+            "max_timestamp": self._max_timestamp,
+        }
+        for key in [k for k in self._sessions if key_group_of(k) in key_groups]:
+            self.env.charge_cpu(CAT_MIGRATION, self.env.cpu.hash_probe)
+            state["sessions"][key] = self._sessions.pop(key)
+        for window, keys in self._window_keys.items():
+            moved = {k for k in keys if key_group_of(k) in key_groups}
+            if moved:
+                self.env.charge_cpu(
+                    CAT_MIGRATION, len(moved) * self.env.cpu.hash_probe
+                )
+                keys -= moved
+                state["window_keys"].append((window, moved))
+        for window in [w for w, keys in self._window_keys.items() if not keys]:
+            del self._window_keys[window]
+        for key in [k for k in self._count_state if key_group_of(k) in key_groups]:
+            self.env.charge_cpu(CAT_MIGRATION, self.env.cpu.hash_probe)
+            state["count_state"][key] = self._count_state.pop(key)
+        return state
+
+    def import_keyed_state(self, state: dict[str, Any]) -> None:
+        """Merge migrated metadata and re-register its event-time timers."""
+        for key, sessions in state["sessions"].items():
+            self.env.charge_cpu(CAT_MIGRATION, self.env.cpu.hash_probe)
+            self._sessions.setdefault(key, []).extend(sessions)
+            for session in sessions:
+                self._register_timer(session.current.end, ("session", key, session))
+        for window, keys in state["window_keys"]:
+            self.env.charge_cpu(CAT_MIGRATION, len(keys) * self.env.cpu.hash_probe)
+            for key in keys:
+                self._track_window_key(window, key)
+        for key, value in state["count_state"].items():
+            self.env.charge_cpu(CAT_MIGRATION, self.env.cpu.hash_probe)
+            self._count_state[key] = value
+        for window in state["pending_aligned"]:
+            if window not in self._pending_aligned:
+                self._pending_aligned.add(window)
+                self._arm_aligned_window(window)
+        if state["max_timestamp"] > self._max_timestamp:
+            self._max_timestamp = state["max_timestamp"]
 
     def _process_and_emit(self, key: bytes, window: Window, values: list[Any]) -> None:
         self.env.charge_cpu(

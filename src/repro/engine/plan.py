@@ -16,6 +16,7 @@ from repro.engine.functions import AggregateFunction, ProcessWindowFunction
 from repro.engine.state import BackendFactory, OperatorInfo
 from repro.engine.windows import SessionWindowAssigner, WindowAssigner
 from repro.errors import PlanError
+from repro.rescale.keygroups import DEFAULT_MAX_KEY_GROUPS, validate_parallelism
 from repro.simenv import CpuCostModel, SsdCostModel
 
 
@@ -158,6 +159,10 @@ class StreamEnvironment:
         workers: number of worker machines (Figure 13 scaling); the
             effective window-operator parallelism is
             ``parallelism * workers``.
+        max_key_groups: number of key-groups keyed state is hashed into
+            — the unit of ownership for elastic rescaling.  Fixed for
+            the lifetime of the job; physical parallelism can never
+            exceed it.
     """
 
     def __init__(
@@ -167,9 +172,12 @@ class StreamEnvironment:
         cpu: CpuCostModel | None = None,
         ssd: SsdCostModel | None = None,
         workers: int = 1,
+        max_key_groups: int = DEFAULT_MAX_KEY_GROUPS,
     ) -> None:
         if parallelism < 1 or workers < 1:
             raise PlanError("parallelism and workers must be >= 1")
+        self.max_key_groups = max_key_groups
+        validate_parallelism(parallelism * workers, max_key_groups)
         self.parallelism = parallelism
         self.workers = workers
         self.backend_factory = backend_factory

@@ -25,7 +25,6 @@ backend), :class:`SimTimeoutError` (simulated-time budget exceeded) and
 from __future__ import annotations
 
 import heapq
-import zlib
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -34,6 +33,9 @@ from repro.engine.operators import WindowOperator
 from repro.engine.plan import LogicalNode, StreamEnvironment
 from repro.errors import PlanError, ReproError, SimTimeoutError
 from repro.model import StreamRecord
+from repro.rescale.controller import LoadObservation
+from repro.rescale.keygroups import key_group_of, owner_of
+from repro.rescale.migration import RescaleEvent, migrate
 from repro.simenv import MetricsLedger, MetricsSnapshot, SimEnv
 from repro.storage.filesystem import SimFileSystem
 
@@ -65,6 +67,7 @@ class JobResult:
     per_operator: dict[str, MetricsSnapshot]
     operator_stats: dict[str, dict[str, Any]]
     failure: str | None = None
+    rescales: list[RescaleEvent] = field(default_factory=list)
 
     @property
     def throughput(self) -> float:
@@ -95,39 +98,45 @@ class Executor:
             n.name: [] for n in plan_env.nodes() if n.kind == "sink"
         }
         self._latencies: list[float] = []
+        # Ledgers/stats of instances retired by a scale-down, per node id.
+        self._retired: dict[int, list[tuple[MetricsSnapshot, float, int]]] = {}
+        self._rescales: list[RescaleEvent] = []
+        self.current_parallelism = plan_env.parallelism * plan_env.workers
         self._build_instances()
 
-    def _build_instances(self) -> None:
+    def _new_instance(self, node: LogicalNode, index: int) -> PhysicalInstance:
+        """Deploy one physical instance of a stateful node (fresh state)."""
         factory = self._plan.backend_factory
-        if factory is None:
+        env = SimEnv(cpu=self._plan.cpu, ssd=self._plan.ssd)
+        fs = SimFileSystem(env)
+        name = f"{node.name}/p{index}"
+        if node.kind == "interval_join":
+            backend = None  # engine-managed buffers (MapState analogue)
+            operator: Any = IntervalJoinOperator(
+                lower=node.params["lower"],
+                upper=node.params["upper"],
+                join_fn=node.params["fn"],
+                name=name,
+            )
+        else:
+            backend = factory(env, fs, name, node.params["info"])
+            operator = WindowOperator(
+                assigner=node.params["assigner"],
+                function=node.params["fn"],
+                name=name,
+                with_window=node.params.get("with_window", False),
+            )
+        instance = PhysicalInstance(name=name, env=env, operator=operator)
+        operator.open(env, backend, instance.outbox.append)
+        return instance
+
+    def _build_instances(self) -> None:
+        if self._plan.backend_factory is None:
             raise PlanError("StreamEnvironment has no backend_factory")
-        n = self._plan.parallelism * self._plan.workers
         for node in self._stateful_nodes:
-            instances = []
-            for i in range(n):
-                env = SimEnv(cpu=self._plan.cpu, ssd=self._plan.ssd)
-                fs = SimFileSystem(env)
-                name = f"{node.name}/p{i}"
-                if node.kind == "interval_join":
-                    backend = None  # engine-managed buffers (MapState analogue)
-                    operator = IntervalJoinOperator(
-                        lower=node.params["lower"],
-                        upper=node.params["upper"],
-                        join_fn=node.params["fn"],
-                        name=name,
-                    )
-                else:
-                    backend = factory(env, fs, name, node.params["info"])
-                    operator = WindowOperator(
-                        assigner=node.params["assigner"],
-                        function=node.params["fn"],
-                        name=name,
-                        with_window=node.params.get("with_window", False),
-                    )
-                instance = PhysicalInstance(name=name, env=env, operator=operator)
-                operator.open(env, backend, instance.outbox.append)
-                instances.append(instance)
-            self._instances[node.node_id] = instances
+            self._instances[node.node_id] = [
+                self._new_instance(node, i) for i in range(self.current_parallelism)
+            ]
 
     # ------------------------------------------------------------------
     def run(
@@ -137,6 +146,7 @@ class Executor:
         sim_timeout: float | None = None,
         overload_backlog: float = 600.0,
         watermark_delay: float = 0.0,
+        rescale_policy: Any = None,
     ) -> JobResult:
         """Execute the job.
 
@@ -153,12 +163,19 @@ class Executor:
             watermark_delay: bounded out-of-orderness — watermarks trail
                 the maximum seen timestamp by this much, so records up to
                 ``delay`` late are still on time.
+            rescale_policy: an object with ``decide(LoadObservation) ->
+                int | None`` (e.g. :class:`~repro.rescale.controller.
+                ScheduledRescale` or ``RescaleController``), consulted at
+                every watermark boundary; a non-None decision triggers a
+                stop-the-world rescale to that parallelism.
         """
         merged = self._merged_sources()
         count = 0
         max_ts = float("-inf")
         arrival = 0.0
         failure: str | None = None
+        last_busy = self._busy_sum()
+        last_arrival = 0.0
         try:
             for source_node, value, timestamp in merged:
                 if arrival_rate:
@@ -171,12 +188,58 @@ class Executor:
                 if count % watermark_interval == 0:
                     self._broadcast_watermark(max_ts - watermark_delay, arrival)
                     self._check_limits(sim_timeout, arrival_rate, arrival, overload_backlog)
+                    if rescale_policy is not None:
+                        busy = self._busy_sum()
+                        utilization = None
+                        if arrival_rate and arrival > last_arrival:
+                            n = max(1, self.current_parallelism)
+                            utilization = (busy - last_busy) / n / (arrival - last_arrival)
+                        observation = LoadObservation(
+                            record_count=count,
+                            parallelism=self.current_parallelism,
+                            utilization=utilization,
+                            backlog_seconds=self._max_backlog(arrival),
+                        )
+                        last_busy, last_arrival = busy, arrival
+                        target = rescale_policy.decide(observation)
+                        if target is not None and target != self.current_parallelism:
+                            self.rescale_to(target, arrival=arrival, at_record=count)
             self._finish(arrival)
         except SimTimeoutError:
             failure = "timeout"
         except EngineOverloadError:
             failure = "overload"
         return self._result(count, failure)
+
+    # ------------------------------------------------------------------
+    def rescale_to(
+        self, new_parallelism: int, arrival: float = 0.0, at_record: int = 0
+    ) -> RescaleEvent:
+        """Stop-the-world rescale to ``new_parallelism`` (see
+        :mod:`repro.rescale.migration`); the event is recorded on the
+        job result."""
+        event = migrate(self, new_parallelism, arrival=arrival, at_record=at_record)
+        self._rescales.append(event)
+        return event
+
+    def _busy_sum(self) -> float:
+        """Total busy time over live and retired instances (monotonic)."""
+        live = sum(
+            inst.env.clock.now
+            for insts in self._instances.values()
+            for inst in insts
+        )
+        retired = sum(
+            busy for reports in self._retired.values() for _s, busy, _r in reports
+        )
+        return live + retired
+
+    def _max_backlog(self, arrival: float) -> float:
+        return max(
+            (inst.wall_available - arrival
+             for insts in self._instances.values() for inst in insts),
+            default=0.0,
+        )
 
     def _merged_sources(self):
         """Merge all sources in timestamp order."""
@@ -232,8 +295,12 @@ class Executor:
             raise PlanError(f"cannot handle node kind {kind}")
 
     def _route(self, node: LogicalNode, key: bytes) -> PhysicalInstance:
+        """Key-group routing: hash to a key-group once, then map the group
+        to its contiguous-range owner at the current parallelism."""
         instances = self._instances[node.node_id]
-        return instances[zlib.crc32(key) % len(instances)]
+        max_groups = self._plan.max_key_groups
+        group = key_group_of(key, max_groups)
+        return instances[owner_of(group, max_groups, len(instances))]
 
     def _run_unit(
         self, node: LogicalNode, instance: PhysicalInstance, arrival: float, thunk
@@ -309,6 +376,12 @@ class Executor:
                     value = getattr(backend, attr, None)
                     if value is not None:
                         stats[attr] = stats.get(attr, 0) + value
+            # Instances retired by a scale-down still contributed work.
+            for snapshot, busy, results in self._retired.get(node.node_id, []):
+                node_ledger.merge(snapshot)
+                total.merge(snapshot)
+                job_seconds = max(job_seconds, busy)
+                stats["results"] += results
             loads = stats.get("prefetch_loads", 0)
             if loads:
                 stats["prefetch_hit_ratio"] = stats.get("prefetch_hits", 0) / loads
@@ -323,4 +396,5 @@ class Executor:
             per_operator=per_operator,
             operator_stats=operator_stats,
             failure=failure,
+            rescales=list(self._rescales),
         )

@@ -15,10 +15,20 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.core.patterns import StorePattern, WindowKind, determine_pattern
-from repro.kvstores.api import KVStore, WindowStateBackend, composite_key
-from repro.kvstores.lsm.format import unpack_list_value
+from repro.kvstores.api import (
+    KIND_AGG,
+    KIND_LIST,
+    ExportedEntry,
+    KeyGroupFn,
+    KVStore,
+    StateExport,
+    WindowStateBackend,
+    composite_key,
+    split_composite_key,
+)
+from repro.kvstores.lsm.format import pack_list_value, unpack_list_value
 from repro.model import PickleSerde, Serde, Window
-from repro.simenv import CAT_SERDE, SimEnv
+from repro.simenv import CAT_MIGRATION, CAT_SERDE, SimEnv
 from repro.storage.filesystem import SimFileSystem
 
 
@@ -69,10 +79,17 @@ class GenericKVBackend(WindowStateBackend):
     * aggregates  -> ``put`` / ``get`` full values.
     """
 
-    def __init__(self, env: SimEnv, store: KVStore, serde: Serde | None = None) -> None:
+    def __init__(
+        self,
+        env: SimEnv,
+        store: KVStore,
+        serde: Serde | None = None,
+        pattern: StorePattern | None = None,
+    ) -> None:
         self._env = env
         self._store = store
         self._serde = serde or PickleSerde()
+        self._pattern = pattern
 
     @property
     def store(self) -> KVStore:
@@ -125,6 +142,41 @@ class GenericKVBackend(WindowStateBackend):
             return None
         self._store.delete(ck)
         return self._decode(data)
+
+    # ------------------------------------------------------------------
+    # elastic rescaling: the generic glue can only find moved state by a
+    # full scan — exactly the repartitioning cost a composite-keyed KV
+    # layout pays (no key-group locality on disk).
+    # ------------------------------------------------------------------
+    def export_state(self, key_groups: set[int], key_group_of: KeyGroupFn) -> StateExport:
+        self._store.flush()
+        kind = KIND_AGG if self._pattern is StorePattern.RMW else KIND_LIST
+        export = StateExport()
+        moved: list[bytes] = []
+        for ck, merged in self._store.scan_prefix(b""):
+            window, key = split_composite_key(ck)
+            if key_group_of(key) not in key_groups:
+                continue
+            self._env.charge_cpu(CAT_MIGRATION, self._env.cpu.serde(len(merged)))
+            values = list(unpack_list_value(merged)) if kind == KIND_LIST else [merged]
+            export.entries.append(ExportedEntry(key, window, kind, values))
+            moved.append(ck)
+        for ck in moved:
+            self._store.delete(ck)
+        return export
+
+    def import_state(self, export: StateExport) -> None:
+        for entry in export.entries:
+            ck = composite_key(entry.window, entry.key)
+            self._env.charge_cpu(
+                CAT_MIGRATION, self._env.cpu.serde(sum(len(v) for v in entry.values))
+            )
+            if entry.kind == KIND_LIST:
+                # A single packed Put; later appends still merge after it,
+                # matching the store's PUT-then-MERGE concatenation.
+                self._store.put(ck, pack_list_value(entry.values))
+            else:
+                self._store.put(ck, entry.values[0])
 
     # ------------------------------------------------------------------
     def flush(self) -> None:

@@ -16,10 +16,55 @@ Two layers:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from collections.abc import Iterator
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass, field
 from typing import Any
 
 from repro.model import Window
+
+# Entry kinds crossing the migration boundary (elastic rescaling).
+KIND_LIST = "list"  # append-pattern list state (AAR / AUR / ListState)
+KIND_AGG = "agg"  # read-modify-write aggregate state (RMW / ValueState)
+
+
+@dataclass
+class ExportedEntry:
+    """One (key, window) state cell extracted from a backend for migration.
+
+    Values cross the migration boundary *serialized* (``bytes``), so the
+    transfer volume is measurable and chargeable; the importing backend
+    keeps or decodes them as its representation requires.  ``ett`` carries
+    the AUR Stat-table estimate so a migrated window keeps its predictive
+    batch-read eligibility on the new owner.
+    """
+
+    key: bytes
+    window: Window
+    kind: str  # KIND_LIST or KIND_AGG
+    values: list[bytes]
+    ett: float | None = None
+
+    @property
+    def payload_bytes(self) -> int:
+        return len(self.key) + 16 + sum(len(v) for v in self.values)
+
+
+@dataclass
+class StateExport:
+    """All state of a set of key-groups, extracted from one backend."""
+
+    entries: list[ExportedEntry] = field(default_factory=list)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(entry.payload_bytes for entry in self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+# Maps a key to its key-group (bound to the job's max_key_groups).
+KeyGroupFn = Callable[[bytes], int]
 
 
 class KVStore(ABC):
@@ -136,6 +181,22 @@ class WindowStateBackend(ABC):
     def restore(self, snapshot) -> None:
         """Load a snapshot into this (freshly constructed) backend."""
         raise NotImplementedError(f"{type(self).__name__} does not support snapshots")
+
+    # --- elastic rescaling (key-group migration) ------------------------
+    def export_state(self, key_groups: set[int], key_group_of: KeyGroupFn) -> StateExport:
+        """Extract *and remove* all state of ``key_groups``.
+
+        Implementations flush buffered writes first, read the moved state
+        back (charging the reads to the ``migration`` ledger category
+        where the backend controls the charge), and leave the remaining
+        key-groups untouched.  The returned export is what a rescale
+        transfers to the new owner.
+        """
+        raise NotImplementedError(f"{type(self).__name__} does not support rescaling")
+
+    def import_state(self, export: StateExport) -> None:
+        """Load a :class:`StateExport` produced by a peer instance."""
+        raise NotImplementedError(f"{type(self).__name__} does not support rescaling")
 
 
 def composite_key(window: Window, key: bytes) -> bytes:

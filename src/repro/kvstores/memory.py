@@ -21,9 +21,16 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.errors import StoreClosedError, StoreOOMError
-from repro.kvstores.api import WindowStateBackend
-from repro.model import Window
-from repro.simenv import CAT_GC, CAT_STORE_READ, CAT_STORE_WRITE, SimEnv
+from repro.kvstores.api import (
+    KIND_AGG,
+    KIND_LIST,
+    ExportedEntry,
+    KeyGroupFn,
+    StateExport,
+    WindowStateBackend,
+)
+from repro.model import PickleSerde, Window
+from repro.simenv import CAT_GC, CAT_MIGRATION, CAT_STORE_READ, CAT_STORE_WRITE, SimEnv
 
 # Per-object JVM overhead: header + reference + list-node bookkeeping.
 OBJECT_OVERHEAD_BYTES = 48
@@ -208,6 +215,66 @@ class HeapWindowBackend(WindowStateBackend):
             raise StoreOOMError(
                 f"restored state {self._live_bytes}B exceeds capacity {self._capacity}B"
             )
+
+    # ------------------------------------------------------------------
+    # elastic rescaling
+    # ------------------------------------------------------------------
+    def export_state(self, key_groups: set[int], key_group_of: KeyGroupFn) -> StateExport:
+        """Serialize & evict the moved key-groups (heap objects must be
+        pickled to cross the instance boundary, charged as migration)."""
+        self._check_open()
+        serde = PickleSerde()
+        export = StateExport()
+        for window in list(self._lists):
+            per_key = self._lists[window]
+            for key in [k for k in per_key if key_group_of(k) in key_groups]:
+                sized_values = per_key.pop(key)
+                values: list[bytes] = []
+                for value, _size in sized_values:
+                    data = serde.serialize(value)
+                    self._env.charge_cpu(CAT_MIGRATION, self._env.cpu.serde(len(data)))
+                    values.append(data)
+                self._release(
+                    sum(size for _v, size in sized_values), count=len(sized_values)
+                )
+                export.entries.append(ExportedEntry(key, window, KIND_LIST, values))
+            if not per_key:
+                del self._lists[window]
+        for window in list(self._aggs):
+            per_key = self._aggs[window]
+            for key in [k for k in per_key if key_group_of(k) in key_groups]:
+                agg, size = per_key.pop(key)
+                data = serde.serialize(agg)
+                self._env.charge_cpu(CAT_MIGRATION, self._env.cpu.serde(len(data)))
+                self._release(size)
+                export.entries.append(ExportedEntry(key, window, KIND_AGG, [data]))
+            if not per_key:
+                del self._aggs[window]
+        return export
+
+    def import_state(self, export: StateExport) -> None:
+        self._check_open()
+        serde = PickleSerde()
+        for entry in export.entries:
+            if entry.kind == KIND_LIST:
+                bucket = self._lists.setdefault(entry.window, {}).setdefault(entry.key, [])
+                for data in entry.values:
+                    self._env.charge_cpu(CAT_MIGRATION, self._env.cpu.serde(len(data)))
+                    value = serde.deserialize(data)
+                    size = self._sizer(value)
+                    bucket.append((value, size))
+                    self._allocate(size)
+            else:
+                data = entry.values[0]
+                self._env.charge_cpu(CAT_MIGRATION, self._env.cpu.serde(len(data)))
+                agg = serde.deserialize(data)
+                size = self._sizer(agg)
+                per_key = self._aggs.setdefault(entry.window, {})
+                old = per_key.get(entry.key)
+                if old is not None:
+                    self._release(old[1])
+                per_key[entry.key] = (agg, size)
+                self._allocate(size)
 
     def close(self) -> None:
         self._closed = True

@@ -1,0 +1,45 @@
+"""Elastic rescaling: key-group state partitioning, migration, autoscaling.
+
+Public surface:
+
+* :mod:`repro.rescale.keygroups` — the key-group hash and contiguous
+  ownership ranges (Flink-style), fixed by ``max_key_groups`` at plan
+  time;
+* :mod:`repro.rescale.migration` — the stop-the-world migration executor
+  (drain → export → redeploy → import → resume) with per-operator
+  downtime and bytes-moved accounting;
+* :mod:`repro.rescale.controller` — when to rescale: a deterministic
+  schedule or a utilization-watermark autoscaler with hysteresis.
+"""
+
+from repro.rescale.controller import (
+    LoadObservation,
+    RescaleController,
+    ScheduledRescale,
+)
+from repro.rescale.keygroups import (
+    DEFAULT_MAX_KEY_GROUPS,
+    groups_owned,
+    key_group_of,
+    key_group_range,
+    moved_key_groups,
+    owner_of,
+    validate_parallelism,
+)
+from repro.rescale.migration import NodeMigration, RescaleEvent, migrate
+
+__all__ = [
+    "DEFAULT_MAX_KEY_GROUPS",
+    "LoadObservation",
+    "NodeMigration",
+    "RescaleController",
+    "RescaleEvent",
+    "ScheduledRescale",
+    "groups_owned",
+    "key_group_of",
+    "key_group_range",
+    "migrate",
+    "moved_key_groups",
+    "owner_of",
+    "validate_parallelism",
+]

@@ -1,0 +1,119 @@
+"""Rescale policies: when to change a running job's parallelism.
+
+Two policies drive the migration executor:
+
+* :class:`ScheduledRescale` — fire at predetermined record counts; fully
+  deterministic, used by the equivalence tests and the rescale benchmark.
+* :class:`RescaleController` — the autoscaler: watches per-observation
+  utilization (busy time / wall time of the open-loop arrival clock) and
+  scales up when sustained load crosses the high watermark, down when it
+  stays under the low watermark.  Hysteresis comes from three guards:
+  distinct high/low watermarks, a consecutive-observation patience
+  requirement, and a post-rescale cooldown — without them a job sitting
+  near one threshold would oscillate, and each oscillation pays a real
+  stop-the-world migration.
+
+Utilization needs a wall clock to compare busy time against, which only
+exists in open-loop (latency-mode) runs; in throughput mode observations
+carry ``utilization=None`` and the controller abstains.  The scheduled
+policy only looks at record counts and works in both modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class LoadObservation:
+    """One sample of the job's load, taken at a watermark boundary."""
+
+    record_count: int  # records ingested so far
+    parallelism: int  # current physical parallelism
+    utilization: float | None  # mean busy/wall fraction since last sample
+    backlog_seconds: float = 0.0  # worst instance queue backlog (latency mode)
+
+
+@dataclass
+class ScheduledRescale:
+    """Rescale to fixed targets at fixed record counts.
+
+    ``schedule`` maps a record count to the target parallelism; each
+    entry fires once, the first time an observation reaches its count.
+    """
+
+    schedule: dict[int, int]
+    _fired: set[int] = field(default_factory=set, init=False)
+
+    def decide(self, observation: LoadObservation) -> int | None:
+        due = [
+            count
+            for count in self.schedule
+            if count not in self._fired and observation.record_count >= count
+        ]
+        if not due:
+            return None
+        at = max(due)  # collapse several missed thresholds into the last
+        self._fired.update(due)
+        target = self.schedule[at]
+        return target if target != observation.parallelism else None
+
+
+@dataclass
+class RescaleController:
+    """Watermark-based autoscaler with hysteresis.
+
+    Scale-up doubles parallelism, scale-down halves it (clamped to
+    ``[min_parallelism, max_parallelism]``) — geometric steps keep the
+    number of migrations logarithmic in the required capacity change.
+    """
+
+    min_parallelism: int = 1
+    max_parallelism: int = 16
+    high_watermark: float = 0.8  # sustained utilization that triggers scale-up
+    low_watermark: float = 0.3  # sustained utilization that triggers scale-down
+    patience: int = 3  # consecutive observations beyond a watermark
+    cooldown: int = 5  # observations ignored after a rescale
+
+    _high_streak: int = field(default=0, init=False)
+    _low_streak: int = field(default=0, init=False)
+    _cooldown_left: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.low_watermark < self.high_watermark:
+            raise ValueError(
+                f"watermarks must satisfy 0 <= low < high: "
+                f"{self.low_watermark} / {self.high_watermark}"
+            )
+        if self.min_parallelism < 1 or self.max_parallelism < self.min_parallelism:
+            raise ValueError("need 1 <= min_parallelism <= max_parallelism")
+
+    def decide(self, observation: LoadObservation) -> int | None:
+        if self._cooldown_left > 0:
+            self._cooldown_left -= 1
+            return None
+        utilization = observation.utilization
+        if utilization is None:
+            return None
+        if utilization >= self.high_watermark:
+            self._high_streak += 1
+            self._low_streak = 0
+        elif utilization <= self.low_watermark:
+            self._low_streak += 1
+            self._high_streak = 0
+        else:
+            self._high_streak = 0
+            self._low_streak = 0
+        current = observation.parallelism
+        if self._high_streak >= self.patience and current < self.max_parallelism:
+            self._reset_after_decision()
+            return min(self.max_parallelism, current * 2)
+        if self._low_streak >= self.patience and current > self.min_parallelism:
+            self._reset_after_decision()
+            return max(self.min_parallelism, current // 2)
+        return None
+
+    def _reset_after_decision(self) -> None:
+        self._high_streak = 0
+        self._low_streak = 0
+        self._cooldown_left = self.cooldown

@@ -1,0 +1,87 @@
+"""Key-groups: the unit of keyed-state ownership for elastic rescaling.
+
+A job fixes ``max_key_groups`` (G) once, at plan time.  Every key hashes
+to one of the G key-groups; each physical operator instance owns a
+*contiguous range* of key-groups (Flink's design): with parallelism P,
+key-group ``g`` belongs to instance ``g * P // G``.  Rescaling P -> P'
+then only moves the key-groups whose owner index changed — an N -> N
+"rescale" moves nothing, and every move is a contiguous slice, so state
+transfers are sequential range reads rather than a full rehash.
+
+The FlowKV composite facade routes a key to one of its ``m`` store
+instances by ``key_group % m``.  Because an operator instance owns a
+*contiguous* key-group range while the composite strides it modulo m,
+the two levels stay decorrelated (all m stores get an even share), and
+the store index of a key never depends on the operator parallelism — a
+migrated key-group lands in the "same" store slot on its new owner.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections.abc import Iterable
+
+from repro.errors import PlanError
+
+DEFAULT_MAX_KEY_GROUPS = 128
+
+
+def key_group_of(key: bytes, max_key_groups: int = DEFAULT_MAX_KEY_GROUPS) -> int:
+    """The key-group a key hashes to (fixed for the lifetime of the job)."""
+    return zlib.crc32(key) % max_key_groups
+
+
+def owner_of(key_group: int, max_key_groups: int, parallelism: int) -> int:
+    """Index of the operator instance owning ``key_group`` at ``parallelism``."""
+    return key_group * parallelism // max_key_groups
+
+
+def key_group_range(index: int, max_key_groups: int, parallelism: int) -> range:
+    """The contiguous key-group range owned by instance ``index``.
+
+    Inverse of :func:`owner_of`: ``g in key_group_range(i, G, P)`` iff
+    ``owner_of(g, G, P) == i``.
+    """
+    if not 0 <= index < parallelism:
+        raise PlanError(f"instance index {index} out of range for parallelism {parallelism}")
+    start = -(-index * max_key_groups // parallelism)  # ceil
+    end = -(-(index + 1) * max_key_groups // parallelism)
+    return range(start, end)
+
+
+def validate_parallelism(parallelism: int, max_key_groups: int) -> None:
+    """Every instance must own at least one key-group."""
+    if parallelism < 1:
+        raise PlanError(f"parallelism must be >= 1: {parallelism}")
+    if parallelism > max_key_groups:
+        raise PlanError(
+            f"parallelism {parallelism} exceeds max_key_groups {max_key_groups}; "
+            "key-groups are the unit of state ownership and cannot be split"
+        )
+
+
+def moved_key_groups(
+    max_key_groups: int, old_parallelism: int, new_parallelism: int
+) -> dict[int, dict[int, list[int]]]:
+    """Key-groups whose owner changes under ``old -> new`` parallelism.
+
+    Returns ``{source_index: {destination_index: [key_groups...]}}``; an
+    identity rescale returns an empty mapping.
+    """
+    plan: dict[int, dict[int, list[int]]] = {}
+    for group in range(max_key_groups):
+        src = owner_of(group, max_key_groups, old_parallelism)
+        dst = owner_of(group, max_key_groups, new_parallelism)
+        if src != dst:
+            plan.setdefault(src, {}).setdefault(dst, []).append(group)
+    return plan
+
+
+def groups_owned(
+    indices: Iterable[int], max_key_groups: int, parallelism: int
+) -> dict[int, list[int]]:
+    """Key-groups owned by each of ``indices`` at ``parallelism``."""
+    return {
+        index: list(key_group_range(index, max_key_groups, parallelism))
+        for index in indices
+    }

@@ -1,0 +1,230 @@
+"""Stop-the-world key-group migration.
+
+The executor's rescale path: **drain** (flush in-flight store buffers —
+export does this per backend), **export** the moved key-groups from every
+old owner, **redeploy** the physical plan at the new parallelism,
+**import** at the new owners, **resume**.  All export/transfer/import
+work is charged to the per-instance simulated clocks under the
+``migration`` category, and the recorded downtime is the stop-the-world
+pause: the slowest export plus the slowest import per operator (each
+phase runs across instances in parallel), summed over stateful operators
+(operators migrate one at a time so peak transfer memory stays bounded).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import PlanError
+from repro.kvstores.api import StateExport
+from repro.rescale.keygroups import (
+    key_group_of,
+    moved_key_groups,
+    owner_of,
+    validate_parallelism,
+)
+from repro.simenv import CAT_MIGRATION
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.runtime import Executor
+
+
+@dataclass
+class NodeMigration:
+    """Migration accounting for one stateful operator."""
+
+    node: str
+    entries_moved: int = 0
+    bytes_moved: int = 0
+    export_seconds: float = 0.0  # slowest source instance
+    import_seconds: float = 0.0  # slowest destination instance
+
+    @property
+    def downtime_seconds(self) -> float:
+        return self.export_seconds + self.import_seconds
+
+
+@dataclass
+class RescaleEvent:
+    """One completed rescale of the whole job."""
+
+    at_record: int
+    old_parallelism: int
+    new_parallelism: int
+    moved_groups: int
+    per_node: list[NodeMigration] = field(default_factory=list)
+
+    @property
+    def bytes_moved(self) -> int:
+        return sum(node.bytes_moved for node in self.per_node)
+
+    @property
+    def entries_moved(self) -> int:
+        return sum(node.entries_moved for node in self.per_node)
+
+    @property
+    def downtime_seconds(self) -> float:
+        return sum(node.downtime_seconds for node in self.per_node)
+
+
+def _transfer_charge(env: Any, payload_bytes: int, n_entries: int) -> None:
+    """One side of the state hand-off (serialize-copy-send or receive)."""
+    env.charge_cpu(
+        CAT_MIGRATION,
+        env.cpu.syscall + payload_bytes * env.cpu.copy_per_byte + n_entries * env.cpu.hash_probe,
+    )
+
+
+def _split_operator_state(
+    state: dict[str, Any], destination_of, destinations: list[int]
+) -> dict[int, dict[str, Any]]:
+    """Partition exported operator metadata by destination instance.
+
+    Keyed pieces (sessions, window keys, count ordinals) follow their
+    key; ``pending_aligned`` windows and the max timestamp are replicated
+    to every destination (both are key-independent trigger metadata).
+    """
+    parts = {
+        dst: {
+            "sessions": {},
+            "window_keys": [],
+            "count_state": {},
+            "pending_aligned": set(state["pending_aligned"]),
+            "max_timestamp": state["max_timestamp"],
+        }
+        for dst in destinations
+    }
+    for key, sessions in state["sessions"].items():
+        parts[destination_of(key)]["sessions"][key] = sessions
+    for window, keys in state["window_keys"]:
+        per_dst: dict[int, set[bytes]] = {}
+        for key in keys:
+            per_dst.setdefault(destination_of(key), set()).add(key)
+        for dst, moved in per_dst.items():
+            parts[dst]["window_keys"].append((window, moved))
+    for key, value in state["count_state"].items():
+        parts[destination_of(key)]["count_state"][key] = value
+    return parts
+
+
+def migrate(
+    executor: "Executor", new_parallelism: int, arrival: float = 0.0, at_record: int = 0
+) -> RescaleEvent:
+    """Rescale a running job to ``new_parallelism`` (stop-the-world).
+
+    Returns the :class:`RescaleEvent`; an identity rescale moves zero
+    key-groups and records zero downtime.
+    """
+    plan = executor._plan  # noqa: SLF001 - the executor's rescale back-half
+    max_groups = plan.max_key_groups
+    validate_parallelism(new_parallelism, max_groups)
+    old_parallelism = executor.current_parallelism
+    move_plan = moved_key_groups(max_groups, old_parallelism, new_parallelism)
+    event = RescaleEvent(
+        at_record=at_record,
+        old_parallelism=old_parallelism,
+        new_parallelism=new_parallelism,
+        moved_groups=sum(
+            len(groups) for dsts in move_plan.values() for groups in dsts.values()
+        ),
+    )
+    if move_plan and any(
+        node.kind == "interval_join" for node in executor._stateful_nodes  # noqa: SLF001
+    ):
+        raise PlanError(
+            "cannot rescale a plan with interval joins: join buffers are "
+            "engine-managed and not yet migratable (see ROADMAP open items)"
+        )
+
+    def kg_of(key: bytes) -> int:
+        return key_group_of(key, max_groups)
+
+    def destination_of(key: bytes) -> int:
+        return owner_of(kg_of(key), max_groups, new_parallelism)
+
+    for node in executor._stateful_nodes:  # noqa: SLF001
+        instances = executor._instances[node.node_id]  # noqa: SLF001
+        report = NodeMigration(node=node.name)
+        # Redeploy: grow the instance list before transfers so imports
+        # have somewhere to land; retiring instances stay until drained.
+        for index in range(old_parallelism, new_parallelism):
+            instances.append(executor._new_instance(node, index))  # noqa: SLF001
+        pending: dict[int, tuple[StateExport, dict[str, Any]]] = {}
+        # Export phase: every source drains & extracts its moved groups.
+        for src, dsts in sorted(move_plan.items()):
+            source = instances[src]
+            groups = {group for group_list in dsts.values() for group in group_list}
+            before = source.env.clock.now
+            export = source.operator.backend.export_state(groups, kg_of)
+            operator_state = source.operator.export_keyed_state(groups, kg_of)
+            _transfer_charge(source.env, export.total_bytes, len(export))
+            report.export_seconds = max(
+                report.export_seconds, source.env.clock.now - before
+            )
+            report.entries_moved += len(export)
+            report.bytes_moved += export.total_bytes
+            # Partition the export by new owner.
+            per_dst_export: dict[int, StateExport] = {}
+            for entry in export.entries:
+                per_dst_export.setdefault(
+                    destination_of(entry.key), StateExport()
+                ).entries.append(entry)
+            per_dst_state = _split_operator_state(
+                operator_state, destination_of, sorted(dsts)
+            )
+            for dst in dsts:
+                part = per_dst_export.get(dst, StateExport())
+                if dst in pending:
+                    merged_export, merged_state = pending[dst]
+                    merged_export.entries.extend(part.entries)
+                    _merge_operator_state(merged_state, per_dst_state[dst])
+                else:
+                    pending[dst] = (part, per_dst_state[dst])
+        # Import phase: every destination loads its share.
+        for dst, (export, operator_state) in sorted(pending.items()):
+            destination = instances[dst]
+            before = destination.env.clock.now
+            _transfer_charge(destination.env, export.total_bytes, len(export))
+            destination.operator.backend.import_state(export)
+            destination.operator.import_keyed_state(operator_state)
+            report.import_seconds = max(
+                report.import_seconds, destination.env.clock.now - before
+            )
+        # Retire shrunk-away instances (their state is fully exported).
+        for retired in instances[new_parallelism:]:
+            retired.operator.backend.close()
+            executor._retired.setdefault(node.node_id, []).append(  # noqa: SLF001
+                (retired.env.ledger.snapshot(), retired.env.clock.now,
+                 retired.operator.results_emitted)
+            )
+        del instances[new_parallelism:]
+        event.per_node.append(report)
+
+    # Resume: the whole job was paused for the stop-the-world window.
+    resume_at = (
+        max(
+            [arrival]
+            + [
+                inst.wall_available
+                for insts in executor._instances.values()  # noqa: SLF001
+                for inst in insts
+            ]
+        )
+        + event.downtime_seconds
+    )
+    for insts in executor._instances.values():  # noqa: SLF001
+        for inst in insts:
+            inst.wall_available = max(inst.wall_available, resume_at)
+    executor.current_parallelism = new_parallelism
+    return event
+
+
+def _merge_operator_state(target: dict[str, Any], extra: dict[str, Any]) -> None:
+    """Fold a second source's operator-state share into ``target``."""
+    for key, sessions in extra["sessions"].items():
+        target["sessions"].setdefault(key, []).extend(sessions)
+    target["window_keys"].extend(extra["window_keys"])
+    target["count_state"].update(extra["count_state"])
+    target["pending_aligned"] |= extra["pending_aligned"]
+    target["max_timestamp"] = max(target["max_timestamp"], extra["max_timestamp"])

@@ -31,6 +31,7 @@ from repro.simenv.metrics import (
     CAT_COMPACTION,
     CAT_ENGINE,
     CAT_GC,
+    CAT_MIGRATION,
     CAT_QUERY,
     CAT_SERDE,
     CAT_STORE_READ,
@@ -58,5 +59,6 @@ __all__ = [
     "CAT_SYNC",
     "CAT_ENGINE",
     "CAT_GC",
+    "CAT_MIGRATION",
     "CPU_CATEGORIES",
 ]

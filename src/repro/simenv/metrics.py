@@ -19,6 +19,7 @@ CAT_SERDE = "serde"  # (de)serialization at the store boundary
 CAT_SYNC = "sync"  # synchronization primitives (Faster epochs)
 CAT_ENGINE = "engine"  # routing, window assignment, timers
 CAT_GC = "gc"  # JVM garbage collection (heap backend model)
+CAT_MIGRATION = "migration"  # key-group export/transfer/import during rescaling
 
 CPU_CATEGORIES = (
     CAT_QUERY,
@@ -29,6 +30,7 @@ CPU_CATEGORIES = (
     CAT_SYNC,
     CAT_ENGINE,
     CAT_GC,
+    CAT_MIGRATION,
 )
 
 

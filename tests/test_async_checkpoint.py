@@ -7,7 +7,6 @@ flush is synchronous, the file transfer runs on the uploader's clock.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core import FlowKVComposite, FlowKVConfig, StorePattern
 from repro.core.aar import AarStore

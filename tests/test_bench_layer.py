@@ -10,7 +10,6 @@ from repro.bench.profiles import (
     DEFAULT_PROFILE,
     QUICK_PROFILE,
     TINY_PROFILE,
-    ScaleProfile,
     active_profile,
 )
 from repro.bench.report import (

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.engine.functions import CollectProcessFunction, CountAggregate
 from repro.engine.operators import WindowOperator

@@ -7,8 +7,6 @@ import pytest
 from repro.backends import memory_backend
 from repro.engine import StreamEnvironment, TumblingWindowAssigner
 from repro.engine.functions import CollectProcessFunction, CountAggregate
-from repro.engine.runtime import EngineOverloadError
-from repro.engine.windows import SessionWindowAssigner
 from repro.errors import PlanError, StoreOOMError
 
 

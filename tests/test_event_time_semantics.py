@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.backends import flowkv_backend, memory_backend
 from repro.engine import StreamEnvironment, TumblingWindowAssigner

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 import pathlib
 import subprocess
 import sys
@@ -12,6 +13,24 @@ EXAMPLES = sorted(
     (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
 )
 
+SRC_DIR = pathlib.Path(__file__).parent.parent / "src"
+
+
+def subprocess_env(**extra: str) -> dict[str, str]:
+    """A minimal env for child python processes that can import ``repro``.
+
+    ``sys.path`` already contains the source tree (however pytest was
+    launched), so deriving PYTHONPATH from it keeps the child import
+    behaviour identical to the parent's.
+    """
+    python_path = os.pathsep.join([str(SRC_DIR)] + sys.path)
+    return {
+        "PATH": os.environ.get("PATH", "/usr/bin:/bin"),
+        "HOME": os.environ.get("HOME", "/root"),
+        "PYTHONPATH": python_path,
+        **extra,
+    }
+
 
 @pytest.mark.parametrize("example", EXAMPLES, ids=lambda p: p.name)
 def test_example_runs(example):
@@ -20,6 +39,7 @@ def test_example_runs(example):
         capture_output=True,
         text=True,
         timeout=300,
+        env=subprocess_env(),
     )
     assert result.returncode == 0, result.stderr[-2000:]
     assert result.stdout.strip()
@@ -35,6 +55,7 @@ def test_cli_unknown_figure():
     result = subprocess.run(
         [sys.executable, "-m", "repro.bench", "fig99"],
         capture_output=True, text=True, timeout=120,
+        env=subprocess_env(),
     )
     assert result.returncode == 2
     assert "unknown figure" in result.stdout
@@ -44,8 +65,7 @@ def test_cli_runs_one_figure():
     result = subprocess.run(
         [sys.executable, "-m", "repro.bench", "fig13"],
         capture_output=True, text=True, timeout=600,
-        env={"REPRO_BENCH_PROFILE": "tiny", "PATH": "/usr/bin:/bin",
-             "HOME": "/root"},
+        env=subprocess_env(REPRO_BENCH_PROFILE="tiny"),
     )
     assert result.returncode == 0, result.stderr[-2000:]
     assert "workers" in result.stdout

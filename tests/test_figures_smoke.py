@@ -3,7 +3,6 @@ pytest (the benchmark suite runs them at scale under --benchmark-only)."""
 
 from __future__ import annotations
 
-import pytest
 
 from repro.bench.figures import fig4, fig11, fig12, fig13
 from repro.bench.profiles import TINY_PROFILE

@@ -7,7 +7,7 @@ import pytest
 from repro.errors import StoreClosedError, StoreOOMError
 from repro.kvstores.memory import OBJECT_OVERHEAD_BYTES, GcModel, HeapWindowBackend
 from repro.model import Window
-from repro.simenv import CAT_GC, SimEnv
+from repro.simenv import CAT_GC
 
 W1 = Window(0.0, 10.0)
 W2 = Window(10.0, 20.0)

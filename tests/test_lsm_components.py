@@ -20,7 +20,7 @@ from repro.kvstores.lsm.format import (
     unpack_list_value,
 )
 from repro.kvstores.lsm.memtable import MemTable
-from repro.kvstores.lsm.sstable import SSTableReader, SSTableWriter
+from repro.kvstores.lsm.sstable import SSTableWriter
 from repro.simenv import SimEnv
 from repro.storage import SimFileSystem
 

@@ -1,0 +1,239 @@
+"""Unit tests for the rescale subsystem: key-groups, policies, routing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends import memory_backend
+from repro.core.composite import FlowKVComposite
+from repro.core.config import FlowKVConfig
+from repro.core.patterns import StorePattern
+from repro.engine import StreamEnvironment
+from repro.errors import PlanError
+from repro.kvstores.api import composite_key, split_composite_key
+from repro.model import Window
+from repro.rescale import (
+    DEFAULT_MAX_KEY_GROUPS,
+    LoadObservation,
+    RescaleController,
+    ScheduledRescale,
+    groups_owned,
+    key_group_of,
+    key_group_range,
+    moved_key_groups,
+    owner_of,
+    validate_parallelism,
+)
+
+
+class TestKeyGroups:
+    def test_hash_is_deterministic_and_in_range(self):
+        for key in (b"", b"a", b"user42", b"\x00\xff" * 7):
+            group = key_group_of(key, DEFAULT_MAX_KEY_GROUPS)
+            assert 0 <= group < DEFAULT_MAX_KEY_GROUPS
+            assert group == key_group_of(key, DEFAULT_MAX_KEY_GROUPS)
+
+    @pytest.mark.parametrize("parallelism", [1, 2, 3, 4, 7, 128])
+    def test_ranges_partition_the_group_space(self, parallelism):
+        seen = []
+        for index in range(parallelism):
+            owned = key_group_range(index, 128, parallelism)
+            assert len(owned) >= 1  # every instance owns at least one group
+            seen.extend(owned)
+            for group in owned:
+                assert owner_of(group, 128, parallelism) == index
+        assert seen == list(range(128))
+
+    def test_groups_owned_matches_range(self):
+        owned = groups_owned(range(4), 128, 4)
+        for index in range(4):
+            assert owned[index] == list(key_group_range(index, 128, 4))
+
+    def test_validate_parallelism(self):
+        validate_parallelism(1, 128)
+        validate_parallelism(128, 128)
+        with pytest.raises(PlanError):
+            validate_parallelism(0, 128)
+        with pytest.raises(PlanError):
+            validate_parallelism(129, 128)
+
+    def test_range_index_out_of_bounds(self):
+        with pytest.raises(PlanError):
+            key_group_range(4, 128, 4)
+        with pytest.raises(PlanError):
+            key_group_range(-1, 128, 4)
+
+    def test_identity_move_plan_is_empty(self):
+        for parallelism in (1, 2, 4, 8):
+            assert moved_key_groups(128, parallelism, parallelism) == {}
+
+    @pytest.mark.parametrize("old,new", [(2, 4), (4, 2), (3, 5), (1, 8)])
+    def test_move_plan_is_exactly_the_ownership_diff(self, old, new):
+        plan = moved_key_groups(128, old, new)
+        moved = set()
+        for src, dsts in plan.items():
+            for dst, groups in dsts.items():
+                for group in groups:
+                    assert owner_of(group, 128, old) == src
+                    assert owner_of(group, 128, new) == dst
+                    assert src != dst
+                    moved.add(group)
+        expected = {
+            group
+            for group in range(128)
+            if owner_of(group, 128, old) != owner_of(group, 128, new)
+        }
+        assert moved == expected
+
+    def test_moves_are_contiguous_slices(self):
+        # Contiguous ranges (Flink-style) mean every (src, dst) transfer
+        # is one sequential slice of the key-group space, not a scatter.
+        plan = moved_key_groups(128, 2, 4)
+        for dsts in plan.values():
+            for groups in dsts.values():
+                assert groups == list(range(groups[0], groups[-1] + 1))
+        moved = sum(len(g) for dsts in plan.values() for g in dsts.values())
+        assert moved == 96  # instance 0 keeps its front quarter; rest moves
+
+
+class TestCompositeKey:
+    def test_round_trip(self):
+        window = Window(10.0, 20.0)
+        for key in (b"", b"k", b"user\x00binary\xff"):
+            window_back, key_back = split_composite_key(composite_key(window, key))
+            assert window_back == window
+            assert key_back == key
+
+    def test_window_prefix_orders_first(self):
+        early = composite_key(Window(0.0, 10.0), b"zzz")
+        late = composite_key(Window(10.0, 20.0), b"aaa")
+        assert early < late  # sorted stores cluster by window
+
+
+class TestScheduledRescale:
+    def test_fires_once_at_threshold(self):
+        policy = ScheduledRescale({10: 4})
+        assert policy.decide(LoadObservation(5, 2, None)) is None
+        assert policy.decide(LoadObservation(10, 2, None)) == 4
+        assert policy.decide(LoadObservation(20, 4, None)) is None
+
+    def test_collapses_missed_thresholds(self):
+        policy = ScheduledRescale({10: 4, 20: 8})
+        # One observation jumps past both: only the later target applies.
+        assert policy.decide(LoadObservation(25, 2, None)) == 8
+        assert policy.decide(LoadObservation(30, 8, None)) is None
+
+    def test_identity_target_is_suppressed(self):
+        policy = ScheduledRescale({10: 2})
+        assert policy.decide(LoadObservation(10, 2, None)) is None
+
+
+class TestRescaleController:
+    def observe(self, controller, utilization, parallelism=2):
+        return controller.decide(
+            LoadObservation(0, parallelism, utilization)
+        )
+
+    def test_patience_before_scale_up(self):
+        controller = RescaleController(patience=3, cooldown=0)
+        assert self.observe(controller, 0.9) is None
+        assert self.observe(controller, 0.9) is None
+        assert self.observe(controller, 0.9) == 4  # doubles
+
+    def test_streak_resets_on_normal_load(self):
+        controller = RescaleController(patience=2, cooldown=0)
+        assert self.observe(controller, 0.9) is None
+        assert self.observe(controller, 0.5) is None  # breaks the streak
+        assert self.observe(controller, 0.9) is None
+
+    def test_scale_down_halves(self):
+        controller = RescaleController(patience=2, cooldown=0)
+        assert self.observe(controller, 0.1, parallelism=8) is None
+        assert self.observe(controller, 0.1, parallelism=8) == 4
+
+    def test_cooldown_suppresses_decisions(self):
+        controller = RescaleController(patience=1, cooldown=2)
+        assert self.observe(controller, 0.9) == 4
+        assert self.observe(controller, 0.9, parallelism=4) is None
+        assert self.observe(controller, 0.9, parallelism=4) is None
+        assert self.observe(controller, 0.9, parallelism=4) == 8
+
+    def test_clamped_at_bounds(self):
+        controller = RescaleController(
+            min_parallelism=2, max_parallelism=4, patience=1, cooldown=0
+        )
+        assert self.observe(controller, 0.9, parallelism=4) is None  # at max
+        assert self.observe(controller, 0.1, parallelism=2) is None  # at min
+
+    def test_abstains_without_utilization(self):
+        controller = RescaleController(patience=1, cooldown=0)
+        assert self.observe(controller, None) is None
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            RescaleController(high_watermark=0.3, low_watermark=0.8)
+        with pytest.raises(ValueError):
+            RescaleController(min_parallelism=0)
+
+
+class TestCompositeRouting:
+    def make(self, env, fs, m=3, name="flowkv"):
+        return FlowKVComposite(
+            env, fs, StorePattern.AUR, FlowKVConfig(num_instances=m), name=name
+        )
+
+    def test_store_slot_depends_only_on_key_group(self, env, fs):
+        # The store index is kg % m — decorrelated from the engine's
+        # contiguous ranges and stable across any engine rescale.
+        store = self.make(env, fs)
+        config = FlowKVConfig(num_instances=3)
+        for i in range(50):
+            key = f"user{i}".encode()
+            routed = store._route(key)
+            expected = key_group_of(key, config.max_key_groups) % 3
+            assert store._instances.index(routed) == expected
+
+    def test_migrated_keys_land_in_the_same_slot(self, env, fs):
+        # Export moved key-groups from one composite, import into a fresh
+        # one: every entry must land in the slot with its kg residue, and
+        # reads must return the migrated values.
+        window = Window(0.0, 10.0)
+        source = self.make(env, fs, name="src")
+        keys = [f"user{i}".encode() for i in range(20)]
+        for key in keys:
+            source.append(key, window, f"v-{key.decode()}", 5.0)
+        source.flush()
+        config = FlowKVConfig(num_instances=3)
+        groups = {key_group_of(k, config.max_key_groups) for k in keys}
+
+        def kg(key: bytes) -> int:
+            return key_group_of(key, config.max_key_groups)
+
+        export = source.export_state(groups, kg)
+        assert len(export) == len(keys)
+        destination = self.make(env, fs, name="dst")
+        destination.import_state(export)
+        for key in keys:
+            assert destination.read_key_window(key, window) == [f"v-{key.decode()}"]
+            routed = destination._route(key)
+            assert destination._instances.index(routed) == kg(key) % 3
+        # Source no longer holds the moved keys.
+        for key in keys:
+            assert source.read_key_window(key, window) == []
+
+
+class TestIntervalJoinGuard:
+    def test_rescale_with_interval_join_rejected(self):
+        env = StreamEnvironment(parallelism=2, backend_factory=memory_backend())
+        left = env.from_source(
+            [((f"u{i % 3}", i), float(i)) for i in range(40)]
+        ).key_by(lambda v: v[0].encode())
+        right = env.from_source(
+            [((f"u{i % 3}", -i), float(i) + 0.5) for i in range(40)]
+        ).key_by(lambda v: v[0].encode())
+        left.interval_join(right, -1.0, 1.0, lambda a, b: (a, b)).sink("out")
+        with pytest.raises(PlanError, match="interval join"):
+            env.execute(
+                watermark_interval=5.0,
+                rescale_policy=ScheduledRescale({10: 4}),
+            )

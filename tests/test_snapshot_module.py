@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.simenv import CAT_SERDE, SimEnv
 from repro.snapshot import (
