@@ -24,6 +24,7 @@ from repro.bench.figures import (
     fig11,
     fig12,
     fig13,
+    fig_recovery,
     fig_rescale,
 )
 from repro.bench.profiles import active_profile
@@ -37,6 +38,7 @@ FIGURES = {
     "fig12": fig12,
     "fig13": fig13,
     "fig_rescale": fig_rescale,
+    "fig_recovery": fig_recovery,
 }
 
 

@@ -37,6 +37,8 @@ class RunRecord:
     operator_stats: dict[str, dict[str, Any]] = field(default_factory=dict)
     rescales: list[RescaleEvent] = field(default_factory=list)
     output_hash: str | None = None  # order-independent digest of sink outputs
+    recoveries: list[Any] = field(default_factory=list)  # RecoveryEvent
+    checkpoints: int = 0
 
     @property
     def ok(self) -> bool:
@@ -51,6 +53,21 @@ class RunRecord:
         if self.metrics is None:
             return 0.0
         return self.metrics.cpu_seconds.get("migration", 0.0)
+
+    @property
+    def recovery_seconds(self) -> float:
+        """Simulated CPU charged to the ``recovery`` ledger category."""
+        if self.metrics is None:
+            return 0.0
+        return self.metrics.cpu_seconds.get("recovery", 0.0)
+
+    @property
+    def restore_seconds(self) -> float:
+        """Simulated time spent restoring checkpoints after crashes."""
+        return sum(
+            event.sim_seconds for event in self.recoveries
+            if getattr(event, "kind", "") == "restore"
+        )
 
 
 def run_query(
@@ -68,6 +85,8 @@ def run_query(
     session_gap: float | None = None,
     parallelism: int | None = None,
     rescale_schedule: dict[int, int] | None = None,
+    fault_plan: Any = None,
+    checkpoint_interval: int | None = None,
 ) -> RunRecord:
     """Execute one cell of the evaluation matrix.
 
@@ -75,6 +94,11 @@ def run_query(
     entry triggers a mid-stream stop-the-world rescale (see
     :mod:`repro.rescale`).  ``parallelism`` overrides the profile's
     starting parallelism (the rescale sweep needs both ends).
+
+    ``fault_plan`` (a :class:`repro.faults.FaultPlan`) injects scheduled
+    faults; ``checkpoint_interval`` (records) enables checkpointing and
+    runs the job under the :class:`repro.recovery.RecoveryManager`, which
+    restores and replays through injected crashes.
     """
     factory = profile.backend_factory(backend, **(flowkv_overrides or {}))
     generator = profile.generator(
@@ -93,24 +117,33 @@ def run_query(
         workers=effective_workers,
         session_gap=session_gap,
         cost_scale=profile.latency_cost_scale if arrival_rate else 1.0,
+        faults=fault_plan.build() if fault_plan is not None else None,
     )
     record = RunRecord(query=query, backend=backend, window_size=window_size,
                        arrival_rate=arrival_rate,
                        n_instances=start_parallelism * effective_workers)
+    run_kwargs = dict(
+        arrival_rate=arrival_rate,
+        watermark_interval=(
+            profile.latency_watermark_interval
+            if arrival_rate
+            else profile.watermark_interval
+        ),
+        sim_timeout=sim_timeout,
+        overload_backlog=profile.overload_backlog,
+        rescale_policy=(
+            ScheduledRescale(dict(rescale_schedule)) if rescale_schedule else None
+        ),
+    )
     try:
-        result = env.execute(
-            arrival_rate=arrival_rate,
-            watermark_interval=(
-                profile.latency_watermark_interval
-                if arrival_rate
-                else profile.watermark_interval
-            ),
-            sim_timeout=sim_timeout,
-            overload_backlog=profile.overload_backlog,
-            rescale_policy=(
-                ScheduledRescale(dict(rescale_schedule)) if rescale_schedule else None
-            ),
-        )
+        if checkpoint_interval is not None:
+            from repro.recovery import RecoveryManager
+
+            env.validate()
+            manager = RecoveryManager(env, checkpoint_interval)
+            result = manager.run(**run_kwargs)
+        else:
+            result = env.execute(**run_kwargs)
     except StoreOOMError:
         record.failure = "oom"
         return record
@@ -122,6 +155,8 @@ def run_query(
     record.metrics = result.metrics
     record.operator_stats = result.operator_stats
     record.rescales = result.rescales
+    record.recoveries = result.recoveries
+    record.checkpoints = result.checkpoints
     record.output_hash = output_digest(result.sink_outputs)
     if arrival_rate:
         record.p95_latency = result.p95_latency()

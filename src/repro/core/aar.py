@@ -258,19 +258,23 @@ class AarStore:
         With ``upload_env`` the file copies are charged asynchronously to
         that environment (§8); only the flush blocks this store.
         """
-        from repro.snapshot import StoreSnapshot, copy_files_out, pack_meta
+        from repro.snapshot import StoreSnapshot, copy_files_out, pack_meta, seal_snapshot
 
         self._check_open()
         self.flush()
         meta = pack_meta(self._env, {"flushed_windows": set(self._flushed_windows)})
         files = copy_files_out(self._env, self._fs, self._name + "/", upload_env)
-        return StoreSnapshot("aar", meta, files)
+        return seal_snapshot(self._env, StoreSnapshot("aar", meta, files))
 
     def restore(self, snapshot) -> None:
-        """Load a snapshot into this fresh instance."""
-        from repro.snapshot import copy_files_in, unpack_meta
+        """Load a verified snapshot into this fresh (empty) instance."""
+        from repro.errors import StoreRestoreError
+        from repro.snapshot import copy_files_in, unpack_meta, verify_snapshot
 
         self._check_open()
+        verify_snapshot(self._env, snapshot)
+        if self._buffer or self._flushed_windows or self._fs.list_files(self._name + "/"):
+            raise StoreRestoreError(f"restore into non-empty aar store {self._name}")
         copy_files_in(self._env, self._fs, snapshot.files)
         state = unpack_meta(self._env, snapshot.meta)
         self._flushed_windows = set(state["flushed_windows"])

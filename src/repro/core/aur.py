@@ -711,7 +711,7 @@ class AurStore:
         With ``upload_env`` the file copies are charged asynchronously to
         that environment (§8); only the flush blocks this store.
         """
-        from repro.snapshot import StoreSnapshot, copy_files_out, pack_meta
+        from repro.snapshot import StoreSnapshot, copy_files_out, pack_meta, seal_snapshot
 
         self._check_open()
         self.flush()
@@ -735,12 +735,16 @@ class AurStore:
             },
         )
         files = copy_files_out(self._env, self._fs, self._name + "/", upload_env)
-        return StoreSnapshot("aur", meta, files)
+        return seal_snapshot(self._env, StoreSnapshot("aur", meta, files))
 
     def restore(self, snapshot) -> None:
-        from repro.snapshot import copy_files_in, unpack_meta
+        from repro.errors import StoreRestoreError
+        from repro.snapshot import copy_files_in, unpack_meta, verify_snapshot
 
         self._check_open()
+        verify_snapshot(self._env, snapshot)
+        if self._buffer or self._stat or self._segments or self._consumed:
+            raise StoreRestoreError(f"restore into non-empty aur store {self._name}")
         copy_files_in(self._env, self._fs, snapshot.files)
         state = unpack_meta(self._env, snapshot.meta)
         self._stat = {

@@ -26,7 +26,7 @@ from repro.errors import PatternError
 from repro.kvstores.api import KeyGroupFn, StateExport, WindowStateBackend
 from repro.model import PickleSerde, Serde, Window
 from repro.rescale.keygroups import key_group_of
-from repro.simenv import CAT_SERDE, SimEnv
+from repro.simenv import CAT_RECOVERY, CAT_SERDE, SimEnv
 from repro.storage.filesystem import SimFileSystem
 
 
@@ -172,6 +172,8 @@ class FlowKVComposite(WindowStateBackend):
         With ``upload_env`` the file transfers are charged to that
         environment (asynchronous upload) rather than the store's clock.
         """
+        import zlib
+
         from repro.snapshot import StoreSnapshot
 
         parts = [store.snapshot(upload_env=upload_env) for store in self._instances]
@@ -180,13 +182,24 @@ class FlowKVComposite(WindowStateBackend):
             protocol=pickle.HIGHEST_PROTOCOL,
         )
         files: dict[str, bytes] = {}
+        # Per-file checksums are inherited from the already-sealed part
+        # snapshots (no re-hash); only the combined meta blob needs a new CRC.
+        checksums: dict[str, tuple[int, int]] = {}
         for part in parts:
             files.update(part.files)
-        return StoreSnapshot(f"flowkv:{self._pattern.value}", meta, files)
+            checksums.update(part.checksums or {})
+        snap = StoreSnapshot(f"flowkv:{self._pattern.value}", meta, files)
+        snap.checksums = checksums
+        self._env.charge_cpu(CAT_RECOVERY, len(meta) * self._env.cpu.crc_per_byte)
+        snap.meta_crc = zlib.crc32(meta)
+        return snap
 
     def restore(self, snapshot) -> None:
-        from repro.snapshot import StoreSnapshot
+        from repro.snapshot import StoreSnapshot, verify_snapshot
 
+        # Verify once at the composite level; the per-instance snapshots
+        # handed down are unsealed so the leaves don't re-hash.
+        verify_snapshot(self._env, snapshot)
         parts_meta = pickle.loads(snapshot.meta)
         if len(parts_meta) != len(self._instances):
             raise ValueError(

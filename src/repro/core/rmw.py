@@ -331,7 +331,7 @@ class RmwStore:
         RocksDB strategy): on-disk data can then be transferred
         asynchronously while writes continue in memory.
         """
-        from repro.snapshot import StoreSnapshot, copy_files_out, pack_meta
+        from repro.snapshot import StoreSnapshot, copy_files_out, pack_meta, seal_snapshot
 
         self._check_open()
         self._spill(target=0)
@@ -352,12 +352,16 @@ class RmwStore:
             },
         )
         files = copy_files_out(self._env, self._fs, self._name + "/", upload_env)
-        return StoreSnapshot("rmw", meta, files)
+        return seal_snapshot(self._env, StoreSnapshot("rmw", meta, files))
 
     def restore(self, snapshot) -> None:
-        from repro.snapshot import copy_files_in, unpack_meta
+        from repro.errors import StoreRestoreError
+        from repro.snapshot import copy_files_in, unpack_meta, verify_snapshot
 
         self._check_open()
+        verify_snapshot(self._env, snapshot)
+        if self._buffer or self._index or self._segments:
+            raise StoreRestoreError(f"restore into non-empty rmw store {self._name}")
         copy_files_in(self._env, self._fs, snapshot.files)
         state = unpack_meta(self._env, snapshot.meta)
         self._index = {

@@ -330,6 +330,41 @@ class WindowOperator:
         if state["max_timestamp"] > self._max_timestamp:
             self._max_timestamp = state["max_timestamp"]
 
+    # ------------------------------------------------------------------
+    # checkpointing: the operator's own mutable state, captured alongside
+    # the backend snapshot so a restored instance resumes mid-window.
+    # ------------------------------------------------------------------
+    def checkpoint_state(self) -> dict[str, Any]:
+        """All in-operator mutable state, as one picklable object graph.
+
+        The timer heap's session payloads reference the same
+        :class:`_Session` objects as ``_sessions``; returning them in one
+        structure lets a single pickle preserve that identity, which the
+        stale-timer checks in :meth:`_fire_session` depend on.
+        """
+        return {
+            "timers": list(self._timers),
+            "timer_seq": self._timer_seq,
+            "pending_aligned": set(self._pending_aligned),
+            "window_keys": {w: set(ks) for w, ks in self._window_keys.items()},
+            "sessions": self._sessions,
+            "count_state": dict(self._count_state),
+            "max_timestamp": self._max_timestamp,
+            "results_emitted": self.results_emitted,
+        }
+
+    def restore_checkpoint_state(self, state: dict[str, Any]) -> None:
+        """Adopt checkpointed operator state (fresh instance only)."""
+        self._timers = list(state["timers"])
+        heapq.heapify(self._timers)
+        self._timer_seq = state["timer_seq"]
+        self._pending_aligned = set(state["pending_aligned"])
+        self._window_keys = {w: set(ks) for w, ks in state["window_keys"].items()}
+        self._sessions = state["sessions"]
+        self._count_state = dict(state["count_state"])
+        self._max_timestamp = state["max_timestamp"]
+        self.results_emitted = state["results_emitted"]
+
     def _process_and_emit(self, key: bytes, window: Window, values: list[Any]) -> None:
         self.env.charge_cpu(
             CAT_QUERY, self.env.cpu.function_call + len(values) * _QUERY_PER_VALUE

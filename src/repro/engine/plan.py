@@ -163,6 +163,9 @@ class StreamEnvironment:
             — the unit of ownership for elastic rescaling.  Fixed for
             the lifetime of the job; physical parallelism can never
             exceed it.
+        faults: optional :class:`repro.faults.FaultInjector` shared by
+            every physical instance's environment (fault injection and
+            crash points).
     """
 
     def __init__(
@@ -173,6 +176,7 @@ class StreamEnvironment:
         ssd: SsdCostModel | None = None,
         workers: int = 1,
         max_key_groups: int = DEFAULT_MAX_KEY_GROUPS,
+        faults: Any = None,
     ) -> None:
         if parallelism < 1 or workers < 1:
             raise PlanError("parallelism and workers must be >= 1")
@@ -183,6 +187,7 @@ class StreamEnvironment:
         self.backend_factory = backend_factory
         self.cpu = cpu or CpuCostModel()
         self.ssd = ssd or SsdCostModel()
+        self.faults = faults
         self._nodes: list[LogicalNode] = []
         self._ids = itertools.count()
         self._sources: list[tuple[LogicalNode, Iterable[tuple[Any, float]]]] = []

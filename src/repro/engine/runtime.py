@@ -32,6 +32,7 @@ from repro.engine.joins import IntervalJoinOperator
 from repro.engine.operators import WindowOperator
 from repro.engine.plan import LogicalNode, StreamEnvironment
 from repro.errors import PlanError, ReproError, SimTimeoutError
+from repro.faults import CRASH_RUNTIME_RECORD, CRASH_RUNTIME_WATERMARK
 from repro.model import StreamRecord
 from repro.rescale.controller import LoadObservation
 from repro.rescale.keygroups import key_group_of, owner_of
@@ -68,6 +69,8 @@ class JobResult:
     operator_stats: dict[str, dict[str, Any]]
     failure: str | None = None
     rescales: list[RescaleEvent] = field(default_factory=list)
+    recoveries: list[Any] = field(default_factory=list)  # RecoveryEvent
+    checkpoints: int = 0
 
     @property
     def throughput(self) -> float:
@@ -102,12 +105,13 @@ class Executor:
         self._retired: dict[int, list[tuple[MetricsSnapshot, float, int]]] = {}
         self._rescales: list[RescaleEvent] = []
         self.current_parallelism = plan_env.parallelism * plan_env.workers
+        self.records_ingested = 0
         self._build_instances()
 
     def _new_instance(self, node: LogicalNode, index: int) -> PhysicalInstance:
         """Deploy one physical instance of a stateful node (fresh state)."""
         factory = self._plan.backend_factory
-        env = SimEnv(cpu=self._plan.cpu, ssd=self._plan.ssd)
+        env = SimEnv(cpu=self._plan.cpu, ssd=self._plan.ssd, faults=self._plan.faults)
         fs = SimFileSystem(env)
         name = f"{node.name}/p{index}"
         if node.kind == "interval_join":
@@ -147,6 +151,10 @@ class Executor:
         overload_backlog: float = 600.0,
         watermark_delay: float = 0.0,
         rescale_policy: Any = None,
+        records: list | None = None,
+        start_count: int = 0,
+        start_max_ts: float = float("-inf"),
+        checkpointer: Any = None,
     ) -> JobResult:
         """Execute the job.
 
@@ -168,25 +176,47 @@ class Executor:
                 ScheduledRescale` or ``RescaleController``), consulted at
                 every watermark boundary; a non-None decision triggers a
                 stop-the-world rescale to that parallelism.
+            records: pre-materialized ``(source_node, value, timestamp)``
+                list to run from instead of the plan's sources.  The
+                recovery manager materializes sources once so replays see
+                the identical record sequence.
+            start_count: resume position into ``records`` (a checkpoint's
+                record count); arrival times stay on the absolute grid.
+            start_max_ts: the watermark state at the checkpoint.
+            checkpointer: optional :class:`repro.recovery.Checkpointer`
+                consulted at every watermark boundary.
         """
-        merged = self._merged_sources()
-        count = 0
-        max_ts = float("-inf")
+        faults = self._plan.faults
+        if records is not None:
+            merged = iter(records[start_count:])
+        else:
+            merged = self._merged_sources()
+        count = start_count
+        max_ts = start_max_ts
         arrival = 0.0
         failure: str | None = None
         last_busy = self._busy_sum()
         last_arrival = 0.0
         try:
             for source_node, value, timestamp in merged:
+                if faults is not None:
+                    faults.crash_point(
+                        CRASH_RUNTIME_RECORD, now_fn=self._busiest_clock
+                    )
                 if arrival_rate:
                     arrival = count / arrival_rate
                 record = StreamRecord(b"", value, timestamp)
                 self._push(source_node, record, arrival)
                 count += 1
+                self.records_ingested = count
                 if timestamp > max_ts:
                     max_ts = timestamp
                 if count % watermark_interval == 0:
                     self._broadcast_watermark(max_ts - watermark_delay, arrival)
+                    if faults is not None:
+                        faults.crash_point(
+                            CRASH_RUNTIME_WATERMARK, now_fn=self._busiest_clock
+                        )
                     self._check_limits(sim_timeout, arrival_rate, arrival, overload_backlog)
                     if rescale_policy is not None:
                         busy = self._busy_sum()
@@ -204,6 +234,8 @@ class Executor:
                         target = rescale_policy.decide(observation)
                         if target is not None and target != self.current_parallelism:
                             self.rescale_to(target, arrival=arrival, at_record=count)
+                    if checkpointer is not None:
+                        checkpointer.maybe_checkpoint(self, count, max_ts, rescale_policy)
             self._finish(arrival)
         except SimTimeoutError:
             failure = "timeout"
@@ -221,6 +253,29 @@ class Executor:
         event = migrate(self, new_parallelism, arrival=arrival, at_record=at_record)
         self._rescales.append(event)
         return event
+
+    def rebuild_for_restore(self, parallelism: int) -> None:
+        """Redeploy all stateful nodes at ``parallelism`` with fresh state.
+
+        Recovery builds the post-crash executor with this before loading
+        checkpointed snapshots into the (empty) instances: the checkpoint
+        dictates the parallelism, not the plan's default.
+        """
+        for node in self._stateful_nodes:
+            for instance in self._instances[node.node_id]:
+                backend = instance.operator.backend
+                if backend is not None:
+                    backend.close()
+            self._instances[node.node_id] = [
+                self._new_instance(node, i) for i in range(parallelism)
+            ]
+        self.current_parallelism = parallelism
+
+    def _busiest_clock(self) -> float:
+        return max(
+            (inst.env.clock.now for insts in self._instances.values() for inst in insts),
+            default=0.0,
+        )
 
     def _busy_sum(self) -> float:
         """Total busy time over live and retired instances (monotonic)."""

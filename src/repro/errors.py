@@ -30,6 +30,23 @@ class StoreOOMError(StoreError):
     """
 
 
+class SnapshotCorruptError(StoreError):
+    """A snapshot failed checksum/length verification at restore time.
+
+    Raised instead of silently loading garbage when a checkpoint file was
+    torn (truncated tail), bit-flipped, or lost entirely.
+    """
+
+
+class StoreRestoreError(StoreError):
+    """A snapshot restore was attempted on a store that already holds state.
+
+    Restore is only defined into a freshly constructed (empty) store; a
+    double-restore or a restore over live state would silently mix two
+    histories, so it is rejected instead.
+    """
+
+
 class SimTimeoutError(ReproError):
     """A simulated job exceeded its simulated-time budget.
 
@@ -48,6 +65,30 @@ class FileNotFoundInStoreError(FileSystemError):
 
 class FileExistsInStoreError(FileSystemError):
     """A file with the given name already exists."""
+
+
+class DiskIOError(FileSystemError):
+    """A device read or write failed (injected disk fault).
+
+    Transient by contract: callers on the snapshot and migration paths
+    retry with capped deterministic backoff (:func:`repro.faults.
+    with_retries`); a fault that outlives the retries escalates to a
+    crash handled by the :class:`repro.recovery.RecoveryManager`.
+    """
+
+
+class InjectedCrashError(ReproError):
+    """The process was killed at an instrumented crash point.
+
+    Carries the crash-point ``site`` and the simulated time at which the
+    fault fired.  Everything not yet checkpointed is lost; recovery
+    restores the latest complete checkpoint and replays.
+    """
+
+    def __init__(self, site: str, now: float = 0.0) -> None:
+        super().__init__(f"injected crash at {site} (t={now:.6f}s)")
+        self.site = site
+        self.now = now
 
 
 class PlanError(ReproError):

@@ -1,0 +1,341 @@
+"""Deterministic fault injection (the robustness harness).
+
+Nothing in a simulator fails by accident, so failures are *scheduled*: a
+:class:`FaultPlan` names, ahead of time, exactly which faults fire and
+when — at a simulated time, on the Nth device I/O, or on the Nth passage
+of a named crash point — and a seed fixes every data-dependent choice
+(how much of a torn write survives, which bit flips).  The same plan
+therefore produces the same fault times, the same recovery path, and the
+same recovery metrics on every run, which is what lets the CI fault
+matrix assert recovery *equivalence* instead of merely "it didn't die".
+
+Fault kinds:
+
+* ``error`` — the device read/write raises :class:`DiskIOError`
+  (transient by contract; snapshot and migration I/O retry through
+  :func:`with_retries`).
+* ``torn`` — an append silently loses its tail (power loss mid-write);
+  detected later by checkpoint checksums, never at write time.
+* ``bitflip`` — one bit of the written payload is flipped (latent media
+  corruption); likewise only detectable by checksum.
+* crash — :class:`InjectedCrashError` is raised at an instrumented
+  crash point (process kill); the :class:`repro.recovery.RecoveryManager`
+  restores the latest complete checkpoint and replays.
+
+The injector is shared by every :class:`~repro.simenv.SimEnv` of a job
+(operator instances and the checkpoint storage alike), so I/O ordinals
+are global and deterministic under the single-threaded simulation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import DiskIOError, InjectedCrashError
+from repro.simenv.metrics import CAT_RECOVERY
+
+# Canonical crash-point names (the instrumented sites).
+CRASH_RUNTIME_RECORD = "runtime.record"  # between two input records
+CRASH_RUNTIME_WATERMARK = "runtime.watermark"  # after a watermark broadcast
+CRASH_SNAPSHOT_FILE = "snapshot.file"  # between two checkpoint file writes
+CRASH_SNAPSHOT_COMMIT = "snapshot.commit"  # after the temp manifest, before the rename
+CRASH_MIGRATE_EXPORT = "migrate.export"  # before a source instance exports
+CRASH_MIGRATE_IMPORT = "migrate.import"  # before a destination instance imports
+
+CRASH_POINTS = (
+    CRASH_RUNTIME_RECORD,
+    CRASH_RUNTIME_WATERMARK,
+    CRASH_SNAPSHOT_FILE,
+    CRASH_SNAPSHOT_COMMIT,
+    CRASH_MIGRATE_EXPORT,
+    CRASH_MIGRATE_IMPORT,
+)
+
+KIND_ERROR = "error"
+KIND_TORN = "torn"
+KIND_BITFLIP = "bitflip"
+
+
+@dataclass
+class DiskFault:
+    """One scheduled device fault.
+
+    Fires on I/Os matching ``op`` (read/write/any) and ``path_prefix``,
+    triggered either by ordinal (``on_io``: the fault is active for the
+    ``times`` matching I/Os starting at that 1-based ordinal) or by
+    simulated time (``at_time``: the first ``times`` matching I/Os at or
+    after that clock reading).
+    """
+
+    kind: str  # KIND_ERROR | KIND_TORN | KIND_BITFLIP
+    op: str = "any"  # "read" | "write" | "transfer" | "any"
+    on_io: int | None = None
+    at_time: float | None = None
+    path_prefix: str = ""
+    times: int = 1
+    fired: int = field(default=0, init=False)
+
+    def matches(self, op: str, name: str, io_index: int, now: float) -> bool:
+        if self.fired >= self.times:
+            return False
+        if self.op != "any" and self.op != op:
+            return False
+        if not name.startswith(self.path_prefix):
+            return False
+        if self.on_io is not None:
+            return self.on_io <= io_index < self.on_io + self.times
+        if self.at_time is not None:
+            return now >= self.at_time
+        return False
+
+
+@dataclass
+class CrashFault:
+    """One scheduled process kill at a named crash point.
+
+    Triggered on the ``on_hit``-th passage of ``site`` (1-based, counted
+    across restarts — a crash fires exactly once and a replay passing
+    the same site again does not re-die), or at the first passage with
+    simulated time ``>= at_time``.
+    """
+
+    site: str
+    on_hit: int | None = None
+    at_time: float | None = None
+    fired: bool = field(default=False, init=False)
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One fired fault — the determinism witness.
+
+    Two runs of the same :class:`FaultPlan` must produce identical
+    record sequences (same targets, same I/O ordinals, same simulated
+    fault times).
+    """
+
+    kind: str
+    target: str
+    at_time: float
+    io_index: int | None = None
+    detail: str = ""
+
+
+class FaultPlan:
+    """A seeded, schedulable set of faults (fluent builder).
+
+    >>> plan = (FaultPlan(seed=7)
+    ...         .crash(CRASH_RUNTIME_RECORD, on_hit=500)
+    ...         .torn_write(on_io=120, path_prefix="chk/")
+    ...         .fail_io(op="write", on_io=80, times=2))
+    >>> injector = plan.build()
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self.disk_faults: list[DiskFault] = []
+        self.crashes: list[CrashFault] = []
+
+    def fail_io(
+        self,
+        op: str = "any",
+        on_io: int | None = None,
+        at_time: float | None = None,
+        path_prefix: str = "",
+        times: int = 1,
+    ) -> "FaultPlan":
+        """Schedule transient :class:`DiskIOError` on matching I/Os."""
+        self.disk_faults.append(
+            DiskFault(KIND_ERROR, op, on_io, at_time, path_prefix, times)
+        )
+        return self
+
+    def torn_write(
+        self,
+        on_io: int | None = None,
+        at_time: float | None = None,
+        path_prefix: str = "",
+        times: int = 1,
+    ) -> "FaultPlan":
+        """Schedule a silent tail-truncating append (power-loss tear)."""
+        self.disk_faults.append(
+            DiskFault(KIND_TORN, "write", on_io, at_time, path_prefix, times)
+        )
+        return self
+
+    def bit_flip(
+        self,
+        on_io: int | None = None,
+        at_time: float | None = None,
+        path_prefix: str = "",
+        times: int = 1,
+    ) -> "FaultPlan":
+        """Schedule a silent one-bit corruption of a written payload."""
+        self.disk_faults.append(
+            DiskFault(KIND_BITFLIP, "write", on_io, at_time, path_prefix, times)
+        )
+        return self
+
+    def crash(
+        self, site: str, on_hit: int | None = None, at_time: float | None = None
+    ) -> "FaultPlan":
+        """Schedule a process kill at a named crash point."""
+        if site not in CRASH_POINTS:
+            raise ValueError(f"unknown crash point {site!r}; one of {CRASH_POINTS}")
+        if on_hit is None and at_time is None:
+            raise ValueError("crash fault needs on_hit or at_time")
+        self.crashes.append(CrashFault(site, on_hit, at_time))
+        return self
+
+    def build(self) -> "FaultInjector":
+        return FaultInjector(self)
+
+
+class FaultInjector:
+    """Runtime state of a :class:`FaultPlan`: counters and fired faults.
+
+    Consulted by :class:`~repro.storage.filesystem.SimFileSystem` on
+    every data I/O and by the engine/snapshot/migration code at the
+    instrumented crash points.  All mutation is deterministic; data-
+    dependent choices (tear length, flipped bit) come from a per-fault
+    ``random.Random`` derived from ``(seed, fault index)`` so firing
+    order cannot perturb them.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self._plan = plan
+        self.io_index = 0  # ordinal of the next data I/O (1-based once bumped)
+        self.site_hits: dict[str, int] = {}
+        self.fired: list[FaultRecord] = []
+
+    @property
+    def plan(self) -> FaultPlan:
+        return self._plan
+
+    def _fault_rng(self, fault: DiskFault) -> random.Random:
+        index = self._plan.disk_faults.index(fault)
+        return random.Random(f"{self._plan.seed}:{index}:{fault.fired}")
+
+    # ------------------------------------------------------------------
+    # device I/O hooks (SimFileSystem)
+    # ------------------------------------------------------------------
+    def on_write(self, name: str, data: bytes, now: float) -> bytes:
+        """Consulted before an append; may raise or silently mutate."""
+        self.io_index += 1
+        for fault in self._plan.disk_faults:
+            if not fault.matches("write", name, self.io_index, now):
+                continue
+            fault.fired += 1
+            rng = self._fault_rng(fault)
+            if fault.kind == KIND_ERROR:
+                self.fired.append(
+                    FaultRecord(KIND_ERROR, name, now, self.io_index, "write failed")
+                )
+                raise DiskIOError(f"injected write fault on {name}")
+            if fault.kind == KIND_TORN and data:
+                keep = rng.randrange(len(data))
+                self.fired.append(
+                    FaultRecord(
+                        KIND_TORN, name, now, self.io_index,
+                        f"kept {keep}/{len(data)}B",
+                    )
+                )
+                data = data[:keep]
+            elif fault.kind == KIND_BITFLIP and data:
+                offset = rng.randrange(len(data))
+                bit = 1 << rng.randrange(8)
+                self.fired.append(
+                    FaultRecord(
+                        KIND_BITFLIP, name, now, self.io_index,
+                        f"byte {offset} ^ {bit:#04x}",
+                    )
+                )
+                mutated = bytearray(data)
+                mutated[offset] ^= bit
+                data = bytes(mutated)
+        return data
+
+    def on_read(self, name: str, now: float) -> None:
+        """Consulted before a positional read; may raise DiskIOError."""
+        self.io_index += 1
+        for fault in self._plan.disk_faults:
+            if fault.kind != KIND_ERROR:
+                continue
+            if not fault.matches("read", name, self.io_index, now):
+                continue
+            fault.fired += 1
+            self.fired.append(
+                FaultRecord(KIND_ERROR, name, now, self.io_index, "read failed")
+            )
+            raise DiskIOError(f"injected read fault on {name}")
+
+    def on_transfer(self, label: str, now: float) -> None:
+        """Consulted before a migration state transfer (op=``transfer``)."""
+        self.io_index += 1
+        for fault in self._plan.disk_faults:
+            if fault.kind != KIND_ERROR:
+                continue
+            if not fault.matches("transfer", label, self.io_index, now):
+                continue
+            fault.fired += 1
+            self.fired.append(
+                FaultRecord(KIND_ERROR, label, now, self.io_index, "transfer failed")
+            )
+            raise DiskIOError(f"injected transfer fault on {label}")
+
+    # ------------------------------------------------------------------
+    # crash points
+    # ------------------------------------------------------------------
+    def crash_point(self, site: str, now: float = 0.0, now_fn=None) -> None:
+        """Raise :class:`InjectedCrashError` if a crash is due at ``site``.
+
+        ``now_fn`` lazily supplies the simulated clock for time-triggered
+        crashes, so hot sites (per-record) avoid computing it unless a
+        time-based fault is actually armed for them.
+        """
+        hits = self.site_hits.get(site, 0) + 1
+        self.site_hits[site] = hits
+        for fault in self._plan.crashes:
+            if fault.fired or fault.site != site:
+                continue
+            if fault.on_hit is not None:
+                if hits != fault.on_hit:
+                    continue
+            elif fault.at_time is not None:
+                if now_fn is not None:
+                    now = now_fn()
+                if now < fault.at_time:
+                    continue
+            fault.fired = True
+            self.fired.append(FaultRecord("crash", site, now, None, f"hit {hits}"))
+            raise InjectedCrashError(site, now)
+
+
+def with_retries(
+    env,
+    fn,
+    category: str = CAT_RECOVERY,
+    attempts: int = 4,
+    base_backoff: float = 0.002,
+    max_backoff: float = 0.050,
+):
+    """Run ``fn()``, retrying transient :class:`DiskIOError` faults.
+
+    Backoff is deterministic (exponential, capped) and *charged to the
+    simulated clock* under ``category`` — a retried checkpoint costs
+    recovery time, it doesn't hide it.  The last error propagates once
+    the attempt budget is exhausted (escalating a persistent fault to
+    the caller's crash handling).  Only idempotent operations may be
+    wrapped: checkpoint file puts/reads and migration transfer charges
+    qualify; destructive store calls (export/import) do not.
+    """
+    delay = base_backoff
+    for attempt in range(attempts):
+        try:
+            return fn()
+        except DiskIOError:
+            if attempt == attempts - 1:
+                raise
+            env.charge_cpu(category, min(delay, max_backoff))
+            delay *= 2.0

@@ -277,7 +277,7 @@ class FasterStore(KVStore):
     # spilled log file copied byte-exact.
     # ------------------------------------------------------------------
     def snapshot(self, upload_env=None):
-        from repro.snapshot import StoreSnapshot, copy_files_out, pack_meta
+        from repro.snapshot import StoreSnapshot, copy_files_out, pack_meta, seal_snapshot
 
         self._check_open()
         # Pickling index and resident records together preserves the
@@ -296,12 +296,16 @@ class FasterStore(KVStore):
             },
         )
         files = copy_files_out(self._env, self._fs, self._name + "/", upload_env)
-        return StoreSnapshot("faster", meta, files)
+        return seal_snapshot(self._env, StoreSnapshot("faster", meta, files))
 
     def restore(self, snapshot) -> None:
-        from repro.snapshot import copy_files_in, unpack_meta
+        from repro.errors import StoreRestoreError
+        from repro.snapshot import copy_files_in, unpack_meta, verify_snapshot
 
         self._check_open()
+        verify_snapshot(self._env, snapshot)
+        if self._index or self._resident:
+            raise StoreRestoreError(f"restore into non-empty faster store {self._name}")
         copy_files_in(self._env, self._fs, snapshot.files)
         state = unpack_meta(self._env, snapshot.meta)
         self._index = state["index"]

@@ -346,7 +346,7 @@ class LsmStore(KVStore):
         to) only copies files absent from the base snapshot and records
         the names it re-uses — recovery resolves them from the base.
         """
-        from repro.snapshot import StoreSnapshot, copy_files_out, pack_meta
+        from repro.snapshot import StoreSnapshot, copy_files_out, pack_meta, seal_snapshot
 
         self._check_open()
         self.flush()
@@ -373,13 +373,17 @@ class LsmStore(KVStore):
                 "reused": reused,
             },
         )
-        return StoreSnapshot("lsm", meta, files)
+        return seal_snapshot(self._env, StoreSnapshot("lsm", meta, files))
 
     def restore(self, snapshot, base=None) -> None:
         """Load a (possibly incremental) snapshot into this fresh store."""
-        from repro.snapshot import copy_files_in, unpack_meta
+        from repro.errors import StoreRestoreError
+        from repro.snapshot import copy_files_in, unpack_meta, verify_snapshot
 
         self._check_open()
+        verify_snapshot(self._env, snapshot)
+        if self._memtable.entry_count or any(self._levels):
+            raise StoreRestoreError(f"restore into non-empty lsm store {self._name}")
         state = unpack_meta(self._env, snapshot.meta)
         files = dict(snapshot.files)
         for name in state.get("reused", []):

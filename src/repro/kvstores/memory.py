@@ -194,19 +194,23 @@ class HeapWindowBackend(WindowStateBackend):
 
     def snapshot(self):
         """Full heap capture (Flink's heap backend snapshots everything)."""
-        from repro.snapshot import StoreSnapshot, pack_meta
+        from repro.snapshot import StoreSnapshot, pack_meta, seal_snapshot
 
         self._check_open()
         meta = pack_meta(
             self._env,
             {"lists": self._lists, "aggs": self._aggs, "live_bytes": self._live_bytes},
         )
-        return StoreSnapshot("heap", meta)
+        return seal_snapshot(self._env, StoreSnapshot("heap", meta))
 
     def restore(self, snapshot) -> None:
-        from repro.snapshot import unpack_meta
+        from repro.errors import StoreRestoreError
+        from repro.snapshot import unpack_meta, verify_snapshot
 
         self._check_open()
+        verify_snapshot(self._env, snapshot)
+        if self._lists or self._aggs:
+            raise StoreRestoreError("restore into non-empty heap store")
         state = unpack_meta(self._env, snapshot.meta)
         self._lists = state["lists"]
         self._aggs = state["aggs"]

@@ -281,6 +281,7 @@ def build_query(
     workers: int = 1,
     session_gap: float | None = None,
     cost_scale: float = 1.0,
+    faults: Any = None,
 ) -> StreamEnvironment:
     """Construct a ready-to-execute environment for one query.
 
@@ -298,7 +299,7 @@ def build_query(
         cpu, ssd = scaled_cost_models(cost_scale)
     env = StreamEnvironment(
         parallelism=parallelism, backend_factory=backend_factory, workers=workers,
-        cpu=cpu, ssd=ssd,
+        cpu=cpu, ssd=ssd, faults=faults,
     )
     source = env.from_source(generate_events(generator_config), name="nexmark")
     gap = session_gap if session_gap is not None else window_size * SESSION_GAP_FRACTION

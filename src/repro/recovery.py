@@ -1,0 +1,400 @@
+"""Crash recovery and exactly-once restore (§8, Fault Tolerance).
+
+The paper prescribes Flink-style checkpointing: periodically snapshot
+every store into reliable storage and, on failure, restore the latest
+snapshot and replay the source from that point.  This module provides
+the three pieces around the per-store ``snapshot``/``restore`` methods:
+
+* :class:`CheckpointStorage` — a durable, checksummed checkpoint layout
+  on its own simulated device.  Every epoch is a separate directory
+  committed by an atomically-renamed manifest, so a crash mid-snapshot
+  never clobbers the last good checkpoint, and every byte is covered by
+  a CRC32 verified at restore (:class:`SnapshotCorruptError` otherwise).
+* :class:`Checkpointer` — takes a consistent cut at watermark
+  boundaries: store snapshots, in-operator state, sink outputs,
+  latencies, rescale history and the rescale policy, all under one
+  epoch.
+* :class:`RecoveryManager` — runs a job, and on an injected crash
+  restores the newest *complete* checkpoint (falling back past corrupt
+  ones), rewinds the source to the checkpoint's record count and
+  replays.  Output is exactly-once by construction: sink outputs are
+  checkpointed atomically with the state, outputs after the checkpoint
+  are discarded with the crash, and the deterministic replay regenerates
+  them identically (arrivals stay on the absolute record grid).
+
+All recovery-path work — checksums, checkpoint reads, replay setup,
+retry backoff — is charged to the ``recovery`` ledger category on the
+storage environment and merged into the job's metrics.
+"""
+
+from __future__ import annotations
+
+import pickle
+import zlib
+from dataclasses import dataclass
+from typing import Any
+
+from repro.engine.plan import StreamEnvironment
+from repro.engine.runtime import Executor, JobResult
+from repro.errors import (
+    DiskIOError,
+    InjectedCrashError,
+    PlanError,
+    SnapshotCorruptError,
+)
+from repro.faults import CRASH_SNAPSHOT_COMMIT, CRASH_SNAPSHOT_FILE, with_retries
+from repro.simenv import CAT_RECOVERY, MetricsLedger, SimEnv
+from repro.snapshot import StoreSnapshot
+from repro.storage.filesystem import SimFileSystem
+
+_CHK_ROOT = "chk"
+
+
+def _epoch_dir(epoch: int) -> str:
+    return f"{_CHK_ROOT}/{epoch:08d}"
+
+
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """One recovery-relevant incident on a job's timeline."""
+
+    kind: str  # "crash" | "restore" | "corrupt_checkpoint" | "fresh_restart"
+    at_record: int
+    epoch: int | None = None
+    site: str = ""
+    detail: str = ""
+    sim_seconds: float = 0.0
+
+
+class CheckpointStorage:
+    """Checksummed checkpoint files on a dedicated simulated device.
+
+    Layout per epoch (a flat-namespace "directory" per committed cut)::
+
+        chk/{epoch:08d}/job                       pickled job-level state
+        chk/{epoch:08d}/{instance}/meta           store snapshot meta blob
+        chk/{epoch:08d}/{instance}/files/{name}   store snapshot files
+        chk/{epoch:08d}/MANIFEST                  commit record (see below)
+
+    The manifest holds ``(length, crc32)`` for every file of the epoch
+    plus the store kinds, is itself CRC-framed, and is written to a
+    ``.tmp`` name then atomically renamed — the rename *is* the commit.
+    Epochs without a manifest are invisible to recovery.  Transient
+    :class:`DiskIOError` faults on checkpoint I/O are retried with
+    capped deterministic backoff.
+    """
+
+    def __init__(self, env: SimEnv, fs: SimFileSystem | None = None) -> None:
+        self.env = env
+        self.fs = fs or SimFileSystem(env)
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+    def put_file(self, path: str, data: bytes) -> None:
+        """Durably write one checkpoint file (idempotent, retried)."""
+
+        def attempt() -> None:
+            if self.fs.exists(path):
+                self.fs.delete(path)
+            self.fs.append(path, data, category=CAT_RECOVERY)
+
+        with_retries(self.env, attempt)
+
+    def commit_manifest(self, epoch: int, manifest: dict[str, Any]) -> None:
+        """Write the CRC-framed manifest and atomically rename it live."""
+        payload = pickle.dumps(manifest, protocol=pickle.HIGHEST_PROTOCOL)
+        framed = zlib.crc32(payload).to_bytes(4, "big") + payload
+        self.env.charge_cpu(CAT_RECOVERY, len(payload) * self.env.cpu.crc_per_byte)
+        tmp = f"{_epoch_dir(epoch)}/MANIFEST.tmp"
+        self.put_file(tmp, framed)
+        faults = self.env.faults
+        if faults is not None:
+            faults.crash_point(CRASH_SNAPSHOT_COMMIT, now=self.env.now)
+        self.fs.rename(tmp, f"{_epoch_dir(epoch)}/MANIFEST")
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+    def epochs(self) -> list[int]:
+        """Committed checkpoint epochs, oldest first."""
+        found = []
+        for name in self.fs.list_files(_CHK_ROOT + "/"):
+            parts = name.split("/")
+            if len(parts) == 3 and parts[2] == "MANIFEST":
+                found.append(int(parts[1]))
+        return sorted(found)
+
+    def latest(self) -> int | None:
+        epochs = self.epochs()
+        return epochs[-1] if epochs else None
+
+    def read_manifest(self, epoch: int) -> dict[str, Any]:
+        framed = with_retries(
+            self.env,
+            lambda: self.fs.read(f"{_epoch_dir(epoch)}/MANIFEST", category=CAT_RECOVERY),
+        )
+        if len(framed) < 4:
+            raise SnapshotCorruptError(f"checkpoint {epoch}: manifest truncated")
+        expected = int.from_bytes(framed[:4], "big")
+        payload = framed[4:]
+        self.env.charge_cpu(CAT_RECOVERY, len(payload) * self.env.cpu.crc_per_byte)
+        if zlib.crc32(payload) != expected:
+            raise SnapshotCorruptError(f"checkpoint {epoch}: manifest failed CRC check")
+        return pickle.loads(payload)
+
+    def read_file(self, manifest: dict[str, Any], path: str) -> bytes:
+        """Read one manifest-covered file, verifying length and CRC."""
+        entry = manifest["entries"].get(path)
+        if entry is None:
+            raise SnapshotCorruptError(f"{path} not covered by checkpoint manifest")
+        length, crc = entry
+        if not self.fs.exists(path):
+            raise SnapshotCorruptError(f"checkpoint file {path} is missing")
+        data = with_retries(
+            self.env, lambda: self.fs.read(path, category=CAT_RECOVERY)
+        )
+        self.env.charge_cpu(CAT_RECOVERY, len(data) * self.env.cpu.crc_per_byte)
+        if len(data) != length:
+            raise SnapshotCorruptError(
+                f"checkpoint file {path}: {len(data)}B, expected {length}B"
+            )
+        if zlib.crc32(data) != crc:
+            raise SnapshotCorruptError(f"checkpoint file {path} failed CRC check")
+        return data
+
+    def load_snapshot(self, epoch: int, manifest: dict[str, Any], key: str) -> StoreSnapshot:
+        """Reassemble one instance's sealed :class:`StoreSnapshot`."""
+        base = f"{_epoch_dir(epoch)}/{key}"
+        meta = self.read_file(manifest, f"{base}/meta")
+        files_prefix = f"{base}/files/"
+        files: dict[str, bytes] = {}
+        checksums: dict[str, tuple[int, int]] = {}
+        for path, (length, crc) in manifest["entries"].items():
+            if not path.startswith(files_prefix):
+                continue
+            orig = path[len(files_prefix):]
+            files[orig] = self.read_file(manifest, path)
+            checksums[orig] = (length, crc)
+        snap = StoreSnapshot(manifest["stores"][key], meta, files)
+        snap.checksums = checksums
+        snap.meta_crc = zlib.crc32(meta)
+        snap.epoch = epoch
+        return snap
+
+
+class Checkpointer:
+    """Takes periodic consistent cuts of a running job.
+
+    Consulted by :meth:`Executor.run` at every watermark boundary; a
+    checkpoint is taken once at least ``interval`` records have been
+    ingested since the previous one.  Watermark boundaries fall on a
+    deterministic record-count grid, so an uninterrupted run and a
+    replayed run checkpoint at the identical cut points.
+    """
+
+    def __init__(self, storage: CheckpointStorage, interval: int) -> None:
+        self.storage = storage
+        self.interval = interval
+        self.epochs_written = 0
+        self._last_count: int | None = None
+        self._epoch = 0
+
+    def start_from(self, epoch: int, count: int) -> None:
+        """Resume epoch numbering after a restore."""
+        self._epoch = epoch
+        self._last_count = count
+
+    def maybe_checkpoint(
+        self, executor: Executor, count: int, max_ts: float, rescale_policy: Any
+    ) -> int | None:
+        if self._last_count is not None and count - self._last_count < self.interval:
+            return None
+        if self._last_count is None and count < self.interval:
+            return None
+        self._last_count = count
+        self._epoch += 1
+        epoch = self._epoch
+        storage = self.storage
+        faults = storage.env.faults
+        manifest_entries: dict[str, tuple[int, int]] = {}
+        stores: dict[str, str] = {}
+
+        def put(path: str, data: bytes) -> None:
+            if faults is not None:
+                faults.crash_point(CRASH_SNAPSHOT_FILE, now=storage.env.now)
+            storage.put_file(path, data)
+            # The manifest records what was *intended*: a torn or
+            # bit-flipped device write is caught at restore time.
+            manifest_entries[path] = (len(data), zlib.crc32(data))
+            storage.env.charge_cpu(
+                CAT_RECOVERY, len(data) * storage.env.cpu.crc_per_byte
+            )
+
+        operators: dict[str, dict[str, Any]] = {}
+        for node in executor._stateful_nodes:  # noqa: SLF001 - engine back-half
+            for idx, instance in enumerate(executor._instances[node.node_id]):  # noqa: SLF001
+                key = f"op{node.node_id}/p{idx}"
+                snap = instance.operator.backend.snapshot()
+                stores[key] = snap.kind
+                base = f"{_epoch_dir(epoch)}/{key}"
+                put(f"{base}/meta", snap.meta)
+                for name, data in snap.files.items():
+                    put(f"{base}/files/{name}", data)
+                operators[key] = instance.operator.checkpoint_state()
+        job_meta = pickle.dumps(
+            {
+                "at_record": count,
+                "max_timestamp": max_ts,
+                "parallelism": executor.current_parallelism,
+                "sinks": executor._sinks,  # noqa: SLF001
+                "latencies": executor._latencies,  # noqa: SLF001
+                "rescales": executor._rescales,  # noqa: SLF001
+                "operators": operators,
+                "policy": rescale_policy,
+            },
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        put(f"{_epoch_dir(epoch)}/job", job_meta)
+        storage.commit_manifest(
+            epoch, {"epoch": epoch, "stores": stores, "entries": manifest_entries}
+        )
+        self.epochs_written += 1
+        return epoch
+
+
+class RecoveryManager:
+    """Run a job to completion across injected crashes, exactly-once.
+
+    Wraps the executor loop: on :class:`InjectedCrashError` (or a
+    :class:`DiskIOError` that outlived its retries) the crashed topology
+    is discarded wholesale, the newest complete checkpoint is restored —
+    skipping over corrupt epochs — and the source replays from the
+    checkpoint's record count.  With no usable checkpoint the job
+    restarts fresh (including a pristine copy of the rescale policy, so
+    already-fired schedule entries fire again on replay).
+    """
+
+    def __init__(
+        self,
+        plan_env: StreamEnvironment,
+        checkpoint_interval: int,
+        storage: CheckpointStorage | None = None,
+        max_restarts: int = 8,
+    ) -> None:
+        if any(node.kind == "interval_join" for node in plan_env.nodes()):
+            raise PlanError(
+                "RecoveryManager cannot checkpoint interval joins: join "
+                "buffers are engine-managed (see ROADMAP open items)"
+            )
+        self.plan = plan_env
+        self.storage = storage or CheckpointStorage(
+            SimEnv(cpu=plan_env.cpu, ssd=plan_env.ssd, faults=plan_env.faults)
+        )
+        self.checkpointer = Checkpointer(self.storage, checkpoint_interval)
+        self.max_restarts = max_restarts
+        self.recoveries: list[RecoveryEvent] = []
+
+    def run(self, rescale_policy: Any = None, **run_kwargs: Any) -> JobResult:
+        """Execute the plan with checkpointing and automatic recovery."""
+        self.plan.validate()
+        executor = Executor(self.plan)
+        # Materialize the sources ONCE: replays must see the identical
+        # record sequence even if the plan's sources were generators.
+        records = list(executor._merged_sources())  # noqa: SLF001
+        pristine_policy = pickle.dumps(rescale_policy, protocol=pickle.HIGHEST_PROTOCOL)
+        policy = rescale_policy
+        at_record = 0
+        max_ts = float("-inf")
+        restarts = 0
+        while True:
+            try:
+                result = executor.run(
+                    records=records,
+                    start_count=at_record,
+                    start_max_ts=max_ts,
+                    checkpointer=self.checkpointer,
+                    rescale_policy=policy,
+                    **run_kwargs,
+                )
+                break
+            except (InjectedCrashError, DiskIOError) as exc:
+                site = getattr(exc, "site", "disk")
+                self.recoveries.append(
+                    RecoveryEvent(
+                        kind="crash",
+                        at_record=getattr(executor, "records_ingested", 0),
+                        site=site,
+                        detail=str(exc),
+                    )
+                )
+                restarts += 1
+                if restarts > self.max_restarts:
+                    raise
+                executor = Executor(self.plan)
+                at_record, max_ts, policy = self._restore(executor, pristine_policy)
+        # Checkpoint/recovery device work belongs on the job's ledger.
+        total = MetricsLedger()
+        total.merge(result.metrics)
+        total.merge(self.storage.env.ledger)
+        result.metrics = total.snapshot()
+        result.recoveries = list(self.recoveries)
+        result.checkpoints = self.checkpointer.epochs_written
+        return result
+
+    # ------------------------------------------------------------------
+    def _restore(
+        self, executor: Executor, pristine_policy: bytes
+    ) -> tuple[int, float, Any]:
+        """Load the newest complete checkpoint into a fresh executor.
+
+        Returns ``(at_record, max_timestamp, policy)`` for the replay.
+        Corrupt epochs (failed CRC/length checks anywhere) are skipped
+        with a recorded event; with none left the job restarts fresh.
+        """
+        storage = self.storage
+        for epoch in reversed(storage.epochs()):
+            started = storage.env.clock.now
+            try:
+                manifest = storage.read_manifest(epoch)
+                job = pickle.loads(storage.read_file(manifest, f"{_epoch_dir(epoch)}/job"))
+                executor.rebuild_for_restore(job["parallelism"])
+                for node in executor._stateful_nodes:  # noqa: SLF001
+                    for idx, instance in enumerate(
+                        executor._instances[node.node_id]  # noqa: SLF001
+                    ):
+                        key = f"op{node.node_id}/p{idx}"
+                        snap = storage.load_snapshot(epoch, manifest, key)
+                        instance.operator.backend.restore(snap)
+                        instance.operator.restore_checkpoint_state(job["operators"][key])
+            except SnapshotCorruptError as exc:
+                self.recoveries.append(
+                    RecoveryEvent(
+                        kind="corrupt_checkpoint",
+                        at_record=0,
+                        epoch=epoch,
+                        detail=str(exc),
+                        sim_seconds=storage.env.clock.now - started,
+                    )
+                )
+                continue
+            executor._sinks = {name: list(vals) for name, vals in job["sinks"].items()}  # noqa: SLF001
+            executor._latencies = list(job["latencies"])  # noqa: SLF001
+            executor._rescales = list(job["rescales"])  # noqa: SLF001
+            self.checkpointer.start_from(epoch, job["at_record"])
+            self.recoveries.append(
+                RecoveryEvent(
+                    kind="restore",
+                    at_record=job["at_record"],
+                    epoch=epoch,
+                    sim_seconds=storage.env.clock.now - started,
+                )
+            )
+            return job["at_record"], job["max_timestamp"], job["policy"]
+        # No usable checkpoint: full restart from record zero.  A corrupt
+        # epoch may have half-loaded some instances before failing its
+        # checks — rebuild so the restart really is pristine.
+        executor.rebuild_for_restore(self.plan.parallelism * self.plan.workers)
+        self.recoveries.append(RecoveryEvent(kind="fresh_restart", at_record=0))
+        self.checkpointer.start_from(0, 0)
+        return 0, float("-inf"), pickle.loads(pristine_policy)

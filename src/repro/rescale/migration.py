@@ -16,7 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
-from repro.errors import PlanError
+from repro.errors import DiskIOError, InjectedCrashError, PlanError
+from repro.faults import CRASH_MIGRATE_EXPORT, CRASH_MIGRATE_IMPORT, with_retries
 from repro.kvstores.api import StateExport
 from repro.rescale.keygroups import (
     key_group_of,
@@ -24,7 +25,7 @@ from repro.rescale.keygroups import (
     owner_of,
     validate_parallelism,
 )
-from repro.simenv import CAT_MIGRATION
+from repro.simenv import CAT_MIGRATION, CAT_RECOVERY
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.runtime import Executor
@@ -47,13 +48,19 @@ class NodeMigration:
 
 @dataclass
 class RescaleEvent:
-    """One completed rescale of the whole job."""
+    """One rescale attempt of the whole job.
+
+    ``aborted`` marks an attempt that hit a fault mid-migration and was
+    rolled back: every moved key-group returned to its pre-migration
+    owner and the old topology kept running (no partial cutover).
+    """
 
     at_record: int
     old_parallelism: int
     new_parallelism: int
     moved_groups: int
     per_node: list[NodeMigration] = field(default_factory=list)
+    aborted: bool = False
 
     @property
     def bytes_moved(self) -> int:
@@ -74,6 +81,22 @@ def _transfer_charge(env: Any, payload_bytes: int, n_entries: int) -> None:
         CAT_MIGRATION,
         env.cpu.syscall + payload_bytes * env.cpu.copy_per_byte + n_entries * env.cpu.hash_probe,
     )
+
+
+def _transfer(env: Any, label: str, payload_bytes: int, n_entries: int, faults: Any) -> None:
+    """A transfer with injected-fault handling: transient ``DiskIOError``
+    faults (op ``transfer``) retry with capped deterministic backoff; a
+    fault outliving the retries escalates to the migration rollback."""
+
+    def attempt() -> None:
+        if faults is not None:
+            faults.on_transfer(label, env.now)
+        _transfer_charge(env, payload_bytes, n_entries)
+
+    if faults is None:
+        attempt()
+    else:
+        with_retries(env, attempt)
 
 
 def _split_operator_state(
@@ -143,55 +166,95 @@ def migrate(
     def destination_of(key: bytes) -> int:
         return owner_of(kg_of(key), max_groups, new_parallelism)
 
+    faults = plan.faults
+    all_groups = {
+        group
+        for dsts in move_plan.values()
+        for group_list in dsts.values()
+        for group in group_list
+    }
+    # Per-node rollback journal: the original exports (by source index)
+    # and which destinations have already imported.  Retirement is
+    # deferred to a commit phase after every node migrated, so a fault
+    # anywhere can still return state to the old owners.
+    journal: list[tuple[Any, dict[int, tuple[StateExport, dict[str, Any]]], list[int]]] = []
+    try:
+        for node in executor._stateful_nodes:  # noqa: SLF001
+            instances = executor._instances[node.node_id]  # noqa: SLF001
+            report = NodeMigration(node=node.name)
+            # Redeploy: grow the instance list before transfers so imports
+            # have somewhere to land; retiring instances stay until drained.
+            for index in range(old_parallelism, new_parallelism):
+                instances.append(executor._new_instance(node, index))  # noqa: SLF001
+            exported: dict[int, tuple[StateExport, dict[str, Any]]] = {}
+            imported: list[int] = []
+            journal.append((node, exported, imported))
+            pending: dict[int, tuple[StateExport, dict[str, Any]]] = {}
+            # Export phase: every source drains & extracts its moved groups.
+            for src, dsts in sorted(move_plan.items()):
+                source = instances[src]
+                if faults is not None:
+                    faults.crash_point(
+                        CRASH_MIGRATE_EXPORT, now_fn=lambda s=source: s.env.now
+                    )
+                groups = {group for group_list in dsts.values() for group in group_list}
+                before = source.env.clock.now
+                export = source.operator.backend.export_state(groups, kg_of)
+                operator_state = source.operator.export_keyed_state(groups, kg_of)
+                exported[src] = (export, operator_state)
+                _transfer(
+                    source.env, f"{node.name}/src{src}", export.total_bytes,
+                    len(export), faults,
+                )
+                report.export_seconds = max(
+                    report.export_seconds, source.env.clock.now - before
+                )
+                report.entries_moved += len(export)
+                report.bytes_moved += export.total_bytes
+                # Partition the export by new owner.
+                per_dst_export: dict[int, StateExport] = {}
+                for entry in export.entries:
+                    per_dst_export.setdefault(
+                        destination_of(entry.key), StateExport()
+                    ).entries.append(entry)
+                per_dst_state = _split_operator_state(
+                    operator_state, destination_of, sorted(dsts)
+                )
+                for dst in dsts:
+                    part = per_dst_export.get(dst, StateExport())
+                    if dst in pending:
+                        merged_export, merged_state = pending[dst]
+                        merged_export.entries.extend(part.entries)
+                        _merge_operator_state(merged_state, per_dst_state[dst])
+                    else:
+                        pending[dst] = (part, per_dst_state[dst])
+            # Import phase: every destination loads its share.
+            for dst, (export, operator_state) in sorted(pending.items()):
+                destination = instances[dst]
+                if faults is not None:
+                    faults.crash_point(
+                        CRASH_MIGRATE_IMPORT, now_fn=lambda d=destination: d.env.now
+                    )
+                before = destination.env.clock.now
+                _transfer(
+                    destination.env, f"{node.name}/dst{dst}", export.total_bytes,
+                    len(export), faults,
+                )
+                destination.operator.backend.import_state(export)
+                destination.operator.import_keyed_state(operator_state)
+                imported.append(dst)
+                report.import_seconds = max(
+                    report.import_seconds, destination.env.clock.now - before
+                )
+            event.per_node.append(report)
+    except (InjectedCrashError, DiskIOError):
+        _rollback(executor, journal, all_groups, kg_of, old_parallelism)
+        event.aborted = True
+        return event
+    # Commit phase: retire shrunk-away instances (state fully exported
+    # and imported everywhere — the migration can no longer abort).
     for node in executor._stateful_nodes:  # noqa: SLF001
         instances = executor._instances[node.node_id]  # noqa: SLF001
-        report = NodeMigration(node=node.name)
-        # Redeploy: grow the instance list before transfers so imports
-        # have somewhere to land; retiring instances stay until drained.
-        for index in range(old_parallelism, new_parallelism):
-            instances.append(executor._new_instance(node, index))  # noqa: SLF001
-        pending: dict[int, tuple[StateExport, dict[str, Any]]] = {}
-        # Export phase: every source drains & extracts its moved groups.
-        for src, dsts in sorted(move_plan.items()):
-            source = instances[src]
-            groups = {group for group_list in dsts.values() for group in group_list}
-            before = source.env.clock.now
-            export = source.operator.backend.export_state(groups, kg_of)
-            operator_state = source.operator.export_keyed_state(groups, kg_of)
-            _transfer_charge(source.env, export.total_bytes, len(export))
-            report.export_seconds = max(
-                report.export_seconds, source.env.clock.now - before
-            )
-            report.entries_moved += len(export)
-            report.bytes_moved += export.total_bytes
-            # Partition the export by new owner.
-            per_dst_export: dict[int, StateExport] = {}
-            for entry in export.entries:
-                per_dst_export.setdefault(
-                    destination_of(entry.key), StateExport()
-                ).entries.append(entry)
-            per_dst_state = _split_operator_state(
-                operator_state, destination_of, sorted(dsts)
-            )
-            for dst in dsts:
-                part = per_dst_export.get(dst, StateExport())
-                if dst in pending:
-                    merged_export, merged_state = pending[dst]
-                    merged_export.entries.extend(part.entries)
-                    _merge_operator_state(merged_state, per_dst_state[dst])
-                else:
-                    pending[dst] = (part, per_dst_state[dst])
-        # Import phase: every destination loads its share.
-        for dst, (export, operator_state) in sorted(pending.items()):
-            destination = instances[dst]
-            before = destination.env.clock.now
-            _transfer_charge(destination.env, export.total_bytes, len(export))
-            destination.operator.backend.import_state(export)
-            destination.operator.import_keyed_state(operator_state)
-            report.import_seconds = max(
-                report.import_seconds, destination.env.clock.now - before
-            )
-        # Retire shrunk-away instances (their state is fully exported).
         for retired in instances[new_parallelism:]:
             retired.operator.backend.close()
             executor._retired.setdefault(node.node_id, []).append(  # noqa: SLF001
@@ -199,7 +262,6 @@ def migrate(
                  retired.operator.results_emitted)
             )
         del instances[new_parallelism:]
-        event.per_node.append(report)
 
     # Resume: the whole job was paused for the stop-the-world window.
     resume_at = (
@@ -218,6 +280,51 @@ def migrate(
             inst.wall_available = max(inst.wall_available, resume_at)
     executor.current_parallelism = new_parallelism
     return event
+
+
+def _rollback(
+    executor: "Executor",
+    journal: list[tuple[Any, dict[int, tuple[StateExport, dict[str, Any]]], list[int]]],
+    all_groups: set[int],
+    kg_of,
+    old_parallelism: int,
+) -> None:
+    """Undo a faulted migration: restore the pre-migration topology.
+
+    For every node touched so far, moved key-groups are pulled back out
+    of any destination that already imported them (export-and-discard —
+    the original exports are the source of truth), the original exports
+    are re-imported at their old owners, and instances created for the
+    new topology are dropped.  Stale timers left on surviving instances
+    are harmless: the firing paths re-check state liveness.  Rollback
+    work is charged to the ``recovery`` category.
+    """
+    for node, exported, imported in journal:
+        instances = executor._instances[node.node_id]  # noqa: SLF001
+        for dst in imported:
+            if dst >= old_parallelism:
+                continue  # created for the new topology; dropped below
+            destination = instances[dst]
+            undone = destination.operator.backend.export_state(all_groups, kg_of)
+            destination.operator.export_keyed_state(all_groups, kg_of)
+            destination.env.charge_cpu(
+                CAT_RECOVERY,
+                destination.env.cpu.syscall
+                + undone.total_bytes * destination.env.cpu.copy_per_byte,
+            )
+        for src, (export, operator_state) in exported.items():
+            source = instances[src]
+            source.env.charge_cpu(
+                CAT_RECOVERY,
+                source.env.cpu.syscall
+                + export.total_bytes * source.env.cpu.copy_per_byte,
+            )
+            source.operator.backend.import_state(export)
+            source.operator.import_keyed_state(operator_state)
+        for created in instances[old_parallelism:]:
+            created.operator.backend.close()
+        del instances[old_parallelism:]
+    executor.current_parallelism = old_parallelism
 
 
 def _merge_operator_state(target: dict[str, Any], extra: dict[str, Any]) -> None:

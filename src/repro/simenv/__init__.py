@@ -33,6 +33,7 @@ from repro.simenv.metrics import (
     CAT_GC,
     CAT_MIGRATION,
     CAT_QUERY,
+    CAT_RECOVERY,
     CAT_SERDE,
     CAT_STORE_READ,
     CAT_STORE_WRITE,
@@ -60,5 +61,6 @@ __all__ = [
     "CAT_ENGINE",
     "CAT_GC",
     "CAT_MIGRATION",
+    "CAT_RECOVERY",
     "CPU_CATEGORIES",
 ]

@@ -38,6 +38,9 @@ class CpuCostModel:
         syscall: fixed cost of crossing the kernel boundary for an I/O
             request (charged as CPU, separate from device time).
         allocation: one heap allocation.
+        crc_per_byte: CRC32 checksum computation over snapshot bytes
+            (software CRC at a few GB/s; charged to the ``recovery``
+            ledger category on checkpoint seal and verify).
     """
 
     hash_probe: float = 150e-9
@@ -53,6 +56,7 @@ class CpuCostModel:
     function_call: float = 120e-9
     syscall: float = 1.5e-6
     allocation: float = 80e-9
+    crc_per_byte: float = 0.4e-9
 
     def sorted_search(self, n_entries: int) -> float:
         """Cost of a binary search over ``n_entries`` sorted entries."""

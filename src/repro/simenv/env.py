@@ -57,12 +57,17 @@ class SimEnv:
         cpu: CPU cost menu shared by all stores on this instance.
         ssd: SSD device cost model.
         ledger: where charges are attributed.
+        faults: optional :class:`repro.faults.FaultInjector` consulted by
+            the filesystem on every device I/O and by instrumented crash
+            points; shared (not forked) across a job's instances so I/O
+            ordinals are global.
     """
 
     clock: SimClock = field(default_factory=SimClock)
     cpu: CpuCostModel = field(default_factory=CpuCostModel)
     ssd: SsdCostModel = field(default_factory=SsdCostModel)
     ledger: MetricsLedger = field(default_factory=MetricsLedger)
+    faults: object | None = None
 
     @property
     def now(self) -> float:
@@ -96,4 +101,10 @@ class SimEnv:
         Used when the physical plan fans a logical operator out into
         parallel instances: each instance accounts independently.
         """
-        return SimEnv(clock=SimClock(), cpu=self.cpu, ssd=self.ssd, ledger=MetricsLedger())
+        return SimEnv(
+            clock=SimClock(),
+            cpu=self.cpu,
+            ssd=self.ssd,
+            ledger=MetricsLedger(),
+            faults=self.faults,
+        )

@@ -20,6 +20,7 @@ CAT_SYNC = "sync"  # synchronization primitives (Faster epochs)
 CAT_ENGINE = "engine"  # routing, window assignment, timers
 CAT_GC = "gc"  # JVM garbage collection (heap backend model)
 CAT_MIGRATION = "migration"  # key-group export/transfer/import during rescaling
+CAT_RECOVERY = "recovery"  # checksums, checkpoint verify/replay reads, rollback, retry backoff
 
 CPU_CATEGORIES = (
     CAT_QUERY,
@@ -31,6 +32,7 @@ CPU_CATEGORIES = (
     CAT_ENGINE,
     CAT_GC,
     CAT_MIGRATION,
+    CAT_RECOVERY,
 )
 
 

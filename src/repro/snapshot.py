@@ -22,24 +22,93 @@ files; restoring charges the writes to repopulate the filesystem.
 from __future__ import annotations
 
 import pickle
+import zlib
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.simenv import CAT_SERDE, CAT_STORE_READ, CAT_STORE_WRITE, SimEnv
+from repro.errors import SnapshotCorruptError
+from repro.simenv import (
+    CAT_RECOVERY,
+    CAT_SERDE,
+    CAT_STORE_READ,
+    CAT_STORE_WRITE,
+    SimEnv,
+)
 from repro.storage.filesystem import SimFileSystem
 
 
 @dataclass
 class StoreSnapshot:
-    """A point-in-time capture of one store instance."""
+    """A point-in-time capture of one store instance.
+
+    A *sealed* snapshot additionally carries per-file CRC32 checksums
+    and a checksum over ``meta``, so corruption anywhere between seal
+    and restore (torn checkpoint write, bit flip at rest) is detected
+    by :func:`verify_snapshot` instead of being loaded as state.
+    """
 
     kind: str
     meta: bytes
     files: dict[str, bytes] = field(default_factory=dict)
+    checksums: dict[str, tuple[int, int]] | None = None  # name -> (length, crc32)
+    meta_crc: int | None = None
+    epoch: int | None = None  # checkpoint epoch stamped by the Checkpointer
 
     @property
     def total_bytes(self) -> int:
         return len(self.meta) + sum(len(data) for data in self.files.values())
+
+    @property
+    def sealed(self) -> bool:
+        return self.meta_crc is not None
+
+
+def seal_snapshot(env: SimEnv, snap: StoreSnapshot) -> StoreSnapshot:
+    """Stamp per-file length+CRC32 checksums onto ``snap`` (in place).
+
+    Checksum computation is charged to the ``recovery`` ledger category
+    at ``crc_per_byte``.
+    """
+    total = len(snap.meta)
+    snap.meta_crc = zlib.crc32(snap.meta)
+    snap.checksums = {}
+    for name, data in snap.files.items():
+        snap.checksums[name] = (len(data), zlib.crc32(data))
+        total += len(data)
+    env.charge_cpu(CAT_RECOVERY, total * env.cpu.crc_per_byte)
+    return snap
+
+
+def verify_snapshot(env: SimEnv, snap: StoreSnapshot) -> None:
+    """Re-checksum a sealed snapshot; raise :class:`SnapshotCorruptError`.
+
+    Detects truncated/extended files, flipped bits, and missing or
+    surplus files relative to the seal.  Unsealed snapshots (legacy or
+    test-constructed) pass vacuously.
+    """
+    if not snap.sealed:
+        return
+    total = len(snap.meta)
+    for data in snap.files.values():
+        total += len(data)
+    env.charge_cpu(CAT_RECOVERY, total * env.cpu.crc_per_byte)
+    if zlib.crc32(snap.meta) != snap.meta_crc:
+        raise SnapshotCorruptError(f"{snap.kind} snapshot meta failed CRC check")
+    expected = snap.checksums or {}
+    if set(expected) != set(snap.files):
+        missing = sorted(set(expected) - set(snap.files))
+        surplus = sorted(set(snap.files) - set(expected))
+        raise SnapshotCorruptError(
+            f"{snap.kind} snapshot file set mismatch: missing={missing} surplus={surplus}"
+        )
+    for name, (length, crc) in expected.items():
+        data = snap.files[name]
+        if len(data) != length:
+            raise SnapshotCorruptError(
+                f"{snap.kind} snapshot file {name}: {len(data)}B, expected {length}B"
+            )
+        if zlib.crc32(data) != crc:
+            raise SnapshotCorruptError(f"{snap.kind} snapshot file {name} failed CRC check")
 
 
 def pack_meta(env: SimEnv, state: Any) -> bytes:

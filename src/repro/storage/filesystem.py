@@ -53,10 +53,14 @@ class SimFileSystem:
         del self._files[name]
 
     def rename(self, old: str, new: str) -> None:
+        """POSIX ``rename(2)``: atomically replace ``new`` if it exists.
+
+        Atomic replacement is what makes the write-temp-then-rename
+        checkpoint commit protocol safe: observers see either the old
+        file or the new one, never a partial mix.
+        """
         if old not in self._files:
             raise FileNotFoundInStoreError(old)
-        if new in self._files:
-            raise FileExistsInStoreError(new)
         self._charge_syscall(CAT_STORE_WRITE)
         self._files[new] = self._files.pop(old)
 
@@ -82,6 +86,10 @@ class SimFileSystem:
         Creates the file if it does not exist (log files are created lazily
         on first write, like O_CREAT|O_APPEND).
         """
+        if self._env.faults is not None:
+            # May raise DiskIOError (nothing written) or silently tear /
+            # bit-flip the payload (written as mutated, charged as such).
+            data = self._env.faults.on_write(name, data, self._env.now)
         buf = self._files.get(name)
         if buf is None:
             buf = bytearray()
@@ -103,6 +111,8 @@ class SimFileSystem:
             buf = self._files[name]
         except KeyError:
             raise FileNotFoundInStoreError(name) from None
+        if self._env.faults is not None:
+            self._env.faults.on_read(name, self._env.now)
         if offset < 0 or offset > len(buf):
             raise FileSystemError(f"read offset {offset} out of range for {name} ({len(buf)}B)")
         end = len(buf) if length is None else min(offset + length, len(buf))
@@ -155,6 +165,27 @@ class SimFileSystem:
         self._env.charge_write(length)
         dst_buf.extend(src_buf[src_offset : src_offset + length])
         return offset
+
+    # ------------------------------------------------------------------
+    # damage helpers (tests and fault tooling only: uncharged)
+    # ------------------------------------------------------------------
+    def corrupt(self, name: str, offset: int, xor_mask: int = 0xFF) -> None:
+        """Flip bits of one byte in place, as latent media corruption would."""
+        try:
+            buf = self._files[name]
+        except KeyError:
+            raise FileNotFoundInStoreError(name) from None
+        if not 0 <= offset < len(buf):
+            raise FileSystemError(f"corrupt offset {offset} out of range for {name}")
+        buf[offset] ^= xor_mask & 0xFF
+
+    def truncate(self, name: str, length: int) -> None:
+        """Drop the file's tail beyond ``length`` bytes (a torn write)."""
+        try:
+            buf = self._files[name]
+        except KeyError:
+            raise FileNotFoundInStoreError(name) from None
+        del buf[length:]
 
     def _charge_syscall(self, category: str) -> None:
         self._env.charge_cpu(category, self._env.cpu.syscall)

@@ -1,0 +1,187 @@
+"""Cross-backend close() audit.
+
+Every store backend must reject every state operation after ``close()``
+with :class:`StoreClosedError` — a closed store silently accepting a
+write (or handing out a snapshot) would let a retired instance shadow
+the live owner after a rescale or recovery.  One parametrized matrix
+covers every backend x every public state operation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FlowKVComposite, FlowKVConfig, StorePattern
+from repro.core.aar import AarStore
+from repro.core.aur import AurStore
+from repro.core.ett import SessionGapPredictor
+from repro.core.rmw import RmwStore
+from repro.errors import StoreClosedError
+from repro.kvstores.hashkv import FasterStore
+from repro.kvstores.lsm import LsmStore
+from repro.kvstores.memory import HeapWindowBackend
+from repro.model import Window
+from repro.simenv import SimEnv
+from repro.storage import SimFileSystem
+
+W = Window(0.0, 100.0)
+
+
+def kg_zero(_key: bytes) -> int:
+    return 0
+
+
+def make_aar():
+    env = SimEnv()
+    store = AarStore(env, SimFileSystem(env), "aar", write_buffer_bytes=1024)
+    store.append(b"k", b"v", W)
+    return store, {
+        "append": lambda s: s.append(b"k", b"v", W),
+        "get_window": lambda s: list(s.get_window(W)),
+        "flush": lambda s: s.flush(),
+        "drop_window": lambda s: s.drop_window(W),
+        "export_state": lambda s: s.export_state({0}, kg_zero),
+        "import_state": lambda s: s.import_state(make_export()),
+        "snapshot": lambda s: s.snapshot(),
+        "restore": lambda s: s.restore(None),
+    }
+
+
+def make_aur():
+    env = SimEnv()
+    store = AurStore(env, SimFileSystem(env), SessionGapPredictor(10.0), "aur",
+                     write_buffer_bytes=1024)
+    store.append(b"k", b"v", W, 0.0)
+    return store, {
+        "append": lambda s: s.append(b"k", b"v", W, 0.0),
+        "get": lambda s: s.get(b"k", W),
+        "flush": lambda s: s.flush(),
+        "export_state": lambda s: s.export_state({0}, kg_zero),
+        "import_state": lambda s: s.import_state(make_export()),
+        "snapshot": lambda s: s.snapshot(),
+        "restore": lambda s: s.restore(None),
+    }
+
+
+def make_rmw():
+    env = SimEnv()
+    store = RmwStore(env, SimFileSystem(env), "rmw", write_buffer_bytes=1024)
+    store.put(b"k", W, b"agg")
+    return store, {
+        "get": lambda s: s.get(b"k", W),
+        "put": lambda s: s.put(b"k", W, b"agg"),
+        "remove": lambda s: s.remove(b"k", W),
+        "flush": lambda s: s.flush(),
+        "export_state": lambda s: s.export_state({0}, kg_zero),
+        "import_state": lambda s: s.import_state(make_export()),
+        "snapshot": lambda s: s.snapshot(),
+        "restore": lambda s: s.restore(None),
+    }
+
+
+def make_heap():
+    env = SimEnv()
+    store = HeapWindowBackend(env, capacity_bytes=1 << 20)
+    store.append(b"k", W, "v", 0.0)
+    return store, {
+        "append": lambda s: s.append(b"k", W, "v", 0.0),
+        "read_window": lambda s: list(s.read_window(W)),
+        "read_key_window": lambda s: s.read_key_window(b"k", W),
+        "rmw_get": lambda s: s.rmw_get(b"k", W),
+        "rmw_put": lambda s: s.rmw_put(b"k", W, "agg"),
+        "rmw_remove": lambda s: s.rmw_remove(b"k", W),
+        "export_state": lambda s: s.export_state({0}, kg_zero),
+        "import_state": lambda s: s.import_state(make_export()),
+        "snapshot": lambda s: s.snapshot(),
+        "restore": lambda s: s.restore(None),
+    }
+
+
+def make_faster():
+    env = SimEnv()
+    store = FasterStore(env, SimFileSystem(env), "faster")
+    store.put(b"k", b"v")
+    return store, {
+        "get": lambda s: s.get(b"k"),
+        "put": lambda s: s.put(b"k", b"v"),
+        "append": lambda s: s.append(b"k", b"v"),
+        "delete": lambda s: s.delete(b"k"),
+        "scan_prefix": lambda s: list(s.scan_prefix(b"k")),
+        "flush": lambda s: s.flush(),
+        "snapshot": lambda s: s.snapshot(),
+        "restore": lambda s: s.restore(None),
+    }
+
+
+def make_lsm():
+    env = SimEnv()
+    store = LsmStore(env, SimFileSystem(env), "lsm")
+    store.put(b"k", b"v")
+    return store, {
+        "get": lambda s: s.get(b"k"),
+        "put": lambda s: s.put(b"k", b"v"),
+        "append": lambda s: s.append(b"k", b"v"),
+        "delete": lambda s: s.delete(b"k"),
+        "scan_prefix": lambda s: list(s.scan_prefix(b"k")),
+        "flush": lambda s: s.flush(),
+        "snapshot": lambda s: s.snapshot(),
+        "restore": lambda s: s.restore(None),
+    }
+
+
+def make_composite():
+    env = SimEnv()
+    config = FlowKVConfig(num_instances=2, write_buffer_bytes=1024)
+    store = FlowKVComposite(
+        env, SimFileSystem(env), StorePattern.AAR, config,
+        predictor=SessionGapPredictor(10.0), name="c",
+    )
+    store.append(b"k", W, "v", 0.0)
+    # The composite delegates openness to its leaf stores: every routed
+    # call must surface the leaf's StoreClosedError.
+    return store, {
+        "append": lambda s: s.append(b"k", W, "v", 0.0),
+        "read_window": lambda s: list(s.read_window(W)),
+        "flush": lambda s: s.flush(),
+        "export_state": lambda s: s.export_state({0}, kg_zero),
+        "snapshot": lambda s: s.snapshot(),
+    }
+
+
+def make_export():
+    from repro.kvstores.api import StateExport
+
+    return StateExport()
+
+
+FACTORIES = {
+    "aar": make_aar,
+    "aur": make_aur,
+    "rmw": make_rmw,
+    "heap": make_heap,
+    "faster": make_faster,
+    "lsm": make_lsm,
+    "composite": make_composite,
+}
+
+CASES = [
+    (backend, op)
+    for backend, factory in FACTORIES.items()
+    for op in factory()[1]
+]
+
+
+@pytest.mark.parametrize(("backend", "op"), CASES,
+                         ids=[f"{b}-{o}" for b, o in CASES])
+def test_operation_after_close_raises(backend, op):
+    store, ops = FACTORIES[backend]()
+    store.close()
+    with pytest.raises(StoreClosedError):
+        ops[op](store)
+
+
+@pytest.mark.parametrize("backend", sorted(FACTORIES))
+def test_close_is_idempotent(backend):
+    store, _ops = FACTORIES[backend]()
+    store.close()
+    store.close()

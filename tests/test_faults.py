@@ -1,0 +1,209 @@
+"""Unit tests for the fault-injection layer (repro.faults).
+
+The injector's contract is determinism: the same :class:`FaultPlan`
+replayed against the same I/O sequence fires the same faults, with the
+same data-dependent choices (tear lengths, flipped bits), recorded in
+identical ``FaultRecord`` sequences.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DiskIOError, InjectedCrashError
+from repro.faults import (
+    CRASH_MIGRATE_IMPORT,
+    CRASH_RUNTIME_RECORD,
+    CRASH_SNAPSHOT_FILE,
+    FaultPlan,
+    with_retries,
+)
+from repro.simenv import SimEnv
+from repro.storage import SimFileSystem
+
+
+def faulty_fs(plan: FaultPlan) -> tuple[SimEnv, SimFileSystem]:
+    env = SimEnv(faults=plan.build())
+    return env, SimFileSystem(env)
+
+
+class TestPlanValidation:
+    def test_unknown_crash_site_rejected(self):
+        with pytest.raises(ValueError, match="unknown crash point"):
+            FaultPlan().crash("no.such.site", on_hit=1)
+
+    def test_crash_needs_a_trigger(self):
+        with pytest.raises(ValueError, match="on_hit or at_time"):
+            FaultPlan().crash(CRASH_RUNTIME_RECORD)
+
+
+class TestDiskFaults:
+    def test_write_error_raises_before_data_lands(self):
+        env, fs = faulty_fs(FaultPlan(seed=1).fail_io(op="write", on_io=1))
+        with pytest.raises(DiskIOError):
+            fs.append("f", b"payload")
+        assert not fs.exists("f")
+        # The fault is spent: the retry succeeds.
+        fs.append("f", b"payload")
+        assert fs.read("f") == b"payload"
+
+    def test_read_error(self):
+        env, fs = faulty_fs(FaultPlan(seed=1).fail_io(op="read", on_io=2))
+        fs.append("f", b"payload")  # io 1
+        with pytest.raises(DiskIOError):
+            fs.read("f")  # io 2
+        assert fs.read("f") == b"payload"  # io 3: fault spent
+
+    def test_torn_write_silently_keeps_a_prefix(self):
+        env, fs = faulty_fs(FaultPlan(seed=3).torn_write(on_io=1))
+        data = bytes(range(64))
+        fs.append("f", data)  # no error: tears are silent
+        torn = fs.read("f")
+        assert len(torn) < len(data)
+        assert data.startswith(torn)
+        [record] = env.faults.fired
+        assert record.kind == "torn"
+        assert record.target == "f"
+
+    def test_bit_flip_changes_exactly_one_bit(self):
+        env, fs = faulty_fs(FaultPlan(seed=3).bit_flip(on_io=1))
+        data = bytes(64)
+        fs.append("f", data)
+        flipped = fs.read("f")
+        assert len(flipped) == len(data)
+        diff = [(a ^ b) for a, b in zip(data, flipped)]
+        changed = [d for d in diff if d]
+        assert len(changed) == 1
+        assert bin(changed[0]).count("1") == 1
+
+    def test_path_prefix_scopes_the_fault(self):
+        env, fs = faulty_fs(
+            FaultPlan(seed=1).fail_io(op="write", at_time=0.0, path_prefix="chk/")
+        )
+        fs.append("data/log", b"x")  # prefix mismatch: untouched
+        with pytest.raises(DiskIOError):
+            fs.append("chk/000001/meta", b"x")
+
+    def test_times_widens_the_ordinal_window(self):
+        env, fs = faulty_fs(FaultPlan(seed=1).fail_io(op="write", on_io=2, times=2))
+        fs.append("a", b"x")  # io 1: before the window
+        for _ in range(2):  # io 2 and 3: both fail
+            with pytest.raises(DiskIOError):
+                fs.append("b", b"x")
+        fs.append("c", b"x")  # io 4: window exhausted
+
+    def test_at_time_triggers_on_the_clock(self):
+        env, fs = faulty_fs(FaultPlan(seed=1).fail_io(op="write", at_time=1.0))
+        fs.append("early", b"x")  # clock still ~0
+        env.charge_cpu("store_write", 2.0)
+        with pytest.raises(DiskIOError):
+            fs.append("late", b"x")
+
+
+class TestCrashPoints:
+    def test_on_hit_fires_on_the_nth_passage_once(self):
+        injector = FaultPlan().crash(CRASH_RUNTIME_RECORD, on_hit=3).build()
+        injector.crash_point(CRASH_RUNTIME_RECORD)
+        injector.crash_point(CRASH_RUNTIME_RECORD)
+        with pytest.raises(InjectedCrashError) as excinfo:
+            injector.crash_point(CRASH_RUNTIME_RECORD)
+        assert excinfo.value.site == CRASH_RUNTIME_RECORD
+        # A replay passing the same site again must not re-die.
+        for _ in range(5):
+            injector.crash_point(CRASH_RUNTIME_RECORD)
+
+    def test_sites_are_independent(self):
+        injector = FaultPlan().crash(CRASH_SNAPSHOT_FILE, on_hit=1).build()
+        injector.crash_point(CRASH_RUNTIME_RECORD)  # different site: no fire
+        with pytest.raises(InjectedCrashError):
+            injector.crash_point(CRASH_SNAPSHOT_FILE)
+
+    def test_at_time_uses_the_lazy_clock(self):
+        injector = FaultPlan().crash(CRASH_MIGRATE_IMPORT, at_time=5.0).build()
+        injector.crash_point(CRASH_MIGRATE_IMPORT, now_fn=lambda: 1.0)
+        with pytest.raises(InjectedCrashError) as excinfo:
+            injector.crash_point(CRASH_MIGRATE_IMPORT, now_fn=lambda: 7.5)
+        assert excinfo.value.now == 7.5
+
+
+class TestDeterminism:
+    def drive(self, plan: FaultPlan):
+        env = SimEnv(faults=plan.build())
+        fs = SimFileSystem(env)
+        for i in range(20):
+            try:
+                fs.append(f"chk/{i:02d}", bytes(range(48)))
+            except DiskIOError:
+                pass
+        out = []
+        for i in range(20):
+            name = f"chk/{i:02d}"
+            if fs.exists(name):
+                try:
+                    out.append(fs.read(name))
+                except DiskIOError:
+                    out.append(b"<read-error>")
+        return out, env.faults.fired
+
+    def plan(self) -> FaultPlan:
+        return (
+            FaultPlan(seed=42)
+            .torn_write(on_io=3)
+            .bit_flip(on_io=7)
+            .fail_io(op="write", on_io=11, times=2)
+            .fail_io(op="read", on_io=25)
+        )
+
+    def test_same_plan_same_faults_same_data(self):
+        out1, fired1 = self.drive(self.plan())
+        out2, fired2 = self.drive(self.plan())
+        assert fired1 == fired2  # FaultRecord is frozen -> value equality
+        assert out1 == out2
+        kinds = [record.kind for record in fired1]
+        assert kinds == ["torn", "bitflip", "error", "error", "error"]
+
+    def test_different_seed_different_tear(self):
+        def tear(seed: int) -> bytes:
+            env, fs = faulty_fs(FaultPlan(seed=seed).torn_write(on_io=1))
+            fs.append("f", bytes(range(200)))
+            return fs.read("f")
+
+        assert len({len(tear(seed)) for seed in range(8)}) > 1
+
+
+class TestWithRetries:
+    def test_transient_fault_is_retried_and_charged(self):
+        env = SimEnv(faults=FaultPlan(seed=1).fail_io(op="write", on_io=1, times=2).build())
+        fs = SimFileSystem(env)
+        before = env.now
+
+        with_retries(env, lambda: fs.append("f", b"x"))
+        assert fs.exists("f")
+        # Two failed attempts -> two backoff charges on the recovery lane.
+        assert env.ledger.snapshot().cpu_seconds.get("recovery", 0.0) > 0
+        assert env.now > before
+
+    def test_persistent_fault_escalates(self):
+        env = SimEnv(faults=FaultPlan(seed=1).fail_io(op="write", on_io=1, times=99).build())
+        fs = SimFileSystem(env)
+        attempts = 0
+
+        def attempt():
+            nonlocal attempts
+            attempts += 1
+            fs.append("f", b"x")
+
+        with pytest.raises(DiskIOError):
+            with_retries(env, attempt, attempts=4)
+        assert attempts == 4
+
+    def test_backoff_is_deterministic(self):
+        def elapsed() -> float:
+            env = SimEnv(
+                faults=FaultPlan(seed=1).fail_io(op="write", on_io=1, times=3).build()
+            )
+            fs = SimFileSystem(env)
+            with_retries(env, lambda: fs.append("f", b"x"))
+            return env.now
+
+        assert elapsed() == elapsed()

@@ -4,7 +4,7 @@ pytest (the benchmark suite runs them at scale under --benchmark-only)."""
 from __future__ import annotations
 
 
-from repro.bench.figures import fig4, fig11, fig12, fig13
+from repro.bench.figures import fig4, fig11, fig12, fig13, fig_recovery
 from repro.bench.profiles import TINY_PROFILE
 
 
@@ -36,3 +36,15 @@ def test_fig13_runs_and_renders():
     assert "speedup" in text
     by_workers = {r.operator_stats["_sweep"]["workers"]: r for r in records}
     assert by_workers[2].throughput > by_workers[1].throughput
+
+
+def test_fig_recovery_runs_and_renders():
+    records = fig_recovery.run(
+        TINY_PROFILE, window_sizes=(TINY_PROFILE.window_sizes[0],)
+    )
+    text = fig_recovery.render(records)
+    assert "exactly-once" in text
+    assert "NO" not in text  # every recovered digest matches its baseline
+    assert all(r.ok for r in records)
+    assert all(r.checkpoints > 0 for r in records)
+    assert any(r.recovery_seconds > 0 for r in records)

@@ -41,11 +41,30 @@ class TestFileSystemNamespace:
         assert not fs.exists("a.log")
         assert fs.read("b.log") == b"hello"
 
-    def test_rename_onto_existing_fails(self, fs):
-        fs.create("a.log")
+    def test_rename_atomically_replaces_existing(self, fs):
+        # POSIX rename(2): the target is replaced in one step, which is
+        # what the write-temp-then-rename checkpoint commit relies on.
+        fs.append("manifest.tmp", b"new manifest")
+        fs.append("manifest", b"old manifest")
+        fs.rename("manifest.tmp", "manifest")
+        assert not fs.exists("manifest.tmp")
+        assert fs.read("manifest") == b"new manifest"
+
+    def test_rename_missing_source_fails(self, fs):
         fs.create("b.log")
-        with pytest.raises(FileExistsInStoreError):
-            fs.rename("a.log", "b.log")
+        with pytest.raises(FileNotFoundInStoreError):
+            fs.rename("nope", "b.log")
+
+    def test_corrupt_and_truncate_helpers(self, fs):
+        fs.append("f", b"\x00\x01\x02\x03")
+        fs.corrupt("f", 1, 0xFF)
+        assert fs.read("f") == b"\x00\xfe\x02\x03"
+        fs.truncate("f", 2)
+        assert fs.read("f") == b"\x00\xfe"
+        with pytest.raises(FileNotFoundInStoreError):
+            fs.corrupt("missing", 0)
+        with pytest.raises(FileSystemError):
+            fs.corrupt("f", 99)
 
     def test_list_files_prefix(self, fs):
         fs.create("x/a")
