@@ -5,10 +5,14 @@ Usage:
     python -m repro.bench fig8              # one figure
     python -m repro.bench fig4 fig10        # several
     python -m repro.bench all               # everything
+    python -m repro.bench --list            # enumerate registered figures
     REPRO_BENCH_PROFILE=tiny python -m repro.bench fig8
 
 Tables print to stdout; profile selection follows the
 ``REPRO_BENCH_PROFILE`` environment variable (tiny | quick | default).
+Figures come from the declarative registry (:mod:`repro.bench.registry`)
+— importing :mod:`repro.bench.figures` registers every module, so adding
+a figure is one ``register_figure`` call, not new CLI wiring.
 """
 
 from __future__ import annotations
@@ -16,33 +20,17 @@ from __future__ import annotations
 import sys
 import time
 
-from repro.bench.figures import (
-    fig4,
-    fig8,
-    fig9,
-    fig10,
-    fig11,
-    fig12,
-    fig13,
-    fig_recovery,
-    fig_rescale,
-)
+import repro.bench.figures  # noqa: F401 - populates the figure registry
 from repro.bench.profiles import active_profile
-
-FIGURES = {
-    "fig4": fig4,
-    "fig8": fig8,
-    "fig9": fig9,
-    "fig10": fig10,
-    "fig11": fig11,
-    "fig12": fig12,
-    "fig13": fig13,
-    "fig_rescale": fig_rescale,
-    "fig_recovery": fig_recovery,
-}
+from repro.bench.registry import FIGURES
 
 
 def main(argv: list[str]) -> int:
+    if "--list" in argv:
+        width = max(len(name) for name in FIGURES)
+        for spec in FIGURES.values():
+            print(f"{spec.name:<{width}}  {spec.description}")
+        return 0
     names = argv or ["all"]
     if names == ["all"]:
         names = list(FIGURES)
@@ -55,14 +43,11 @@ def main(argv: list[str]) -> int:
     print(f"profile: {profile.name} "
           f"({profile.generator().expected_events:,} events per run)\n")
     for name in names:
-        module = FIGURES[name]
+        spec = FIGURES[name]
         started = time.time()
-        print(f"=== {name}: {module.__doc__.strip().splitlines()[0]} ===")
-        records = module.run(profile)
-        if name == "fig8":
-            print(module.render(records, profile))
-        else:
-            print(module.render(records))
+        print(f"=== {name}: {spec.description} ===")
+        records = spec.run(profile)
+        print(spec.render(records, profile))
         print(f"[{name} took {time.time() - started:.1f}s wall]\n")
     return 0
 

@@ -93,3 +93,7 @@ def main() -> None:
 
 if __name__ == "__main__":
     main()
+
+from repro.bench.registry import register_figure  # noqa: E402 - self-registration
+
+register_figure("fig11", __doc__.strip().splitlines()[0], run, render)

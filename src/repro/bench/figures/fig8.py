@@ -47,3 +47,9 @@ def main() -> None:
 
 if __name__ == "__main__":
     main()
+
+from repro.bench.registry import register_figure  # noqa: E402 - self-registration
+
+register_figure(
+    "fig8", __doc__.strip().splitlines()[0], run, render, render_needs_profile=True
+)

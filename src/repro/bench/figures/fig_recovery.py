@@ -82,3 +82,7 @@ def main() -> None:
 
 if __name__ == "__main__":
     main()
+
+from repro.bench.registry import register_figure  # noqa: E402 - self-registration
+
+register_figure("fig_recovery", __doc__.strip().splitlines()[0], run, render)

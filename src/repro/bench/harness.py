@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.bench.profiles import ScaleProfile
-from repro.errors import StoreOOMError
+from repro.errors import StoreOOMError, UnsupportedOperationError
 from repro.nexmark.queries import build_query
 from repro.rescale import RescaleEvent, ScheduledRescale
 from repro.simenv import MetricsSnapshot
@@ -87,13 +87,19 @@ def run_query(
     rescale_schedule: dict[int, int] | None = None,
     fault_plan: Any = None,
     checkpoint_interval: int | None = None,
+    rescale_mode: str = "live",
+    transfer_chunk_bytes: int | None = None,
+    transfer_queue_limit: int | None = None,
 ) -> RunRecord:
     """Execute one cell of the evaluation matrix.
 
     ``rescale_schedule`` maps record counts to target parallelisms; each
-    entry triggers a mid-stream stop-the-world rescale (see
-    :mod:`repro.rescale`).  ``parallelism`` overrides the profile's
-    starting parallelism (the rescale sweep needs both ends).
+    entry triggers a mid-stream rescale (see :mod:`repro.rescale`) —
+    asynchronous per-key-group by default (``rescale_mode="live"``), or
+    stop-the-world with ``rescale_mode="stw"``.  ``parallelism``
+    overrides the profile's starting parallelism (the rescale sweep
+    needs both ends); ``transfer_chunk_bytes`` and
+    ``transfer_queue_limit`` tune the live transfer.
 
     ``fault_plan`` (a :class:`repro.faults.FaultPlan`) injects scheduled
     faults; ``checkpoint_interval`` (records) enables checkpointing and
@@ -134,6 +140,9 @@ def run_query(
         rescale_policy=(
             ScheduledRescale(dict(rescale_schedule)) if rescale_schedule else None
         ),
+        rescale_mode=rescale_mode,
+        transfer_chunk_bytes=transfer_chunk_bytes,
+        transfer_queue_limit=transfer_queue_limit,
     )
     try:
         if checkpoint_interval is not None:
@@ -146,6 +155,12 @@ def run_query(
             result = env.execute(**run_kwargs)
     except StoreOOMError:
         record.failure = "oom"
+        return record
+    except UnsupportedOperationError as exc:
+        # A cell asked for an optional capability (snapshotting,
+        # rescaling) its backend does not advertise: a reportable
+        # failure, not a crash of the whole sweep.
+        record.failure = f"unsupported:{exc.operation}"
         return record
     record.input_records = result.input_records
     record.job_seconds = result.job_seconds

@@ -1,0 +1,59 @@
+"""Declarative figure registry.
+
+Every figure module registers itself at import time with
+:func:`register_figure` (name, one-line description, ``run`` builder and
+``render`` formatter); the CLI (``python -m repro.bench``) resolves names
+through :data:`FIGURES` instead of hard-coding per-figure wiring, and
+``--list`` enumerates the registry.
+
+``render`` callables are normalized to the two-argument form
+``(records, profile)`` — figures whose formatter only needs the records
+are wrapped, so the CLI calls every figure identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+
+@dataclass(frozen=True)
+class FigureSpec:
+    """One registered figure: how to build it and how to print it."""
+
+    name: str
+    description: str
+    run: Callable[[Any], list[Any]]  # profile -> records
+    render: Callable[[list[Any], Any], str]  # (records, profile) -> table
+
+
+FIGURES: dict[str, FigureSpec] = {}
+
+
+def register_figure(
+    name: str,
+    description: str,
+    run: Callable[[Any], list[Any]],
+    render: Callable[..., str],
+    render_needs_profile: bool = False,
+) -> FigureSpec:
+    """Register a figure under ``name`` (last registration wins).
+
+    ``render_needs_profile`` marks formatters with the two-argument
+    ``(records, profile)`` signature; single-argument formatters are
+    adapted so every registered ``render`` takes ``(records, profile)``.
+    """
+    if render_needs_profile:
+        normalized = render
+    else:
+        def normalized(records: list[Any], _profile: Any, _render=render) -> str:
+            return _render(records)
+
+    spec = FigureSpec(name=name, description=description, run=run, render=normalized)
+    FIGURES[name] = spec
+    return spec
+
+
+def figure_names() -> list[str]:
+    """Registered figure names, in registration order."""
+    return list(FIGURES)

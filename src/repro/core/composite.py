@@ -23,7 +23,13 @@ from repro.core.ett import EttPredictor, KnownBoundaryPredictor
 from repro.core.patterns import StorePattern
 from repro.core.rmw import RmwStore
 from repro.errors import PatternError
-from repro.kvstores.api import KeyGroupFn, StateExport, WindowStateBackend
+from repro.kvstores.api import (
+    CAP_RESCALE,
+    CAP_SNAPSHOT,
+    KeyGroupFn,
+    StateExport,
+    WindowStateBackend,
+)
 from repro.model import PickleSerde, Serde, Window
 from repro.rescale.keygroups import key_group_of
 from repro.simenv import CAT_RECOVERY, CAT_SERDE, SimEnv
@@ -32,6 +38,8 @@ from repro.storage.filesystem import SimFileSystem
 
 class FlowKVComposite(WindowStateBackend):
     """``m`` pattern-specialized store instances behind one backend."""
+
+    capabilities = frozenset({CAP_SNAPSHOT, CAP_RESCALE})
 
     def __init__(
         self,

@@ -35,7 +35,8 @@ from repro.errors import PlanError, ReproError, SimTimeoutError
 from repro.faults import CRASH_RUNTIME_RECORD, CRASH_RUNTIME_WATERMARK
 from repro.model import StreamRecord
 from repro.rescale.controller import LoadObservation
-from repro.rescale.keygroups import key_group_of, owner_of
+from repro.rescale.keygroups import contiguous_owner_table, key_group_of
+from repro.rescale.live import LiveMigration
 from repro.rescale.migration import RescaleEvent, migrate
 from repro.simenv import MetricsLedger, MetricsSnapshot, SimEnv
 from repro.storage.filesystem import SimFileSystem
@@ -106,7 +107,23 @@ class Executor:
         self._rescales: list[RescaleEvent] = []
         self.current_parallelism = plan_env.parallelism * plan_env.workers
         self.records_ingested = 0
+        # Authoritative per-key-group routing table (per-group epochs): a
+        # live rescale flips entries one group at a time; an aborted live
+        # rescale may leave a mixed assignment.
+        self.group_owner: list[int] = contiguous_owner_table(
+            plan_env.max_key_groups, self.current_parallelism
+        )
+        self._live: LiveMigration | None = None
+        self._rescale_mode = "live"
+        self._transfer_chunk_bytes: int | None = None
+        self._transfer_queue_limit: int | None = None
+        self._first_ts: float | None = None
         self._build_instances()
+
+    @property
+    def migration_active(self) -> bool:
+        """Whether a live state migration is currently in flight."""
+        return self._live is not None and not self._live.done
 
     def _new_instance(self, node: LogicalNode, index: int) -> PhysicalInstance:
         """Deploy one physical instance of a stateful node (fresh state)."""
@@ -155,6 +172,9 @@ class Executor:
         start_count: int = 0,
         start_max_ts: float = float("-inf"),
         checkpointer: Any = None,
+        rescale_mode: str = "live",
+        transfer_chunk_bytes: int | None = None,
+        transfer_queue_limit: int | None = None,
     ) -> JobResult:
         """Execute the job.
 
@@ -185,7 +205,20 @@ class Executor:
             start_max_ts: the watermark state at the checkpoint.
             checkpointer: optional :class:`repro.recovery.Checkpointer`
                 consulted at every watermark boundary.
+            rescale_mode: ``"live"`` (default) migrates state per
+                key-group while un-moved groups keep serving
+                (:class:`~repro.rescale.live.LiveMigration`); ``"stw"``
+                uses the stop-the-world path.
+            transfer_chunk_bytes: live-mode per-chunk byte budget.
+            transfer_queue_limit: live-mode bound on records buffered per
+                in-transit key-group before backpressure forces its
+                cutover.
         """
+        if rescale_mode not in ("live", "stw"):
+            raise PlanError(f"unknown rescale_mode {rescale_mode!r}")
+        self._rescale_mode = rescale_mode
+        self._transfer_chunk_bytes = transfer_chunk_bytes
+        self._transfer_queue_limit = transfer_queue_limit
         faults = self._plan.faults
         if records is not None:
             merged = iter(records[start_count:])
@@ -206,11 +239,19 @@ class Executor:
                 if arrival_rate:
                     arrival = count / arrival_rate
                 record = StreamRecord(b"", value, timestamp)
+                if self._first_ts is None:
+                    self._first_ts = timestamp
                 self._push(source_node, record, arrival)
                 count += 1
                 self.records_ingested = count
                 if timestamp > max_ts:
                     max_ts = timestamp
+                if self._live is not None:
+                    # One chunk per transfer channel per ingested record:
+                    # the migration interleaves with processing.
+                    self._live.advance(arrival)
+                    if self._live.done:
+                        self._live = None
                 if count % watermark_interval == 0:
                     self._broadcast_watermark(max_ts - watermark_delay, arrival)
                     if faults is not None:
@@ -218,7 +259,10 @@ class Executor:
                             CRASH_RUNTIME_WATERMARK, now_fn=self._busiest_clock
                         )
                     self._check_limits(sim_timeout, arrival_rate, arrival, overload_backlog)
-                    if rescale_policy is not None:
+                    # Policy and checkpoints wait for an in-flight
+                    # migration to settle: decide() is not even consulted,
+                    # so scheduled thresholds are not consumed mid-flight.
+                    if rescale_policy is not None and self._live is None:
                         busy = self._busy_sum()
                         utilization = None
                         if arrival_rate and arrival > last_arrival:
@@ -228,13 +272,15 @@ class Executor:
                             record_count=count,
                             parallelism=self.current_parallelism,
                             utilization=utilization,
-                            backlog_seconds=self._max_backlog(arrival),
+                            backlog_seconds=self._backlog_signal(
+                                arrival, arrival_rate, max_ts
+                            ),
                         )
                         last_busy, last_arrival = busy, arrival
                         target = rescale_policy.decide(observation)
                         if target is not None and target != self.current_parallelism:
                             self.rescale_to(target, arrival=arrival, at_record=count)
-                    if checkpointer is not None:
+                    if checkpointer is not None and self._live is None:
                         checkpointer.maybe_checkpoint(self, count, max_ts, rescale_policy)
             self._finish(arrival)
         except SimTimeoutError:
@@ -247,9 +293,25 @@ class Executor:
     def rescale_to(
         self, new_parallelism: int, arrival: float = 0.0, at_record: int = 0
     ) -> RescaleEvent:
-        """Stop-the-world rescale to ``new_parallelism`` (see
-        :mod:`repro.rescale.migration`); the event is recorded on the
-        job result."""
+        """Rescale to ``new_parallelism``; the event is recorded on the
+        job result.
+
+        In ``"live"`` mode (the default) this *starts* an asynchronous
+        per-key-group migration (:mod:`repro.rescale.live`) that the run
+        loop drives forward one chunk batch per record; ``"stw"`` runs
+        the whole stop-the-world migration before returning
+        (:mod:`repro.rescale.migration`).
+        """
+        if self._rescale_mode == "live":
+            live = LiveMigration(
+                self, new_parallelism, arrival=arrival, at_record=at_record,
+                chunk_bytes=self._transfer_chunk_bytes,
+                queue_limit=self._transfer_queue_limit,
+            )
+            self._rescales.append(live.event)
+            if not live.done:
+                self._live = live
+            return live.event
         event = migrate(self, new_parallelism, arrival=arrival, at_record=at_record)
         self._rescales.append(event)
         return event
@@ -270,6 +332,9 @@ class Executor:
                 self._new_instance(node, i) for i in range(parallelism)
             ]
         self.current_parallelism = parallelism
+        self.group_owner = contiguous_owner_table(
+            self._plan.max_key_groups, parallelism
+        )
 
     def _busiest_clock(self) -> float:
         return max(
@@ -295,6 +360,25 @@ class Executor:
              for insts in self._instances.values() for inst in insts),
             default=0.0,
         )
+
+    def _backlog_signal(
+        self, arrival: float, arrival_rate: float | None, max_ts: float
+    ) -> float:
+        """Source-queue backlog estimate for the rescale controller.
+
+        Latency mode has a real arrival axis: backlog is how far the
+        busiest queue's completion horizon trails the current arrival.
+        Throughput mode has no arrival clock, so the event-time span
+        ingested so far serves as the wall-time proxy: busy time beyond
+        that span means the job cannot keep up with its sources in real
+        time (the controller can now act in both modes).
+        """
+        if arrival_rate:
+            return self._max_backlog(arrival)
+        if self._first_ts is None or max_ts == float("-inf"):
+            return 0.0
+        span = max(0.0, max_ts - self._first_ts)
+        return max(0.0, self._busiest_clock() - span)
 
     def _merged_sources(self):
         """Merge all sources in timestamp order."""
@@ -341,6 +425,8 @@ class Executor:
         elif kind == "union":
             self._push(node, record, arrival)
         elif kind in ("window", "interval_join"):
+            if self._live is not None and self._live.intercept(node, record, arrival):
+                return  # buffered: replays at the new owner on cutover
             instance = self._route(node, record.key)
             self._run_unit(node, instance, arrival, lambda: instance.operator.process(record))
         elif kind == "sink":
@@ -350,12 +436,12 @@ class Executor:
             raise PlanError(f"cannot handle node kind {kind}")
 
     def _route(self, node: LogicalNode, key: bytes) -> PhysicalInstance:
-        """Key-group routing: hash to a key-group once, then map the group
-        to its contiguous-range owner at the current parallelism."""
+        """Key-group routing: hash to a key-group once, then look the
+        group's owner up in the routing table (per-group epochs — a live
+        rescale flips entries one group at a time)."""
         instances = self._instances[node.node_id]
-        max_groups = self._plan.max_key_groups
-        group = key_group_of(key, max_groups)
-        return instances[owner_of(group, max_groups, len(instances))]
+        group = key_group_of(key, self._plan.max_key_groups)
+        return instances[self.group_owner[group]]
 
     def _run_unit(
         self, node: LogicalNode, instance: PhysicalInstance, arrival: float, thunk
@@ -380,6 +466,11 @@ class Executor:
                 )
 
     def _finish(self, arrival: float) -> None:
+        # End of input: an in-flight migration must settle before the
+        # final triggers fire, or buffered records would be lost.
+        if self._live is not None:
+            self._live.drain_to_completion(arrival)
+            self._live = None
         for node in self._stateful_nodes:
             for instance in self._instances[node.node_id]:
                 self._run_unit(

@@ -16,6 +16,8 @@ from typing import Any
 
 from repro.core.patterns import StorePattern, WindowKind, determine_pattern
 from repro.kvstores.api import (
+    CAP_RESCALE,
+    CAP_SNAPSHOT,
     KIND_AGG,
     KIND_LIST,
     ExportedEntry,
@@ -94,6 +96,15 @@ class GenericKVBackend(WindowStateBackend):
     @property
     def store(self) -> KVStore:
         return self._store
+
+    @property
+    def capabilities(self) -> frozenset[str]:
+        # Rescaling works over any KV store (scan_prefix + delete);
+        # snapshotting is delegated, so only advertise it when the
+        # wrapped store can actually take one.
+        return frozenset({CAP_RESCALE}) | (
+            self._store.capabilities & {CAP_SNAPSHOT}
+        )
 
     def _encode(self, obj: Any) -> bytes:
         data = self._serde.serialize(obj)

@@ -38,6 +38,29 @@ class SnapshotCorruptError(StoreError):
     """
 
 
+class UnsupportedOperationError(StoreError):
+    """An optional store capability was invoked on a backend lacking it.
+
+    Backends advertise their optional features through the
+    ``capabilities`` frozenset (:mod:`repro.kvstores.api`); callers that
+    need a capability — checkpointing needs ``snapshot``, rescaling
+    needs ``rescale`` — check it *up front* and raise this with an
+    actionable message instead of tripping over a bare
+    ``NotImplementedError`` halfway through a migration.
+    """
+
+    def __init__(self, backend: str, capability: str, operation: str = "") -> None:
+        wanted = operation or capability
+        super().__init__(
+            f"{backend} does not support {wanted!r}: the backend does not "
+            f"advertise the {capability!r} capability (see "
+            f"WindowStateBackend.capabilities)"
+        )
+        self.backend = backend
+        self.capability = capability
+        self.operation = wanted
+
+
 class StoreRestoreError(StoreError):
     """A snapshot restore was attempted on a store that already holds state.
 

@@ -20,11 +20,31 @@ from collections.abc import Callable, Iterator
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.errors import UnsupportedOperationError
 from repro.model import Window
 
 # Entry kinds crossing the migration boundary (elastic rescaling).
 KIND_LIST = "list"  # append-pattern list state (AAR / AUR / ListState)
 KIND_AGG = "agg"  # read-modify-write aggregate state (RMW / ValueState)
+
+# Optional-capability names a backend may advertise (``capabilities``).
+CAP_SNAPSHOT = "snapshot"  # snapshot() / restore() — checkpointing
+CAP_RESCALE = "rescale"  # export_state() / import_state() — key-group migration
+
+# Default per-chunk byte budget of a live state transfer.
+DEFAULT_CHUNK_BYTES = 64 << 10
+
+
+def require_capability(backend: Any, capability: str, operation: str = "") -> None:
+    """Fail fast with an actionable error if ``backend`` lacks ``capability``.
+
+    Callers on the checkpoint and rescale paths call this *before*
+    starting multi-step work, so a missing capability surfaces as one
+    typed :class:`~repro.errors.UnsupportedOperationError` up front
+    rather than a mid-migration surprise.
+    """
+    if capability not in getattr(backend, "capabilities", frozenset()):
+        raise UnsupportedOperationError(type(backend).__name__, capability, operation)
 
 
 @dataclass
@@ -65,6 +85,109 @@ class StateExport:
 
 # Maps a key to its key-group (bound to the job's max_key_groups).
 KeyGroupFn = Callable[[bytes], int]
+
+
+@dataclass
+class StateChunk:
+    """One bounded slice of a single key-group's migrating state.
+
+    A live rescale moves state as a sequence of chunks so the transfer
+    can interleave with record processing; ``last`` marks the chunk that
+    completes its key-group (the new owner imports the group — and cuts
+    it over — only once its last chunk has landed).
+    """
+
+    key_group: int
+    seq: int  # chunk ordinal within the key-group, from 0
+    entries: list[ExportedEntry]
+    last: bool
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(entry.payload_bytes for entry in self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+class StateExportStream:
+    """Chunked, resumable, per-key-group export of one backend.
+
+    Construction is the *drain*: one bulk :meth:`WindowStateBackend.
+    export_state` call extracts every moved key-group from the backend
+    (state leaves the store immediately, exactly as in the stop-the-world
+    path, so no split-brain window exists where old and new owner both
+    hold a group).  The staged entries are then served as per-key-group
+    :class:`StateChunk`\\ s under a byte budget — the transfer itself is
+    charged to the ``migration`` ledger as chunks move on the simulated
+    clock, by whoever moves them.
+
+    The stream retains a full copy of every group's entries until the
+    group is :meth:`commit`\\ ted (its cutover completed), so a
+    mid-transfer fault can :meth:`rollback_entries` — re-import the
+    group at its old owner — without touching groups that already cut
+    over.
+    """
+
+    def __init__(
+        self,
+        backend: "WindowStateBackend",
+        key_groups: set[int],
+        key_group_of: KeyGroupFn,
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+    ) -> None:
+        require_capability(backend, CAP_RESCALE, "export_state")
+        self._chunk_bytes = max(1, chunk_bytes)
+        self._staged: dict[int, list[ExportedEntry]] = {
+            group: [] for group in sorted(key_groups)
+        }
+        for entry in backend.export_state(set(key_groups), key_group_of).entries:
+            self._staged[key_group_of(entry.key)].append(entry)
+        self._cursor: dict[int, int] = dict.fromkeys(self._staged, 0)
+        self._seq: dict[int, int] = dict.fromkeys(self._staged, 0)
+        self._done: set[int] = set()
+
+    def groups(self) -> list[int]:
+        """The key-groups this stream is transferring, ascending."""
+        return list(self._staged)
+
+    def entries_of(self, group: int) -> list[ExportedEntry]:
+        return self._staged[group]
+
+    def has_more(self, group: int) -> bool:
+        """Whether ``group`` still has chunks to send (every group sends
+        at least one — possibly empty — final chunk)."""
+        return group in self._staged and group not in self._done
+
+    def next_chunk(self, group: int) -> StateChunk:
+        """The next chunk of ``group`` under the byte budget."""
+        if not self.has_more(group):
+            raise ValueError(f"key-group {group} has no chunks left to send")
+        entries = self._staged[group]
+        start = self._cursor[group]
+        end = start
+        size = 0
+        while end < len(entries) and (size == 0 or size < self._chunk_bytes):
+            size += entries[end].payload_bytes
+            end += 1
+        self._cursor[group] = end
+        seq = self._seq[group]
+        self._seq[group] = seq + 1
+        last = end >= len(entries)
+        if last:
+            self._done.add(group)
+        return StateChunk(group, seq, entries[start:end], last)
+
+    def commit(self, group: int) -> None:
+        """Drop the rollback copy of a cut-over group."""
+        self._staged.pop(group, None)
+
+    def rollback_entries(self, group: int) -> list[ExportedEntry]:
+        """All entries of a not-yet-committed group, for re-import at the
+        old owner (sent-but-not-cut-over chunks included)."""
+        entries = self._staged.pop(group, [])
+        self._done.add(group)
+        return entries
 
 
 class KVStore(ABC):
@@ -113,6 +236,11 @@ class KVStore(ABC):
     def disk_bytes(self) -> int:
         """Approximate bytes of on-disk structures (0 for pure-memory)."""
         return 0
+
+    @property
+    def capabilities(self) -> frozenset[str]:
+        """Optional features this store implements (``CAP_*`` names)."""
+        return frozenset()
 
 
 class WindowStateBackend(ABC):
@@ -169,18 +297,33 @@ class WindowStateBackend(ABC):
     def on_watermark(self, timestamp: float) -> None:
         """Advance the backend's notion of time (enables prefetching)."""
 
+    # --- optional capabilities ------------------------------------------
+    @property
+    def capabilities(self) -> frozenset[str]:
+        """Optional features this backend implements (``CAP_*`` names).
+
+        A backend that overrides :meth:`snapshot`/:meth:`restore` must
+        advertise :data:`CAP_SNAPSHOT`; one that overrides
+        :meth:`export_state`/:meth:`import_state` must advertise
+        :data:`CAP_RESCALE`.  Callers (the recovery manager, the rescale
+        executor, the bench harness) check the set up front via
+        :func:`require_capability` instead of catching exceptions mid-run.
+        """
+        return frozenset()
+
     # --- checkpointing (§8, Fault Tolerance) ----------------------------
     def snapshot(self):
         """Capture a :class:`repro.snapshot.StoreSnapshot` of this backend.
 
         Implementations flush in-memory buffers first so the bulk of the
         snapshot is on-disk files that an SPE can upload asynchronously.
+        Requires :data:`CAP_SNAPSHOT`.
         """
-        raise NotImplementedError(f"{type(self).__name__} does not support snapshots")
+        raise UnsupportedOperationError(type(self).__name__, CAP_SNAPSHOT, "snapshot")
 
     def restore(self, snapshot) -> None:
         """Load a snapshot into this (freshly constructed) backend."""
-        raise NotImplementedError(f"{type(self).__name__} does not support snapshots")
+        raise UnsupportedOperationError(type(self).__name__, CAP_SNAPSHOT, "restore")
 
     # --- elastic rescaling (key-group migration) ------------------------
     def export_state(self, key_groups: set[int], key_group_of: KeyGroupFn) -> StateExport:
@@ -190,13 +333,17 @@ class WindowStateBackend(ABC):
         back (charging the reads to the ``migration`` ledger category
         where the backend controls the charge), and leave the remaining
         key-groups untouched.  The returned export is what a rescale
-        transfers to the new owner.
+        transfers to the new owner.  Requires :data:`CAP_RESCALE`.
         """
-        raise NotImplementedError(f"{type(self).__name__} does not support rescaling")
+        raise UnsupportedOperationError(
+            type(self).__name__, CAP_RESCALE, "export_state"
+        )
 
     def import_state(self, export: StateExport) -> None:
         """Load a :class:`StateExport` produced by a peer instance."""
-        raise NotImplementedError(f"{type(self).__name__} does not support rescaling")
+        raise UnsupportedOperationError(
+            type(self).__name__, CAP_RESCALE, "import_state"
+        )
 
 
 def composite_key(window: Window, key: bytes) -> bytes:

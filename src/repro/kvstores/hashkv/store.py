@@ -7,7 +7,7 @@ from collections.abc import Iterator
 from dataclasses import dataclass
 
 from repro.errors import StoreClosedError
-from repro.kvstores.api import KVStore
+from repro.kvstores.api import CAP_SNAPSHOT, KVStore
 from repro.serde.codec import decode_bytes, encode_bytes
 from repro.simenv import (
     CAT_COMPACTION,
@@ -62,6 +62,8 @@ class FasterStore(KVStore):
     charge, as Faster's thread-safe design requires even under a
     single-threaded SPE worker (§6.3).
     """
+
+    capabilities = frozenset({CAP_SNAPSHOT})
 
     def __init__(
         self,

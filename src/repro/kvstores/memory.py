@@ -22,6 +22,8 @@ from typing import Any
 
 from repro.errors import StoreClosedError, StoreOOMError
 from repro.kvstores.api import (
+    CAP_RESCALE,
+    CAP_SNAPSHOT,
     KIND_AGG,
     KIND_LIST,
     ExportedEntry,
@@ -67,6 +69,8 @@ class HeapWindowBackend(WindowStateBackend):
     namespace, an inner map per key.  List state and aggregate state are
     kept in separate namespaces like Flink's ListState/ValueState.
     """
+
+    capabilities = frozenset({CAP_SNAPSHOT, CAP_RESCALE})
 
     def __init__(
         self,

@@ -43,6 +43,7 @@ from repro.errors import (
     SnapshotCorruptError,
 )
 from repro.faults import CRASH_SNAPSHOT_COMMIT, CRASH_SNAPSHOT_FILE, with_retries
+from repro.kvstores.api import CAP_SNAPSHOT, require_capability
 from repro.simenv import CAT_RECOVERY, MetricsLedger, SimEnv
 from repro.snapshot import StoreSnapshot
 from repro.storage.filesystem import SimFileSystem
@@ -247,6 +248,10 @@ class Checkpointer:
                 "at_record": count,
                 "max_timestamp": max_ts,
                 "parallelism": executor.current_parallelism,
+                # The routing table may be non-contiguous after an
+                # aborted live rescale; a restore must reproduce it
+                # exactly or replayed records land on the wrong owners.
+                "group_owner": list(executor.group_owner),
                 "sinks": executor._sinks,  # noqa: SLF001
                 "latencies": executor._latencies,  # noqa: SLF001
                 "rescales": executor._rescales,  # noqa: SLF001
@@ -299,6 +304,12 @@ class RecoveryManager:
         """Execute the plan with checkpointing and automatic recovery."""
         self.plan.validate()
         executor = Executor(self.plan)
+        # Fail fast, before any records run: checkpointing needs every
+        # stateful backend to support snapshots.
+        for node in executor._stateful_nodes:  # noqa: SLF001
+            backend = executor._instances[node.node_id][0].operator.backend  # noqa: SLF001
+            if backend is not None:
+                require_capability(backend, CAP_SNAPSHOT, "snapshot")
         # Materialize the sources ONCE: replays must see the identical
         # record sequence even if the plan's sources were generators.
         records = list(executor._merged_sources())  # noqa: SLF001
@@ -359,6 +370,9 @@ class RecoveryManager:
                 manifest = storage.read_manifest(epoch)
                 job = pickle.loads(storage.read_file(manifest, f"{_epoch_dir(epoch)}/job"))
                 executor.rebuild_for_restore(job["parallelism"])
+                owner_table = job.get("group_owner")
+                if owner_table is not None:
+                    executor.group_owner[:] = owner_table
                 for node in executor._stateful_nodes:  # noqa: SLF001
                     for idx, instance in enumerate(
                         executor._instances[node.node_id]  # noqa: SLF001

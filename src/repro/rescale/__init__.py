@@ -2,14 +2,18 @@
 
 Public surface:
 
-* :mod:`repro.rescale.keygroups` — the key-group hash and contiguous
-  ownership ranges (Flink-style), fixed by ``max_key_groups`` at plan
-  time;
+* :mod:`repro.rescale.keygroups` — the key-group hash, contiguous
+  ownership ranges (Flink-style) and the explicit routing table, fixed
+  by ``max_key_groups`` at plan time;
 * :mod:`repro.rescale.migration` — the stop-the-world migration executor
   (drain → export → redeploy → import → resume) with per-operator
   downtime and bytes-moved accounting;
+* :mod:`repro.rescale.live` — the asynchronous migration: chunked
+  per-key-group transfer, bounded buffer-and-replay for in-transit
+  groups, per-group cutover, partial rollback on faults;
 * :mod:`repro.rescale.controller` — when to rescale: a deterministic
-  schedule or a utilization-watermark autoscaler with hysteresis.
+  schedule or a utilization/backlog-watermark autoscaler with
+  hysteresis.
 """
 
 from repro.rescale.controller import (
@@ -19,26 +23,38 @@ from repro.rescale.controller import (
 )
 from repro.rescale.keygroups import (
     DEFAULT_MAX_KEY_GROUPS,
+    contiguous_owner_table,
     groups_owned,
     key_group_of,
     key_group_range,
+    moved_groups_from_table,
     moved_key_groups,
     owner_of,
     validate_parallelism,
 )
-from repro.rescale.migration import NodeMigration, RescaleEvent, migrate
+from repro.rescale.live import LiveMigration
+from repro.rescale.migration import (
+    GroupCutover,
+    NodeMigration,
+    RescaleEvent,
+    migrate,
+)
 
 __all__ = [
     "DEFAULT_MAX_KEY_GROUPS",
+    "GroupCutover",
+    "LiveMigration",
     "LoadObservation",
     "NodeMigration",
     "RescaleController",
     "RescaleEvent",
     "ScheduledRescale",
+    "contiguous_owner_table",
     "groups_owned",
     "key_group_of",
     "key_group_range",
     "migrate",
+    "moved_groups_from_table",
     "moved_key_groups",
     "owner_of",
     "validate_parallelism",

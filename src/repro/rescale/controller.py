@@ -15,7 +15,11 @@ Two policies drive the migration executor:
 
 Utilization needs a wall clock to compare busy time against, which only
 exists in open-loop (latency-mode) runs; in throughput mode observations
-carry ``utilization=None`` and the controller abstains.  The scheduled
+carry ``utilization=None``.  The controller then falls back to the
+*backlog* signal (``backlog_seconds``, which the runtime computes in both
+modes — worst queue backlog in latency mode, busy time beyond the
+ingested event-time span in throughput mode) when backlog watermarks are
+configured; with neither signal available it abstains.  The scheduled
 policy only looks at record counts and works in both modes.
 """
 
@@ -31,7 +35,7 @@ class LoadObservation:
     record_count: int  # records ingested so far
     parallelism: int  # current physical parallelism
     utilization: float | None  # mean busy/wall fraction since last sample
-    backlog_seconds: float = 0.0  # worst instance queue backlog (latency mode)
+    backlog_seconds: float = 0.0  # source-queue backlog estimate (both modes)
 
 
 @dataclass
@@ -66,6 +70,19 @@ class RescaleController:
     Scale-up doubles parallelism, scale-down halves it (clamped to
     ``[min_parallelism, max_parallelism]``) — geometric steps keep the
     number of migrations logarithmic in the required capacity change.
+
+    Two signals feed the same streak/patience machinery:
+
+    * **utilization** (latency mode only) against ``high_watermark`` /
+      ``low_watermark``;
+    * **backlog** against ``backlog_high_seconds`` /
+      ``backlog_low_seconds`` (optional; works in both modes).  Backlog
+      above the high threshold counts toward scale-up even when
+      utilization is unavailable; sustained backlog at/below the low
+      threshold counts toward scale-down *only* when utilization is
+      unavailable (a utilization reading is the better under-load
+      signal when it exists, and a high utilization must veto a
+      low-backlog scale-down).
     """
 
     min_parallelism: int = 1
@@ -74,6 +91,8 @@ class RescaleController:
     low_watermark: float = 0.3  # sustained utilization that triggers scale-down
     patience: int = 3  # consecutive observations beyond a watermark
     cooldown: int = 5  # observations ignored after a rescale
+    backlog_high_seconds: float | None = None  # sustained backlog -> scale-up
+    backlog_low_seconds: float | None = None  # sustained calm -> scale-down
 
     _high_streak: int = field(default=0, init=False)
     _low_streak: int = field(default=0, init=False)
@@ -87,18 +106,42 @@ class RescaleController:
             )
         if self.min_parallelism < 1 or self.max_parallelism < self.min_parallelism:
             raise ValueError("need 1 <= min_parallelism <= max_parallelism")
+        if (
+            self.backlog_high_seconds is not None
+            and self.backlog_low_seconds is not None
+            and not 0.0 <= self.backlog_low_seconds < self.backlog_high_seconds
+        ):
+            raise ValueError(
+                f"backlog thresholds must satisfy 0 <= low < high: "
+                f"{self.backlog_low_seconds} / {self.backlog_high_seconds}"
+            )
 
     def decide(self, observation: LoadObservation) -> int | None:
         if self._cooldown_left > 0:
             self._cooldown_left -= 1
             return None
         utilization = observation.utilization
-        if utilization is None:
+        backlog = observation.backlog_seconds
+        backlog_high = (
+            self.backlog_high_seconds is not None
+            and backlog >= self.backlog_high_seconds
+        )
+        backlog_low = (
+            self.backlog_low_seconds is not None
+            and backlog <= self.backlog_low_seconds
+        )
+        backlog_enabled = (
+            self.backlog_high_seconds is not None
+            or self.backlog_low_seconds is not None
+        )
+        if utilization is None and not backlog_enabled:
             return None
-        if utilization >= self.high_watermark:
+        if (utilization is not None and utilization >= self.high_watermark) or backlog_high:
             self._high_streak += 1
             self._low_streak = 0
-        elif utilization <= self.low_watermark:
+        elif (utilization is not None and utilization <= self.low_watermark) or (
+            utilization is None and backlog_low
+        ):
             self._low_streak += 1
             self._high_streak = 0
         else:

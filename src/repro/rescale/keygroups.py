@@ -77,6 +77,38 @@ def moved_key_groups(
     return plan
 
 
+def contiguous_owner_table(max_key_groups: int, parallelism: int) -> list[int]:
+    """The canonical routing table at ``parallelism``: entry ``g`` is the
+    instance index owning key-group ``g`` (contiguous-range layout).
+
+    The runtime routes through an explicit table rather than recomputing
+    :func:`owner_of` so that a *live* rescale can flip ownership one
+    key-group at a time (per-group routing epochs) and an aborted
+    migration can leave a mixed — but still authoritative — assignment.
+    """
+    return [owner_of(g, max_key_groups, parallelism) for g in range(max_key_groups)]
+
+
+def moved_groups_from_table(
+    table: list[int], new_parallelism: int
+) -> dict[int, dict[int, list[int]]]:
+    """Key-groups whose owner changes from ``table`` to the contiguous
+    layout at ``new_parallelism``.
+
+    Same shape as :func:`moved_key_groups` (``{src: {dst: [groups...]}}``)
+    but the *current* owner comes from the routing table, so the plan is
+    correct even when a previous aborted live rescale left a
+    non-contiguous assignment.
+    """
+    max_key_groups = len(table)
+    plan: dict[int, dict[int, list[int]]] = {}
+    for group, src in enumerate(table):
+        dst = owner_of(group, max_key_groups, new_parallelism)
+        if src != dst:
+            plan.setdefault(src, {}).setdefault(dst, []).append(group)
+    return plan
+
+
 def groups_owned(
     indices: Iterable[int], max_key_groups: int, parallelism: int
 ) -> dict[int, list[int]]:

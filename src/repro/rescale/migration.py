@@ -18,10 +18,11 @@ from typing import TYPE_CHECKING, Any
 
 from repro.errors import DiskIOError, InjectedCrashError, PlanError
 from repro.faults import CRASH_MIGRATE_EXPORT, CRASH_MIGRATE_IMPORT, with_retries
-from repro.kvstores.api import StateExport
+from repro.kvstores.api import CAP_RESCALE, StateExport, require_capability
 from repro.rescale.keygroups import (
+    contiguous_owner_table,
     key_group_of,
-    moved_key_groups,
+    moved_groups_from_table,
     owner_of,
     validate_parallelism,
 )
@@ -47,12 +48,43 @@ class NodeMigration:
 
 
 @dataclass
+class GroupCutover:
+    """Cutover record of one key-group in a *live* rescale.
+
+    A live migration cuts the job over group-by-group; each cutover
+    records when the group landed on its new owner (``cutover_at``, on
+    the simulated arrival axis), how long its transfer and import took on
+    the busy clocks, and how long records destined for the group waited
+    in the transfer queue (``max_record_delay`` — the per-group downtime
+    a record actually observed).  ``forced`` marks groups whose transfer
+    was completed synchronously because their bounded transfer queue
+    filled up (backpressure).
+    """
+
+    group: int
+    cutover_at: float = 0.0
+    transfer_seconds: float = 0.0
+    import_seconds: float = 0.0
+    buffered_records: int = 0
+    max_record_delay: float = 0.0
+    forced: bool = False
+
+
+@dataclass
 class RescaleEvent:
     """One rescale attempt of the whole job.
 
+    ``mode`` is ``"stw"`` (stop-the-world) or ``"live"`` (asynchronous
+    per-key-group cutover); live rescales record one :class:`GroupCutover`
+    per key-group that completed its cutover.
+
     ``aborted`` marks an attempt that hit a fault mid-migration and was
-    rolled back: every moved key-group returned to its pre-migration
-    owner and the old topology kept running (no partial cutover).
+    rolled back.  A stop-the-world abort restores the full pre-migration
+    topology (no partial cutover).  A *live* abort rolls back only the
+    not-yet-cut-over key-groups (``rolled_back_groups``): groups that
+    already cut over keep their new owner, the routing table stays mixed
+    but authoritative, and a later rescale moves state from wherever the
+    table says it lives.
     """
 
     at_record: int
@@ -61,6 +93,9 @@ class RescaleEvent:
     moved_groups: int
     per_node: list[NodeMigration] = field(default_factory=list)
     aborted: bool = False
+    mode: str = "stw"
+    cutovers: list[GroupCutover] = field(default_factory=list)
+    rolled_back_groups: int = 0
 
     @property
     def bytes_moved(self) -> int:
@@ -72,7 +107,20 @@ class RescaleEvent:
 
     @property
     def downtime_seconds(self) -> float:
+        """The pause a record could observe.
+
+        Stop-the-world: the whole job froze for the export+import window,
+        summed over stateful operators.  Live: no global freeze exists —
+        the observable stall is the longest any buffered record waited
+        for its key-group to cut over (all other groups kept serving).
+        """
+        if self.mode == "live":
+            return self.max_record_delay
         return sum(node.downtime_seconds for node in self.per_node)
+
+    @property
+    def max_record_delay(self) -> float:
+        return max((c.max_record_delay for c in self.cutovers), default=0.0)
 
 
 def _transfer_charge(env: Any, payload_bytes: int, n_entries: int) -> None:
@@ -143,7 +191,9 @@ def migrate(
     max_groups = plan.max_key_groups
     validate_parallelism(new_parallelism, max_groups)
     old_parallelism = executor.current_parallelism
-    move_plan = moved_key_groups(max_groups, old_parallelism, new_parallelism)
+    # The routing table is the authority on current ownership: a prior
+    # aborted live rescale may have left a non-contiguous assignment.
+    move_plan = moved_groups_from_table(executor.group_owner, new_parallelism)
     event = RescaleEvent(
         at_record=at_record,
         old_parallelism=old_parallelism,
@@ -159,6 +209,11 @@ def migrate(
             "cannot rescale a plan with interval joins: join buffers are "
             "engine-managed and not yet migratable (see ROADMAP open items)"
         )
+    if move_plan:
+        for node in executor._stateful_nodes:  # noqa: SLF001
+            backend = executor._instances[node.node_id][0].operator.backend  # noqa: SLF001
+            if backend is not None:
+                require_capability(backend, CAP_RESCALE, "export_state")
 
     def kg_of(key: bytes) -> int:
         return key_group_of(key, max_groups)
@@ -279,6 +334,7 @@ def migrate(
         for inst in insts:
             inst.wall_available = max(inst.wall_available, resume_at)
     executor.current_parallelism = new_parallelism
+    executor.group_owner[:] = contiguous_owner_table(max_groups, new_parallelism)
     return event
 
 

@@ -61,6 +61,36 @@ def test_cli_unknown_figure():
     assert "unknown figure" in result.stdout
 
 
+def test_cli_list_enumerates_registry():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.bench", "--list"],
+        capture_output=True, text=True, timeout=120,
+        env=subprocess_env(),
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    lines = [line for line in result.stdout.splitlines() if line.strip()]
+    listed = {line.split()[0] for line in lines}
+    # The registry is the single source of truth for the CLI.
+    import repro.bench.figures  # noqa: F401 - populates the registry
+    from repro.bench.registry import FIGURES
+
+    assert listed == set(FIGURES)
+    assert "fig_rescale" in listed
+    # Every entry carries its one-line description.
+    assert all(len(line.split(None, 1)) == 2 for line in lines)
+
+
+def test_registry_specs_are_complete():
+    import repro.bench.figures  # noqa: F401 - populates the registry
+    from repro.bench.registry import FIGURES
+
+    assert len(FIGURES) >= 9
+    for name, spec in FIGURES.items():
+        assert spec.name == name
+        assert spec.description
+        assert callable(spec.run) and callable(spec.render)
+
+
 def test_cli_runs_one_figure():
     result = subprocess.run(
         [sys.executable, "-m", "repro.bench", "fig13"],

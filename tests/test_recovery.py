@@ -159,6 +159,9 @@ class TestCheckpointIntegrity:
 
 
 class TestMigrationFaults:
+    # Pinned to the stop-the-world path: its rollback restores the full
+    # pre-migration topology (no partial cutover).  The live path's
+    # per-group partial rollback is covered in test_live_migration.py.
     @pytest.mark.parametrize("site", (CRASH_MIGRATE_EXPORT, CRASH_MIGRATE_IMPORT))
     def test_faulted_migration_rolls_back(self, site):
         never_migrated = run("flowkv", parallelism=2)
@@ -166,7 +169,7 @@ class TestMigrationFaults:
 
         plan = FaultPlan(seed=FAULT_SEED).crash(site, on_hit=2)
         aborted = run("flowkv", parallelism=2, rescale_schedule={half: 4},
-                      fault_plan=plan)
+                      fault_plan=plan, rescale_mode="stw")
         assert aborted.ok
         assert [event.aborted for event in aborted.rescales] == [True]
         # No partial cutover: the job finished on the old topology with
@@ -177,14 +180,15 @@ class TestMigrationFaults:
     def test_transient_transfer_faults_are_retried(self):
         clean = run("flowkv", parallelism=2)
         half = clean.input_records // 2
-        migrated = run("flowkv", parallelism=2, rescale_schedule={half: 4})
+        migrated = run("flowkv", parallelism=2, rescale_schedule={half: 4},
+                       rescale_mode="stw")
         assert migrated.output_hash == clean.output_hash
 
         plan = FaultPlan(seed=FAULT_SEED).fail_io(
             op="transfer", at_time=0.0, times=2
         )
         retried = run("flowkv", parallelism=2, rescale_schedule={half: 4},
-                      fault_plan=plan)
+                      fault_plan=plan, rescale_mode="stw")
         assert retried.ok
         assert [event.aborted for event in retried.rescales] == [False]
         assert retried.output_hash == migrated.output_hash

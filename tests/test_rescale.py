@@ -176,6 +176,71 @@ class TestRescaleController:
             RescaleController(min_parallelism=0)
 
 
+class TestBacklogSignal:
+    """The backlog watermarks make the autoscaler work in throughput
+    mode, where observations carry ``utilization=None``."""
+
+    def observe(self, controller, backlog, utilization=None, parallelism=2):
+        return controller.decide(
+            LoadObservation(0, parallelism, utilization,
+                            backlog_seconds=backlog)
+        )
+
+    def controller(self, **kwargs):
+        kwargs.setdefault("backlog_high_seconds", 2.0)
+        kwargs.setdefault("backlog_low_seconds", 0.5)
+        kwargs.setdefault("cooldown", 0)
+        return RescaleController(**kwargs)
+
+    def test_patience_applies_to_backlog_too(self):
+        controller = self.controller(patience=3)
+        assert self.observe(controller, 5.0) is None
+        assert self.observe(controller, 5.0) is None
+        assert self.observe(controller, 5.0) == 4  # doubles
+
+    def test_mid_band_backlog_resets_the_streak(self):
+        controller = self.controller(patience=2)
+        assert self.observe(controller, 5.0) is None
+        assert self.observe(controller, 1.0) is None  # between thresholds
+        assert self.observe(controller, 5.0) is None  # streak restarted
+        assert self.observe(controller, 5.0) == 4
+
+    def test_sustained_calm_scales_down(self):
+        controller = self.controller(patience=2)
+        assert self.observe(controller, 0.0, parallelism=8) is None
+        assert self.observe(controller, 0.0, parallelism=8) == 4  # halves
+
+    def test_cooldown_applies_to_backlog_decisions(self):
+        controller = self.controller(patience=1, cooldown=2)
+        assert self.observe(controller, 5.0) == 4
+        assert self.observe(controller, 5.0, parallelism=4) is None
+        assert self.observe(controller, 5.0, parallelism=4) is None
+        assert self.observe(controller, 5.0, parallelism=4) == 8
+
+    def test_utilization_vetoes_low_backlog_scale_down(self):
+        # With a utilization reading available, zero backlog alone must
+        # not drive a scale-down: busy workers with an empty queue are
+        # exactly the steady state.
+        controller = self.controller(patience=1)
+        assert self.observe(controller, 0.0, utilization=0.6,
+                            parallelism=8) is None
+
+    def test_high_backlog_counts_even_with_mid_utilization(self):
+        # Backlog growth means the job is falling behind even when the
+        # utilization sample sits between the watermarks.
+        controller = self.controller(patience=1)
+        assert self.observe(controller, 5.0, utilization=0.6) == 4
+
+    def test_without_thresholds_throughput_mode_abstains(self):
+        controller = RescaleController(patience=1, cooldown=0)
+        assert self.observe(controller, 50.0) is None  # backlog ignored
+
+    def test_invalid_backlog_thresholds(self):
+        with pytest.raises(ValueError):
+            RescaleController(backlog_high_seconds=0.5,
+                              backlog_low_seconds=2.0)
+
+
 class TestCompositeRouting:
     def make(self, env, fs, m=3, name="flowkv"):
         return FlowKVComposite(
