@@ -4,8 +4,9 @@ Usage:
 
     python -m repro.bench fig8              # one figure
     python -m repro.bench fig4 fig10        # several
-    python -m repro.bench all               # everything
+    python -m repro.bench all               # everything (writes BENCH_summary.json)
     python -m repro.bench --list            # enumerate registered figures
+    python -m repro.bench fig8 --json out.json
     REPRO_BENCH_PROFILE=tiny python -m repro.bench fig8
 
 Tables print to stdout; profile selection follows the
@@ -13,26 +14,46 @@ Tables print to stdout; profile selection follows the
 Figures come from the declarative registry (:mod:`repro.bench.registry`)
 — importing :mod:`repro.bench.figures` registers every module, so adding
 a figure is one ``register_figure`` call, not new CLI wiring.
+
+``--json PATH`` additionally writes the run's records as a stable JSON
+document (see :func:`repro.bench.report.summary_payload`); running
+``all`` always writes that document to ``BENCH_summary.json`` in the
+current directory so CI can archive one machine-readable artifact per
+bench run.
 """
 
 from __future__ import annotations
 
+import json
 import sys
 import time
 
 import repro.bench.figures  # noqa: F401 - populates the figure registry
 from repro.bench.profiles import active_profile
 from repro.bench.registry import FIGURES
+from repro.bench.report import summary_payload
+
+SUMMARY_FILE = "BENCH_summary.json"
 
 
 def main(argv: list[str]) -> int:
+    argv = list(argv)
+    json_path: str | None = None
+    if "--json" in argv:
+        at = argv.index("--json")
+        if at + 1 >= len(argv):
+            print("--json requires a path")
+            return 2
+        json_path = argv[at + 1]
+        del argv[at:at + 2]
     if "--list" in argv:
         width = max(len(name) for name in FIGURES)
         for spec in FIGURES.values():
             print(f"{spec.name:<{width}}  {spec.description}")
         return 0
     names = argv or ["all"]
-    if names == ["all"]:
+    run_all = names == ["all"]
+    if run_all:
         names = list(FIGURES)
     unknown = [n for n in names if n not in FIGURES]
     if unknown:
@@ -42,13 +63,25 @@ def main(argv: list[str]) -> int:
     profile = active_profile()
     print(f"profile: {profile.name} "
           f"({profile.generator().expected_events:,} events per run)\n")
+    collected: dict[str, tuple[str, list]] = {}
     for name in names:
         spec = FIGURES[name]
         started = time.time()
         print(f"=== {name}: {spec.description} ===")
         records = spec.run(profile)
+        collected[name] = (spec.description, records)
         print(spec.render(records, profile))
         print(f"[{name} took {time.time() - started:.1f}s wall]\n")
+    targets = [json_path] if json_path else []
+    if run_all:
+        targets.append(SUMMARY_FILE)
+    if targets:
+        payload = summary_payload(profile.name, collected)
+        for target in targets:
+            with open(target, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"wrote {target}")
     return 0
 
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from repro.bench.harness import RunRecord, run_query
 from repro.bench.profiles import ScaleProfile, active_profile
-from repro.bench.report import format_table
+from repro.bench.report import format_table, lsm_counter_columns
 
 QUERIES = ("q7", "q11-median", "q11")
 BACKENDS = ("flowkv", "rocksdb", "faster")
@@ -47,7 +47,9 @@ def render(records: list[RunRecord]) -> str:
     totals: dict[tuple[str, str], float] = {}
     for record in records:
         write, read, compaction, total = store_cpu_columns(record)
-        rows.append([record.query, record.backend, write, read, compaction, total])
+        hit_ratio, bloom_neg = lsm_counter_columns(record)
+        rows.append([record.query, record.backend, write, read, compaction, total,
+                     hit_ratio, bloom_neg])
         if record.ok:
             totals[(record.query, record.backend)] = float(total)
     for record in records:
@@ -59,9 +61,11 @@ def render(records: list[RunRecord]) -> str:
         ]
         if flow and rivals:
             gain = max(rivals) / flow if flow > 0 else float("inf")
-            rows.append([record.query, "(flowkv saves)", "-", "-", "-", f"{gain:.2f}x"])
+            rows.append([record.query, "(flowkv saves)", "-", "-", "-",
+                         f"{gain:.2f}x", "-", "-"])
     return format_table(
-        ["query", "backend", "write_cpu", "read_cpu", "compaction_cpu", "store_total"], rows
+        ["query", "backend", "write_cpu", "read_cpu", "compaction_cpu", "store_total",
+         "cache_hit", "bloom_neg"], rows
     )
 
 

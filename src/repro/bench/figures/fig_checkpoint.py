@@ -1,0 +1,171 @@
+"""Checkpoint: incremental per-key-group epochs vs full snapshots on Q11-Median.
+
+Not a paper figure — an extension of the evaluation to incremental
+checkpointing (the Flink/RocksDB strategy recast over key-group shards).
+Per (backend, window, interval) cell, two checkpointed runs: **full**
+(every epoch re-snapshots every store wholesale) versus **incremental**
+(each epoch writes only the key-groups dirtied since the previous cut
+and references the rest from earlier epochs by CRC; a periodic full cut
+bounds the chain).  The headline columns are bytes written per epoch
+under both regimes as state size (window) and checkpoint cadence vary,
+plus the count of shards *reused* by reference.  A second comparison
+rescales mid-run with and without checkpoint seeding: moved key-groups
+that are clean since the last cut land from the checkpoint's shards, so
+only the delta pays live-transfer bytes.  Every pair must be
+digest-equal — incremental restore chains and seeded rescales change
+I/O, never answers.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import RunRecord, run_query
+from repro.bench.profiles import ScaleProfile, active_profile
+from repro.bench.report import format_table
+
+BACKENDS = ("flowkv", "rocksdb")
+INTERVAL_DIVISORS = (16, 8)
+QUERY = "q11-median"
+RESCALE_TO = 4
+
+
+def run(
+    profile: ScaleProfile,
+    backends: tuple[str, ...] = BACKENDS,
+    window_sizes: tuple[float, ...] | None = None,
+) -> list[RunRecord]:
+    sizes = tuple(window_sizes or profile.window_sizes)
+    records = []
+    for backend in backends:
+        for size in sizes:
+            # Uncheckpointed baseline: reference digest + input length,
+            # from which the interval sweep and rescale point derive.
+            baseline = run_query(profile, QUERY, backend, size)
+            n_input = baseline.input_records
+            intervals = [profile.watermark_interval]
+            intervals += [max(50, n_input // d) for d in INTERVAL_DIVISORS]
+            for interval in dict.fromkeys(intervals):
+                full = run_query(
+                    profile, QUERY, backend, size,
+                    checkpoint_interval=interval,
+                    incremental_checkpoints=False,
+                )
+                incr = run_query(
+                    profile, QUERY, backend, size,
+                    checkpoint_interval=interval,
+                )
+                sweep = incr.operator_stats.setdefault("_sweep", {})
+                sweep["interval"] = interval
+                sweep["baseline_hash"] = baseline.output_hash
+                sweep["full_hash"] = full.output_hash
+                sweep["full_ok"] = full.ok
+                sweep["full_bytes_per_epoch"] = full.checkpoint_bytes_per_epoch()
+                sweep["full_epochs"] = full.checkpoints
+                records.append(incr)
+            # Seeded vs drain-everything live rescale under a tight
+            # checkpoint cadence (the seed is only as fresh as the last
+            # cut, so a recent epoch maximizes clean groups).
+            interval = profile.watermark_interval
+            schedule = {max(1, n_input // 2): RESCALE_TO}
+            drain = run_query(
+                profile, QUERY, backend, size,
+                checkpoint_interval=interval,
+                rescale_schedule=dict(schedule),
+                seed_rescale_from_checkpoint=False,
+            )
+            seeded = run_query(
+                profile, QUERY, backend, size,
+                checkpoint_interval=interval,
+                rescale_schedule=dict(schedule),
+            )
+            sweep = seeded.operator_stats.setdefault("_sweep", {})
+            sweep["interval"] = interval
+            sweep["baseline_hash"] = baseline.output_hash
+            sweep["rescale_pair"] = True
+            sweep["drain_hash"] = drain.output_hash
+            sweep["drain_ok"] = drain.ok
+            sweep["drain_bytes_moved"] = (
+                drain.rescales[0].bytes_moved if drain.rescales else 0
+            )
+            records.append(seeded)
+    return records
+
+
+def render(records: list[RunRecord]) -> str:
+    epoch_rows = []
+    rescale_rows = []
+    for record in records:
+        sweep = record.operator_stats.get("_sweep", {})
+        if sweep.get("rescale_pair"):
+            event = record.rescales[0] if record.rescales else None
+            drain_bytes = sweep.get("drain_bytes_moved", 0)
+            live_bytes = event.bytes_moved if event else 0
+            digests_ok = (
+                record.ok
+                and sweep.get("drain_ok", False)
+                and record.output_hash == sweep.get("baseline_hash")
+                and sweep.get("drain_hash") == sweep.get("baseline_hash")
+            )
+            rescale_rows.append([
+                record.backend,
+                f"{record.window_size:g}",
+                f"{sweep.get('interval', 0)}",
+                f"{drain_bytes:,}",
+                f"{live_bytes:,}",
+                f"{event.seeded_bytes:,}" if event else "-",
+                f"{event.seeded_groups}/{event.moved_groups}" if event else "-",
+                f"{drain_bytes / live_bytes:.2f}x" if live_bytes else "-",
+                "=" if digests_ok else "DIVERGED",
+            ])
+            continue
+        full_bpe = sweep.get("full_bytes_per_epoch", 0.0)
+        incr_bpe = record.checkpoint_bytes_per_epoch()
+        delta_bpe = record.checkpoint_bytes_per_epoch(full=False)
+        reused = sum(stat.shards_reused for stat in record.checkpoint_stats)
+        digests_ok = (
+            record.ok
+            and sweep.get("full_ok", False)
+            and record.output_hash == sweep.get("baseline_hash")
+            and sweep.get("full_hash") == sweep.get("baseline_hash")
+        )
+        epoch_rows.append([
+            record.backend,
+            f"{record.window_size:g}",
+            f"{sweep.get('interval', 0)}",
+            f"{record.checkpoints}",
+            f"{full_bpe:,.0f}",
+            f"{incr_bpe:,.0f}",
+            f"{delta_bpe:,.0f}",
+            f"{full_bpe / incr_bpe:.2f}x" if incr_bpe else "-",
+            f"{reused}",
+            "=" if digests_ok else "DIVERGED",
+        ])
+    epochs = format_table(
+        ["backend", "window", "interval", "epochs", "full B/epoch",
+         "incr B/epoch", "delta B/epoch", "ratio", "shards reused", "digest"],
+        epoch_rows,
+    )
+    rescales = format_table(
+        ["backend", "window", "interval", "drain B moved", "seeded B moved",
+         "B seeded", "groups seeded", "reduction", "digest"],
+        rescale_rows,
+    )
+    return (
+        f"{epochs}\n\n"
+        f"checkpoint-seeded live rescale (x{RESCALE_TO}) vs drain-everything:\n"
+        f"{rescales}"
+    )
+
+
+def main() -> None:
+    profile = active_profile()
+    print(f"Checkpoint figure (profile={profile.name}): "
+          f"{QUERY} incremental vs full epochs + seeded rescale")
+    print(render(run(profile)))
+
+
+if __name__ == "__main__":
+    main()
+
+from repro.bench.registry import register_figure  # noqa: E402 - self-registration
+
+register_figure("fig_checkpoint", __doc__.strip().splitlines()[0], run, render)

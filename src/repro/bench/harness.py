@@ -39,6 +39,22 @@ class RunRecord:
     output_hash: str | None = None  # order-independent digest of sink outputs
     recoveries: list[Any] = field(default_factory=list)  # RecoveryEvent
     checkpoints: int = 0
+    checkpoint_stats: list[Any] = field(default_factory=list)  # CheckpointStat
+
+    @property
+    def checkpoint_bytes(self) -> int:
+        """Total bytes written across all checkpoint epochs."""
+        return sum(stat.bytes_written for stat in self.checkpoint_stats)
+
+    def checkpoint_bytes_per_epoch(self, *, full: bool | None = None) -> float:
+        """Mean bytes written per epoch, optionally full/delta-only."""
+        stats = [
+            s for s in self.checkpoint_stats
+            if full is None or s.full == full
+        ]
+        if not stats:
+            return 0.0
+        return sum(s.bytes_written for s in stats) / len(stats)
 
     @property
     def ok(self) -> bool:
@@ -90,6 +106,10 @@ def run_query(
     rescale_mode: str = "live",
     transfer_chunk_bytes: int | None = None,
     transfer_queue_limit: int | None = None,
+    incremental_checkpoints: bool | str = True,
+    full_snapshot_interval: int | None = None,
+    retained_epochs: int | None = None,
+    seed_rescale_from_checkpoint: bool = True,
 ) -> RunRecord:
     """Execute one cell of the evaluation matrix.
 
@@ -105,6 +125,14 @@ def run_query(
     faults; ``checkpoint_interval`` (records) enables checkpointing and
     runs the job under the :class:`repro.recovery.RecoveryManager`, which
     restores and replays through injected crashes.
+
+    ``incremental_checkpoints`` selects per-key-group sharded epochs
+    (True, the default; ``"require"`` fails fast on backends without the
+    capability; False forces full per-epoch snapshots),
+    ``full_snapshot_interval`` bounds the shard-chain length,
+    ``retained_epochs`` enables chain-aware checkpoint GC, and
+    ``seed_rescale_from_checkpoint`` lets live rescales seed clean moved
+    key-groups from the latest checkpoint instead of streaming them.
     """
     factory = profile.backend_factory(backend, **(flowkv_overrides or {}))
     generator = profile.generator(
@@ -143,13 +171,19 @@ def run_query(
         rescale_mode=rescale_mode,
         transfer_chunk_bytes=transfer_chunk_bytes,
         transfer_queue_limit=transfer_queue_limit,
+        seed_rescale_from_checkpoint=seed_rescale_from_checkpoint,
     )
     try:
         if checkpoint_interval is not None:
             from repro.recovery import RecoveryManager
 
             env.validate()
-            manager = RecoveryManager(env, checkpoint_interval)
+            manager_kwargs: dict[str, Any] = {"incremental": incremental_checkpoints}
+            if full_snapshot_interval is not None:
+                manager_kwargs["full_snapshot_interval"] = full_snapshot_interval
+            if retained_epochs is not None:
+                manager_kwargs["retained_epochs"] = retained_epochs
+            manager = RecoveryManager(env, checkpoint_interval, **manager_kwargs)
             result = manager.run(**run_kwargs)
         else:
             result = env.execute(**run_kwargs)
@@ -172,6 +206,7 @@ def run_query(
     record.rescales = result.rescales
     record.recoveries = result.recoveries
     record.checkpoints = result.checkpoints
+    record.checkpoint_stats = result.checkpoint_stats
     record.output_hash = output_digest(result.sink_outputs)
     if arrival_rate:
         record.p95_latency = result.p95_latency()

@@ -114,3 +114,111 @@ def latency_rows(records: list[RunRecord]) -> list[list[str]]:
         )
         rows.append([record.query, record.backend, f"{record.arrival_rate:g}/s", latency])
     return rows
+
+
+def record_summary(record: Any) -> dict[str, Any]:
+    """One benchmark record as a JSON-stable flat dict.
+
+    Works on any :class:`RunRecord`-shaped object; fields that are not
+    present (figures stash extras under ``operator_stats["_sweep"]``)
+    are simply omitted, so the schema is append-only across figures.
+    """
+    row: dict[str, Any] = {
+        "query": getattr(record, "query", None),
+        "backend": getattr(record, "backend", None),
+        "window_size": getattr(record, "window_size", None),
+        "ok": getattr(record, "ok", None),
+        "failure": getattr(record, "failure", None),
+        "input_records": getattr(record, "input_records", None),
+        "job_seconds": getattr(record, "job_seconds", None),
+        "throughput": getattr(record, "throughput", None),
+        "results": getattr(record, "results", None),
+        "output_hash": getattr(record, "output_hash", None),
+    }
+    if getattr(record, "arrival_rate", None):
+        row["arrival_rate"] = record.arrival_rate
+        row["p95_latency"] = getattr(record, "p95_latency", None)
+    checkpoints = getattr(record, "checkpoints", 0)
+    if checkpoints:
+        row["checkpoints"] = checkpoints
+        row["checkpoint_bytes"] = getattr(record, "checkpoint_bytes", 0)
+        stats = getattr(record, "checkpoint_stats", [])
+        row["checkpoint_epochs"] = [
+            {
+                "epoch": s.epoch,
+                "full": s.full,
+                "bytes_written": s.bytes_written,
+                "shards_written": s.shards_written,
+                "shards_reused": s.shards_reused,
+            }
+            for s in stats
+        ]
+    rescales = getattr(record, "rescales", [])
+    if rescales:
+        row["rescales"] = [
+            {
+                "at_record": e.at_record,
+                "mode": e.mode,
+                "old_parallelism": e.old_parallelism,
+                "new_parallelism": e.new_parallelism,
+                "moved_groups": e.moved_groups,
+                "bytes_moved": e.bytes_moved,
+                "seeded_groups": e.seeded_groups,
+                "seeded_bytes": e.seeded_bytes,
+                "aborted": e.aborted,
+            }
+            for e in rescales
+        ]
+    recoveries = getattr(record, "recoveries", [])
+    if recoveries:
+        row["recoveries"] = [
+            {"kind": ev.kind, "epoch": ev.epoch, "at_record": ev.at_record}
+            for ev in recoveries
+        ]
+    sweep = getattr(record, "operator_stats", {}).get("_sweep")
+    if sweep:
+        row["sweep"] = {
+            k: v for k, v in sweep.items() if isinstance(v, (int, float, str, bool))
+        }
+    return row
+
+
+def summary_payload(
+    profile_name: str, figures: dict[str, tuple[str, list[Any]]]
+) -> dict[str, Any]:
+    """The ``BENCH_summary.json`` document (schema_version 1).
+
+    ``figures`` maps figure name to ``(description, records)``.  The
+    schema is stable: new figures and new per-record fields may be
+    added, existing keys keep their meaning.
+    """
+    return {
+        "schema_version": 1,
+        "profile": profile_name,
+        "figures": {
+            name: {
+                "description": description,
+                "rows": [record_summary(r) for r in records],
+            }
+            for name, (description, records) in figures.items()
+        },
+    }
+
+
+def lsm_counter_columns(record: Any) -> tuple[str, str]:
+    """LSM cache/bloom effectiveness: ``(hit ratio, negative rate)``.
+
+    Backends that never touched an LSM store (FlowKV, Faster, heap) have
+    no such counters and render as ``-``.
+    """
+    metrics = getattr(record, "metrics", None)
+    if metrics is None:
+        return ("-", "-")
+    counters = metrics.counters
+    hits = counters.get("lsm_cache_hits", 0)
+    misses = counters.get("lsm_cache_misses", 0)
+    checks = counters.get("lsm_bloom_checks", 0)
+    negatives = counters.get("lsm_bloom_negatives", 0)
+    hit_ratio = f"{hits / (hits + misses):.2f}" if hits + misses else "-"
+    negative_rate = f"{negatives / checks:.2f}" if checks else "-"
+    return hit_ratio, negative_rate

@@ -18,7 +18,13 @@ from repro.errors import StoreClosedError
 from repro.kvstores.api import KIND_LIST, ExportedEntry, KeyGroupFn, StateExport
 from repro.model import Window
 from repro.serde.codec import decode_bytes, encode_bytes
-from repro.simenv import CAT_MIGRATION, CAT_STORE_READ, CAT_STORE_WRITE, SimEnv
+from repro.simenv import (
+    CAT_MIGRATION,
+    CAT_RECOVERY,
+    CAT_STORE_READ,
+    CAT_STORE_WRITE,
+    SimEnv,
+)
 from repro.storage.filesystem import SimFileSystem
 
 
@@ -236,6 +242,42 @@ class AarStore:
                 self._file_for(entry.window), bytes(payload), category=CAT_MIGRATION
             )
             self._flushed_windows.add(entry.window)
+
+    def export_group_state(
+        self, key_groups: set[int] | None, key_group_of: KeyGroupFn
+    ) -> StateExport:
+        """Read — *without removing* — the selected key-groups' state.
+
+        The sharded checkpointer's path: per-window logs are read back
+        in full (charged as recovery) and split by key-group, but the
+        files, the flushed-window set, and the write buffer all stay
+        untouched.  Values keep ``get_window`` order: disk records first,
+        then buffered tuples.
+        """
+        self._check_open()
+        grouped_all: dict[Window, dict[bytes, list[bytes]]] = {}
+        for window in sorted(self._flushed_windows, key=lambda w: w.key_bytes()):
+            file_name = self._file_for(window)
+            if not self._fs.exists(file_name):
+                continue
+            data = self._fs.read(
+                file_name, 0, self._fs.size(file_name), category=CAT_RECOVERY
+            )
+            _consumed, grouped = self._parse_records(
+                data, complete=True, category=CAT_RECOVERY
+            )
+            grouped_all[window] = grouped
+        for window, bucket in self._buffer.items():
+            grouped = grouped_all.setdefault(window, {})
+            for key, value in bucket:
+                grouped.setdefault(key, []).append(value)
+        export = StateExport()
+        for window in sorted(grouped_all, key=lambda w: w.key_bytes()):
+            for key, values in grouped_all[window].items():
+                if key_groups is not None and key_group_of(key) not in key_groups:
+                    continue
+                export.entries.append(ExportedEntry(key, window, KIND_LIST, values))
+        return export
 
     # ------------------------------------------------------------------
     def drop_window(self, window: Window) -> None:

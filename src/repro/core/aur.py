@@ -39,6 +39,7 @@ from repro.serde.codec import (
 from repro.simenv import (
     CAT_COMPACTION,
     CAT_MIGRATION,
+    CAT_RECOVERY,
     CAT_STORE_READ,
     CAT_STORE_WRITE,
     SimEnv,
@@ -679,6 +680,49 @@ class AurStore:
             self._write_segment_payload(segment, segment_payload, category=CAT_MIGRATION)
         if index_payload:
             self._fs.append(self._index_file(), bytes(index_payload), category=CAT_MIGRATION)
+
+    def export_group_state(
+        self, key_groups: set[int] | None, key_group_of: KeyGroupFn
+    ) -> StateExport:
+        """Read — *without removing* — the selected key-groups' windows.
+
+        The sharded checkpointer's path: one index scan plus coalesced
+        batch reads (both charged as recovery) reconstruct the on-disk
+        values; buffered tuples follow in ``get`` order, and the prefetch
+        buffer (a mirror of on-disk state) is preferred when it already
+        holds a window.  Stat rows (ETT) travel with the entries, as in
+        :meth:`export_state`, so a restore keeps batch-read eligibility.
+        No state, index, or compaction bookkeeping changes.
+        """
+        self._check_open()
+        wanted = [
+            sk for sk in self._stat
+            if key_groups is None or key_group_of(sk[0]) in key_groups
+        ]
+        export = StateExport()
+        if not wanted:
+            return export
+        need_read = [
+            sk for sk in wanted
+            if sk not in self._prefetch and self._stat[sk].disk_entries > 0
+        ]
+        live_entries = self._scan_index(category=CAT_RECOVERY) if need_read else {}
+        targets = {sk for sk in need_read if sk in live_entries}
+        loaded = (
+            self._batch_read(targets, live_entries, category=CAT_RECOVERY)
+            if targets
+            else {}
+        )
+        for state_key in wanted:
+            key, window = state_key
+            stat = self._stat[state_key]
+            prefetched = self._prefetch.get(state_key)
+            values = list(prefetched) if prefetched else list(loaded.get(state_key, []))
+            values.extend(self._buffer.get(state_key, []))
+            export.entries.append(
+                ExportedEntry(key, window, KIND_LIST, values, ett=stat.ett)
+            )
+        return export
 
     # ------------------------------------------------------------------
     def on_watermark(self, timestamp: float) -> None:

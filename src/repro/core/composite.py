@@ -24,8 +24,10 @@ from repro.core.patterns import StorePattern
 from repro.core.rmw import RmwStore
 from repro.errors import PatternError
 from repro.kvstores.api import (
+    CAP_INCREMENTAL,
     CAP_RESCALE,
     CAP_SNAPSHOT,
+    KeyGroupDirtyTracker,
     KeyGroupFn,
     StateExport,
     WindowStateBackend,
@@ -39,7 +41,7 @@ from repro.storage.filesystem import SimFileSystem
 class FlowKVComposite(WindowStateBackend):
     """``m`` pattern-specialized store instances behind one backend."""
 
-    capabilities = frozenset({CAP_SNAPSHOT, CAP_RESCALE})
+    capabilities = frozenset({CAP_SNAPSHOT, CAP_RESCALE, CAP_INCREMENTAL})
 
     def __init__(
         self,
@@ -87,11 +89,24 @@ class FlowKVComposite(WindowStateBackend):
             else:  # pragma: no cover - exhaustive enum
                 raise PatternError(f"unknown store pattern: {pattern}")
             self._instances.append(store)
+        self._dirty = KeyGroupDirtyTracker(self._config.max_key_groups)
 
     # ------------------------------------------------------------------
     @property
     def pattern(self) -> StorePattern:
         return self._pattern
+
+    @property
+    def checkpoint_key_groups(self) -> int:
+        """Group-space resolution of dirty tracking and checkpoint shards
+        (the composite's own routing hash — one space for both)."""
+        return self._dirty.max_key_groups
+
+    def dirty_groups(self) -> frozenset[int]:
+        return self._dirty.groups()
+
+    def clear_dirty(self) -> None:
+        self._dirty.clear()
 
     @property
     def instances(self) -> list[Any]:
@@ -130,6 +145,7 @@ class FlowKVComposite(WindowStateBackend):
     def append(self, key: bytes, window: Window, value: Any, timestamp: float) -> None:
         self._require(StorePattern.AAR, StorePattern.AUR)
         data = self._encode(value)
+        self._dirty.mark_key(key)
         store = self._route(key)
         if self._pattern is StorePattern.AAR:
             store.append(key, data, window)
@@ -140,11 +156,14 @@ class FlowKVComposite(WindowStateBackend):
         self._require(StorePattern.AAR)
         for store in self._instances:
             for key, values in store.get_window(window):
+                self._dirty.mark_key(key)
                 yield key, [self._decode(v) for v in values]
 
     def read_key_window(self, key: bytes, window: Window) -> list[Any]:
         self._require(StorePattern.AUR)
         values = self._route(key).get(key, window)
+        if values:
+            self._dirty.mark_key(key)
         return [self._decode(v) for v in values]
 
     # ------------------------------------------------------------------
@@ -157,11 +176,14 @@ class FlowKVComposite(WindowStateBackend):
 
     def rmw_put(self, key: bytes, window: Window, aggregate: Any) -> None:
         self._require(StorePattern.RMW)
+        self._dirty.mark_key(key)
         self._route(key).put(key, window, self._encode(aggregate))
 
     def rmw_remove(self, key: bytes, window: Window) -> Any | None:
         self._require(StorePattern.RMW)
         data = self._route(key).remove(key, window)
+        if data is not None:
+            self._dirty.mark_key(key)
         return None if data is None else self._decode(data)
 
     # ------------------------------------------------------------------
@@ -236,6 +258,20 @@ class FlowKVComposite(WindowStateBackend):
         export = StateExport()
         for store in self._instances:
             export.entries.extend(store.export_state(key_groups, key_group_of).entries)
+        for entry in export.entries:
+            self._dirty.mark_key(entry.key)
+        return export
+
+    def export_group_state(
+        self, key_groups: set[int] | None, key_group_of: KeyGroupFn
+    ) -> StateExport:
+        """Non-destructive per-group read of all ``m`` instances (the
+        sharded checkpointer's path; stores charge it as recovery)."""
+        export = StateExport()
+        for store in self._instances:
+            export.entries.extend(
+                store.export_group_state(key_groups, key_group_of).entries
+            )
         return export
 
     def import_state(self, export: StateExport) -> None:
@@ -243,6 +279,7 @@ class FlowKVComposite(WindowStateBackend):
         m = len(self._instances)
         per_instance: dict[int, StateExport] = {}
         for entry in export.entries:
+            self._dirty.mark_key(entry.key)
             index = self._key_group(entry.key) % m
             per_instance.setdefault(index, StateExport()).entries.append(entry)
         for index, part in per_instance.items():

@@ -24,6 +24,7 @@ from repro.serde.codec import decode_bytes, encode_bytes
 from repro.simenv import (
     CAT_COMPACTION,
     CAT_MIGRATION,
+    CAT_RECOVERY,
     CAT_STORE_READ,
     CAT_STORE_WRITE,
     SimEnv,
@@ -320,6 +321,38 @@ class RmwStore:
         for entry in export.entries:
             self._env.charge_cpu(CAT_MIGRATION, self._env.cpu.hash_probe)
             self._admit((entry.key, entry.window), entry.values[0], dirty=True)
+
+    def export_group_state(
+        self, key_groups: set[int] | None, key_group_of: KeyGroupFn
+    ) -> StateExport:
+        """Read — *without removing* — the selected key-groups' aggregates.
+
+        The sharded checkpointer's path: hot buffer values are copied
+        out directly; spilled-only aggregates take one indexed read each
+        (charged as recovery).  Buffer, index, and log space all stay
+        untouched.
+        """
+        self._check_open()
+        export = StateExport()
+
+        def wanted(key: bytes) -> bool:
+            return key_groups is None or key_group_of(key) in key_groups
+
+        for state_key, value in self._buffer.items():
+            if not wanted(state_key[0]):
+                continue
+            self._env.charge_cpu(CAT_RECOVERY, self._env.cpu.hash_probe)
+            export.entries.append(
+                ExportedEntry(state_key[0], state_key[1], KIND_AGG, [value])
+            )
+        for state_key, location in self._index.items():
+            if state_key in self._buffer or not wanted(state_key[0]):
+                continue
+            value = self._read_location(location, CAT_RECOVERY)
+            export.entries.append(
+                ExportedEntry(state_key[0], state_key[1], KIND_AGG, [value])
+            )
+        return export
 
     # ------------------------------------------------------------------
     # checkpointing (§8)

@@ -72,6 +72,7 @@ class JobResult:
     rescales: list[RescaleEvent] = field(default_factory=list)
     recoveries: list[Any] = field(default_factory=list)  # RecoveryEvent
     checkpoints: int = 0
+    checkpoint_stats: list[Any] = field(default_factory=list)  # CheckpointStat
 
     @property
     def throughput(self) -> float:
@@ -117,6 +118,8 @@ class Executor:
         self._rescale_mode = "live"
         self._transfer_chunk_bytes: int | None = None
         self._transfer_queue_limit: int | None = None
+        self._checkpointer: Any = None
+        self._seed_rescale = True
         self._first_ts: float | None = None
         self._build_instances()
 
@@ -175,6 +178,7 @@ class Executor:
         rescale_mode: str = "live",
         transfer_chunk_bytes: int | None = None,
         transfer_queue_limit: int | None = None,
+        seed_rescale_from_checkpoint: bool = True,
     ) -> JobResult:
         """Execute the job.
 
@@ -213,12 +217,19 @@ class Executor:
             transfer_queue_limit: live-mode bound on records buffered per
                 in-transit key-group before backpressure forces its
                 cutover.
+            seed_rescale_from_checkpoint: live-mode only — seed moved
+                key-groups that are *clean* since the last checkpoint
+                from that checkpoint's shards (checkpoint-read I/O)
+                instead of streaming them live; requires a sharding
+                ``checkpointer``.
         """
         if rescale_mode not in ("live", "stw"):
             raise PlanError(f"unknown rescale_mode {rescale_mode!r}")
         self._rescale_mode = rescale_mode
         self._transfer_chunk_bytes = transfer_chunk_bytes
         self._transfer_queue_limit = transfer_queue_limit
+        self._checkpointer = checkpointer
+        self._seed_rescale = seed_rescale_from_checkpoint
         faults = self._plan.faults
         if records is not None:
             merged = iter(records[start_count:])
@@ -303,10 +314,16 @@ class Executor:
         (:mod:`repro.rescale.migration`).
         """
         if self._rescale_mode == "live":
+            seed_source = None
+            if self._seed_rescale and self._checkpointer is not None:
+                seed_fn = getattr(self._checkpointer, "seed_source", None)
+                if seed_fn is not None:
+                    seed_source = seed_fn()
             live = LiveMigration(
                 self, new_parallelism, arrival=arrival, at_record=at_record,
                 chunk_bytes=self._transfer_chunk_bytes,
                 queue_limit=self._transfer_queue_limit,
+                seed_source=seed_source,
             )
             self._rescales.append(live.event)
             if not live.done:

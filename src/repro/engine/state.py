@@ -16,11 +16,13 @@ from typing import Any
 
 from repro.core.patterns import StorePattern, WindowKind, determine_pattern
 from repro.kvstores.api import (
+    CAP_INCREMENTAL,
     CAP_RESCALE,
     CAP_SNAPSHOT,
     KIND_AGG,
     KIND_LIST,
     ExportedEntry,
+    KeyGroupDirtyTracker,
     KeyGroupFn,
     KVStore,
     StateExport,
@@ -30,7 +32,7 @@ from repro.kvstores.api import (
 )
 from repro.kvstores.lsm.format import pack_list_value, unpack_list_value
 from repro.model import PickleSerde, Serde, Window
-from repro.simenv import CAT_MIGRATION, CAT_SERDE, SimEnv
+from repro.simenv import CAT_MIGRATION, CAT_RECOVERY, CAT_SERDE, SimEnv
 from repro.storage.filesystem import SimFileSystem
 
 
@@ -92,6 +94,7 @@ class GenericKVBackend(WindowStateBackend):
         self._store = store
         self._serde = serde or PickleSerde()
         self._pattern = pattern
+        self._dirty = KeyGroupDirtyTracker()
 
     @property
     def store(self) -> KVStore:
@@ -99,12 +102,24 @@ class GenericKVBackend(WindowStateBackend):
 
     @property
     def capabilities(self) -> frozenset[str]:
-        # Rescaling works over any KV store (scan_prefix + delete);
-        # snapshotting is delegated, so only advertise it when the
-        # wrapped store can actually take one.
-        return frozenset({CAP_RESCALE}) | (
+        # Rescaling and dirty tracking work over any KV store (the glue
+        # sees every mutation and can scan_prefix + delete); snapshotting
+        # is delegated, so only advertise it when the wrapped store can
+        # actually take one.
+        return frozenset({CAP_RESCALE, CAP_INCREMENTAL}) | (
             self._store.capabilities & {CAP_SNAPSHOT}
         )
+
+    @property
+    def checkpoint_key_groups(self) -> int:
+        """Group-space resolution of dirty tracking and checkpoint shards."""
+        return self._dirty.max_key_groups
+
+    def dirty_groups(self) -> frozenset[int]:
+        return self._dirty.groups()
+
+    def clear_dirty(self) -> None:
+        self._dirty.clear()
 
     def _encode(self, obj: Any) -> bytes:
         data = self._serde.serialize(obj)
@@ -117,6 +132,7 @@ class GenericKVBackend(WindowStateBackend):
 
     # ------------------------------------------------------------------
     def append(self, key: bytes, window: Window, value: Any, timestamp: float) -> None:
+        self._dirty.mark_key(key)
         self._store.append(composite_key(window, key), self._encode(value))
 
     def read_window(self, window: Window) -> Iterator[tuple[bytes, list[Any]]]:
@@ -126,6 +142,7 @@ class GenericKVBackend(WindowStateBackend):
             key = ck[16:]
             values = [self._decode(e) for e in unpack_list_value(merged)]
             to_delete.append(ck)
+            self._dirty.mark_key(key)
             yield key, values
         for ck in to_delete:
             self._store.delete(ck)
@@ -135,6 +152,7 @@ class GenericKVBackend(WindowStateBackend):
         merged = self._store.get(ck)
         if merged is None:
             return []
+        self._dirty.mark_key(key)
         self._store.delete(ck)
         return [self._decode(e) for e in unpack_list_value(merged)]
 
@@ -144,6 +162,7 @@ class GenericKVBackend(WindowStateBackend):
         return None if data is None else self._decode(data)
 
     def rmw_put(self, key: bytes, window: Window, aggregate: Any) -> None:
+        self._dirty.mark_key(key)
         self._store.put(composite_key(window, key), self._encode(aggregate))
 
     def rmw_remove(self, key: bytes, window: Window) -> Any | None:
@@ -151,6 +170,7 @@ class GenericKVBackend(WindowStateBackend):
         data = self._store.get(ck)
         if data is None:
             return None
+        self._dirty.mark_key(key)
         self._store.delete(ck)
         return self._decode(data)
 
@@ -171,13 +191,32 @@ class GenericKVBackend(WindowStateBackend):
             self._env.charge_cpu(CAT_MIGRATION, self._env.cpu.serde(len(merged)))
             values = list(unpack_list_value(merged)) if kind == KIND_LIST else [merged]
             export.entries.append(ExportedEntry(key, window, kind, values))
+            self._dirty.mark_key(key)
             moved.append(ck)
         for ck in moved:
             self._store.delete(ck)
         return export
 
+    def export_group_state(
+        self, key_groups: set[int] | None, key_group_of: KeyGroupFn
+    ) -> StateExport:
+        """Same full scan as :meth:`export_state` but *non-destructive* —
+        the sharded checkpointer's read path (charged as recovery)."""
+        self._store.flush()
+        kind = KIND_AGG if self._pattern is StorePattern.RMW else KIND_LIST
+        export = StateExport()
+        for ck, merged in self._store.scan_prefix(b""):
+            window, key = split_composite_key(ck)
+            if key_groups is not None and key_group_of(key) not in key_groups:
+                continue
+            self._env.charge_cpu(CAT_RECOVERY, self._env.cpu.serde(len(merged)))
+            values = list(unpack_list_value(merged)) if kind == KIND_LIST else [merged]
+            export.entries.append(ExportedEntry(key, window, kind, values))
+        return export
+
     def import_state(self, export: StateExport) -> None:
         for entry in export.entries:
+            self._dirty.mark_key(entry.key)
             ck = composite_key(entry.window, entry.key)
             self._env.charge_cpu(
                 CAT_MIGRATION, self._env.cpu.serde(sum(len(v) for v in entry.values))

@@ -15,6 +15,7 @@ Two layers:
 
 from __future__ import annotations
 
+import zlib
 from abc import ABC, abstractmethod
 from collections.abc import Callable, Iterator
 from dataclasses import dataclass, field
@@ -30,9 +31,20 @@ KIND_AGG = "agg"  # read-modify-write aggregate state (RMW / ValueState)
 # Optional-capability names a backend may advertise (``capabilities``).
 CAP_SNAPSHOT = "snapshot"  # snapshot() / restore() — checkpointing
 CAP_RESCALE = "rescale"  # export_state() / import_state() — key-group migration
+CAP_INCREMENTAL = "incremental"  # dirty_groups() / export_group_state() — delta checkpoints
 
 # Default per-chunk byte budget of a live state transfer.
 DEFAULT_CHUNK_BYTES = 64 << 10
+
+# Number of key-groups keyed state hashes into, absent a plan override.
+# Canonical here (the lowest layer that needs it); ``repro.rescale.
+# keygroups`` re-exports it together with the ownership-range helpers.
+DEFAULT_MAX_KEY_GROUPS = 128
+
+
+def key_group_of(key: bytes, max_key_groups: int = DEFAULT_MAX_KEY_GROUPS) -> int:
+    """The key-group a key hashes to (fixed for the lifetime of the job)."""
+    return zlib.crc32(key) % max_key_groups
 
 
 def require_capability(backend: Any, capability: str, operation: str = "") -> None:
@@ -85,6 +97,35 @@ class StateExport:
 
 # Maps a key to its key-group (bound to the job's max_key_groups).
 KeyGroupFn = Callable[[bytes], int]
+
+
+class KeyGroupDirtyTracker:
+    """Per-key-group dirty bookkeeping shared by incremental backends.
+
+    A backend that advertises :data:`CAP_INCREMENTAL` owns one of these
+    and marks the key-group of every *semantic* mutation (appends,
+    aggregate writes, fetch-and-remove reads, imports).  Cost-only
+    internal movement — compaction, prefetch promotion, spills — does
+    not change what a checkpoint would capture and must not mark.
+    """
+
+    __slots__ = ("max_key_groups", "_dirty")
+
+    def __init__(self, max_key_groups: int = DEFAULT_MAX_KEY_GROUPS) -> None:
+        self.max_key_groups = max_key_groups
+        self._dirty: set[int] = set()
+
+    def mark_key(self, key: bytes) -> None:
+        self._dirty.add(key_group_of(key, self.max_key_groups))
+
+    def mark_group(self, group: int) -> None:
+        self._dirty.add(group)
+
+    def groups(self) -> frozenset[int]:
+        return frozenset(self._dirty)
+
+    def clear(self) -> None:
+        self._dirty.clear()
 
 
 @dataclass
@@ -178,6 +219,19 @@ class StateExportStream:
             self._done.add(group)
         return StateChunk(group, seq, entries[start:end], last)
 
+    def skip_transfer(self, group: int) -> None:
+        """Mark ``group`` transferred without sending any chunks.
+
+        Used by the checkpoint-seeded rescale path: the destination is
+        seeded from the latest checkpoint's shard, so no live bytes move
+        — but the rollback copy is kept until :meth:`commit` exactly as
+        for a chunked transfer, so an abort can still re-import the
+        group at its old owner.
+        """
+        if group in self._staged:
+            self._cursor[group] = len(self._staged[group])
+            self._done.add(group)
+
     def commit(self, group: int) -> None:
         """Drop the rollback copy of a cut-over group."""
         self._staged.pop(group, None)
@@ -241,6 +295,22 @@ class KVStore(ABC):
     def capabilities(self) -> frozenset[str]:
         """Optional features this store implements (``CAP_*`` names)."""
         return frozenset()
+
+    # --- incremental checkpointing (optional) ---------------------------
+    def dirty_groups(self) -> frozenset[int]:
+        """Key-groups mutated since the last :meth:`clear_dirty`.
+
+        Requires :data:`CAP_INCREMENTAL`.
+        """
+        raise UnsupportedOperationError(
+            type(self).__name__, CAP_INCREMENTAL, "dirty_groups"
+        )
+
+    def clear_dirty(self) -> None:
+        """Reset dirty tracking (called after a checkpoint epoch commits)."""
+        raise UnsupportedOperationError(
+            type(self).__name__, CAP_INCREMENTAL, "clear_dirty"
+        )
 
 
 class WindowStateBackend(ABC):
@@ -343,6 +413,41 @@ class WindowStateBackend(ABC):
         """Load a :class:`StateExport` produced by a peer instance."""
         raise UnsupportedOperationError(
             type(self).__name__, CAP_RESCALE, "import_state"
+        )
+
+    # --- incremental checkpointing (per-key-group dirty tracking) -------
+    def dirty_groups(self) -> frozenset[int]:
+        """Key-groups semantically mutated since the last :meth:`clear_dirty`.
+
+        The incremental checkpointer writes only these groups' shards per
+        epoch and references the previous epoch's shards for the rest;
+        the seeded rescale path trusts a clean group's checkpoint shard
+        to equal its live state.  Requires :data:`CAP_INCREMENTAL`.
+        """
+        raise UnsupportedOperationError(
+            type(self).__name__, CAP_INCREMENTAL, "dirty_groups"
+        )
+
+    def clear_dirty(self) -> None:
+        """Reset dirty tracking (called once a checkpoint epoch commits)."""
+        raise UnsupportedOperationError(
+            type(self).__name__, CAP_INCREMENTAL, "clear_dirty"
+        )
+
+    def export_group_state(
+        self, key_groups: set[int] | None, key_group_of: KeyGroupFn
+    ) -> StateExport:
+        """Extract — *without removing* — all state of ``key_groups``.
+
+        The non-destructive sibling of :meth:`export_state`: the sharded
+        checkpointer reads state out through this to write per-group
+        shard files while the backend keeps serving.  ``key_groups`` of
+        ``None`` means every group (a full snapshot epoch).  Reads are
+        charged to the ``recovery`` ledger category.  Requires
+        :data:`CAP_INCREMENTAL`.
+        """
+        raise UnsupportedOperationError(
+            type(self).__name__, CAP_INCREMENTAL, "export_group_state"
         )
 
 

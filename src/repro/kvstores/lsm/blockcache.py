@@ -32,8 +32,10 @@ class BlockCache:
         cached = self._blocks.get((file_name, offset))
         if cached is None:
             self.misses += 1
+            self._env.bump("lsm_cache_misses")
             return None
         self.hits += 1
+        self._env.bump("lsm_cache_hits")
         self._blocks.move_to_end((file_name, offset))
         return cached[0]
 

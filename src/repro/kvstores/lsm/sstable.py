@@ -171,7 +171,11 @@ class SSTableReader:
 
     def may_contain(self, key: bytes) -> bool:
         self._env.charge_cpu(CAT_STORE_READ, self._env.cpu.bloom_check)
-        return self._bloom.may_contain(key)
+        self._env.bump("lsm_bloom_checks")
+        hit = self._bloom.may_contain(key)
+        if not hit:
+            self._env.bump("lsm_bloom_negatives")
+        return hit
 
     # ------------------------------------------------------------------
     def _decode_block_raw(self, block_idx: int, category: str = CAT_STORE_READ) -> list[Entry]:

@@ -22,17 +22,26 @@ from typing import Any
 
 from repro.errors import StoreClosedError, StoreOOMError
 from repro.kvstores.api import (
+    CAP_INCREMENTAL,
     CAP_RESCALE,
     CAP_SNAPSHOT,
     KIND_AGG,
     KIND_LIST,
     ExportedEntry,
+    KeyGroupDirtyTracker,
     KeyGroupFn,
     StateExport,
     WindowStateBackend,
 )
 from repro.model import PickleSerde, Window
-from repro.simenv import CAT_GC, CAT_MIGRATION, CAT_STORE_READ, CAT_STORE_WRITE, SimEnv
+from repro.simenv import (
+    CAT_GC,
+    CAT_MIGRATION,
+    CAT_RECOVERY,
+    CAT_STORE_READ,
+    CAT_STORE_WRITE,
+    SimEnv,
+)
 
 # Per-object JVM overhead: header + reference + list-node bookkeeping.
 OBJECT_OVERHEAD_BYTES = 48
@@ -70,7 +79,7 @@ class HeapWindowBackend(WindowStateBackend):
     kept in separate namespaces like Flink's ListState/ValueState.
     """
 
-    capabilities = frozenset({CAP_SNAPSHOT, CAP_RESCALE})
+    capabilities = frozenset({CAP_SNAPSHOT, CAP_RESCALE, CAP_INCREMENTAL})
 
     def __init__(
         self,
@@ -89,6 +98,18 @@ class HeapWindowBackend(WindowStateBackend):
         self._aggs: dict[Window, dict[bytes, Any]] = {}
         self._live_bytes = 0
         self._closed = False
+        self._dirty = KeyGroupDirtyTracker()
+
+    @property
+    def checkpoint_key_groups(self) -> int:
+        """Group-space resolution of dirty tracking and checkpoint shards."""
+        return self._dirty.max_key_groups
+
+    def dirty_groups(self) -> frozenset[int]:
+        return self._dirty.groups()
+
+    def clear_dirty(self) -> None:
+        self._dirty.clear()
 
     # ------------------------------------------------------------------
     @property
@@ -129,6 +150,7 @@ class HeapWindowBackend(WindowStateBackend):
         self._env.charge_cpu(CAT_STORE_WRITE, 2 * self._env.cpu.hash_probe)
         per_key = self._lists.setdefault(window, {})
         per_key.setdefault(key, []).append((value, self._sizer(value)))
+        self._dirty.mark_key(key)
         self._allocate(per_key[key][-1][1])
 
     def read_window(self, window: Window) -> Iterator[tuple[bytes, list[Any]]]:
@@ -140,6 +162,7 @@ class HeapWindowBackend(WindowStateBackend):
         for key, sized_values in per_key.items():
             self._env.charge_cpu(CAT_STORE_READ, self._env.cpu.hash_probe)
             values = [v for v, _size in sized_values]
+            self._dirty.mark_key(key)
             self._release(sum(size for _v, size in sized_values), count=len(sized_values))
             yield key, values
 
@@ -152,6 +175,8 @@ class HeapWindowBackend(WindowStateBackend):
         sized_values = per_key.pop(key, [])
         if not per_key:
             self._lists.pop(window, None)
+        if sized_values:
+            self._dirty.mark_key(key)
         self._release(sum(size for _v, size in sized_values), count=len(sized_values))
         return [v for v, _size in sized_values]
 
@@ -176,6 +201,7 @@ class HeapWindowBackend(WindowStateBackend):
         if old is not None:
             self._release(old[1])
         per_key[key] = (aggregate, new_size)
+        self._dirty.mark_key(key)
         self._allocate(new_size)
 
     def rmw_remove(self, key: bytes, window: Window) -> Any | None:
@@ -189,6 +215,7 @@ class HeapWindowBackend(WindowStateBackend):
             self._aggs.pop(window, None)
         if entry is None:
             return None
+        self._dirty.mark_key(key)
         self._release(entry[1])
         return entry[0]
 
@@ -242,6 +269,7 @@ class HeapWindowBackend(WindowStateBackend):
                     data = serde.serialize(value)
                     self._env.charge_cpu(CAT_MIGRATION, self._env.cpu.serde(len(data)))
                     values.append(data)
+                self._dirty.mark_key(key)
                 self._release(
                     sum(size for _v, size in sized_values), count=len(sized_values)
                 )
@@ -254,16 +282,51 @@ class HeapWindowBackend(WindowStateBackend):
                 agg, size = per_key.pop(key)
                 data = serde.serialize(agg)
                 self._env.charge_cpu(CAT_MIGRATION, self._env.cpu.serde(len(data)))
+                self._dirty.mark_key(key)
                 self._release(size)
                 export.entries.append(ExportedEntry(key, window, KIND_AGG, [data]))
             if not per_key:
                 del self._aggs[window]
         return export
 
+    def export_group_state(
+        self, key_groups: set[int] | None, key_group_of: KeyGroupFn
+    ) -> StateExport:
+        """Serialize the selected key-groups *without evicting them* —
+        the sharded checkpointer's read path (charged as recovery)."""
+        self._check_open()
+        serde = PickleSerde()
+        export = StateExport()
+
+        def wanted(key: bytes) -> bool:
+            return key_groups is None or key_group_of(key) in key_groups
+
+        for window, per_key in self._lists.items():
+            for key, sized_values in per_key.items():
+                if not wanted(key):
+                    continue
+                self._env.charge_cpu(CAT_RECOVERY, self._env.cpu.hash_probe)
+                values: list[bytes] = []
+                for value, _size in sized_values:
+                    data = serde.serialize(value)
+                    self._env.charge_cpu(CAT_RECOVERY, self._env.cpu.serde(len(data)))
+                    values.append(data)
+                export.entries.append(ExportedEntry(key, window, KIND_LIST, values))
+        for window, per_key in self._aggs.items():
+            for key, (agg, _size) in per_key.items():
+                if not wanted(key):
+                    continue
+                self._env.charge_cpu(CAT_RECOVERY, self._env.cpu.hash_probe)
+                data = serde.serialize(agg)
+                self._env.charge_cpu(CAT_RECOVERY, self._env.cpu.serde(len(data)))
+                export.entries.append(ExportedEntry(key, window, KIND_AGG, [data]))
+        return export
+
     def import_state(self, export: StateExport) -> None:
         self._check_open()
         serde = PickleSerde()
         for entry in export.entries:
+            self._dirty.mark_key(entry.key)
             if entry.kind == KIND_LIST:
                 bucket = self._lists.setdefault(entry.window, {}).setdefault(entry.key, [])
                 for data in entry.values:

@@ -43,9 +43,21 @@ from repro.errors import (
     SnapshotCorruptError,
 )
 from repro.faults import CRASH_SNAPSHOT_COMMIT, CRASH_SNAPSHOT_FILE, with_retries
-from repro.kvstores.api import CAP_SNAPSHOT, require_capability
+from repro.kvstores.api import (
+    CAP_INCREMENTAL,
+    CAP_SNAPSHOT,
+    DEFAULT_MAX_KEY_GROUPS,
+    StateExport,
+    key_group_of,
+    require_capability,
+)
 from repro.simenv import CAT_RECOVERY, MetricsLedger, SimEnv
-from repro.snapshot import StoreSnapshot
+from repro.snapshot import (
+    ShardRef,
+    StoreSnapshot,
+    pack_group_shard,
+    unpack_group_shard,
+)
 from repro.storage.filesystem import SimFileSystem
 
 _CHK_ROOT = "chk"
@@ -150,6 +162,16 @@ class CheckpointStorage:
         if entry is None:
             raise SnapshotCorruptError(f"{path} not covered by checkpoint manifest")
         length, crc = entry
+        return self.read_ref(path, length, crc)
+
+    def read_ref(self, path: str, length: int, crc: int) -> bytes:
+        """Read one file verified against an explicit ``(length, crc)``.
+
+        This is how incremental manifests reach *earlier* epochs' shard
+        files: the reference carries its own checksum, so a shard shared
+        by many manifests is verified on every restore exactly as an
+        owned file would be.
+        """
         if not self.fs.exists(path):
             raise SnapshotCorruptError(f"checkpoint file {path} is missing")
         data = with_retries(
@@ -184,6 +206,57 @@ class CheckpointStorage:
         return snap
 
 
+@dataclass(frozen=True)
+class CheckpointStat:
+    """Write-side accounting of one committed checkpoint epoch.
+
+    ``bytes_written``/``files_written`` cover the epoch's payload files
+    (store shards or legacy snapshot files, plus the job blob; manifest
+    framing excluded); ``shards_reused`` counts key-group shards the
+    manifest *references* from earlier epochs instead of re-copying —
+    the incremental saving fig_checkpoint reports.
+    """
+
+    epoch: int
+    full: bool
+    bytes_written: int
+    files_written: int
+    shards_written: int
+    shards_reused: int
+    sim_seconds: float
+
+
+class CheckpointSeedSource:
+    """Read-side view of the latest committed epoch's shard maps.
+
+    Handed to :class:`repro.rescale.live.LiveMigration` so a moved
+    key-group whose backend reports it *clean* (unchanged since the
+    checkpoint cut) can be seeded at the destination from the
+    checkpoint's shard — checkpoint-read I/O instead of live-transfer
+    bytes.
+    """
+
+    def __init__(self, checkpointer: "Checkpointer") -> None:
+        self._cp = checkpointer
+
+    def shard_ref(self, key: str, group: int, max_key_groups: int) -> ShardRef | None:
+        """The latest committed shard of ``(instance key, group)``, or
+        None when absent or sharded at a different group-space size."""
+        if self._cp._shard_groupspace.get(key) != max_key_groups:  # noqa: SLF001
+            return None
+        return self._cp._shard_maps.get(key, {}).get(group)  # noqa: SLF001
+
+    def has_state(self, key: str) -> bool:
+        """Whether the latest epoch sharded this instance at all."""
+        return key in self._cp._shard_maps  # noqa: SLF001
+
+    def read_entries(self, ref: ShardRef) -> list:
+        """Read + CRC-verify one shard and decode its entries (charged
+        to the checkpoint-storage environment as recovery I/O)."""
+        data = self._cp.storage.read_ref(ref.path, ref.length, ref.crc)
+        return unpack_group_shard(self._cp.storage.env, data)
+
+
 class Checkpointer:
     """Takes periodic consistent cuts of a running job.
 
@@ -192,19 +265,87 @@ class Checkpointer:
     ingested since the previous one.  Watermark boundaries fall on a
     deterministic record-count grid, so an uninterrupted run and a
     replayed run checkpoint at the identical cut points.
+
+    With ``incremental`` (the default), backends advertising
+    :data:`CAP_INCREMENTAL` are checkpointed as per-key-group *shards*:
+    each epoch writes only the groups dirtied since the previous epoch
+    and references the rest from earlier epochs by (epoch, path, CRC);
+    a full cut of every group is taken every ``full_snapshot_interval``
+    epochs to bound chain length.  Backends without the capability —
+    and every backend when ``incremental`` is False — degrade to the
+    legacy whole-store snapshot per epoch.  ``incremental="require"``
+    instead fails fast with :class:`UnsupportedOperationError` on the
+    first backend that cannot do incremental cuts.
+
+    ``retained_epochs`` enables chain-aware garbage collection: after
+    each commit, manifests beyond the newest N are deleted and any
+    checkpoint file no surviving manifest references (directly or via a
+    shard reference) is removed.  The default (None) retains everything
+    — restores can then fall back arbitrarily far past corrupt epochs.
     """
 
-    def __init__(self, storage: CheckpointStorage, interval: int) -> None:
+    def __init__(
+        self,
+        storage: CheckpointStorage,
+        interval: int,
+        incremental: bool | str = True,
+        full_snapshot_interval: int = 4,
+        retained_epochs: int | None = None,
+    ) -> None:
+        if full_snapshot_interval < 1:
+            raise PlanError(
+                f"full_snapshot_interval must be >= 1: {full_snapshot_interval}"
+            )
+        if retained_epochs is not None and retained_epochs < 1:
+            raise PlanError(f"retained_epochs must be >= 1: {retained_epochs}")
         self.storage = storage
         self.interval = interval
+        self.incremental = incremental
+        self.full_snapshot_interval = full_snapshot_interval
+        self.retained_epochs = retained_epochs
         self.epochs_written = 0
+        self.stats: list[CheckpointStat] = []
         self._last_count: int | None = None
         self._epoch = 0
+        # Per instance key: latest committed shard map, its group-space
+        # size, and the epoch of its last full cut (chain anchor).
+        self._shard_maps: dict[str, dict[int, ShardRef]] = {}
+        self._shard_groupspace: dict[str, int] = {}
+        self._shard_full_epoch: dict[str, int] = {}
 
     def start_from(self, epoch: int, count: int) -> None:
-        """Resume epoch numbering after a restore."""
+        """Resume epoch numbering after a restore (or fresh restart)."""
         self._epoch = epoch
         self._last_count = count
+        if epoch == 0:
+            self.reset_chain()
+
+    def reset_chain(self) -> None:
+        """Forget shard chains (fresh restart: nothing can be referenced)."""
+        self._shard_maps.clear()
+        self._shard_groupspace.clear()
+        self._shard_full_epoch.clear()
+
+    def adopt_manifest(self, epoch: int, manifest: dict[str, Any], count: int) -> None:
+        """Seed chain state from a restored manifest.
+
+        After a restore the backends hold exactly what the manifest's
+        shards describe, so the next incremental epoch may reference
+        them; the recorded ``full_epoch`` anchors keep bounding chain
+        length across the restart.
+        """
+        self.start_from(epoch, count)
+        self.reset_chain()
+        for key, desc in manifest.get("sharded", {}).items():
+            self._shard_maps[key] = {
+                group: ShardRef(*ref) for group, ref in desc["groups"].items()
+            }
+            self._shard_groupspace[key] = desc["max_key_groups"]
+            self._shard_full_epoch[key] = desc["full_epoch"]
+
+    def seed_source(self) -> CheckpointSeedSource:
+        """A read-side view for checkpoint-seeded live rescales."""
+        return CheckpointSeedSource(self)
 
     def maybe_checkpoint(
         self, executor: Executor, count: int, max_ts: float, rescale_policy: Any
@@ -218,30 +359,53 @@ class Checkpointer:
         epoch = self._epoch
         storage = self.storage
         faults = storage.env.faults
+        started = storage.env.clock.now
         manifest_entries: dict[str, tuple[int, int]] = {}
         stores: dict[str, str] = {}
+        sharded: dict[str, dict[str, Any]] = {}
+        bytes_written = 0
+        shards_written = 0
+        shards_reused = 0
+        all_full = True
 
         def put(path: str, data: bytes) -> None:
+            nonlocal bytes_written
             if faults is not None:
                 faults.crash_point(CRASH_SNAPSHOT_FILE, now=storage.env.now)
             storage.put_file(path, data)
             # The manifest records what was *intended*: a torn or
             # bit-flipped device write is caught at restore time.
             manifest_entries[path] = (len(data), zlib.crc32(data))
+            bytes_written += len(data)
             storage.env.charge_cpu(
                 CAT_RECOVERY, len(data) * storage.env.cpu.crc_per_byte
             )
 
+        # Deferred chain-state commit: applied only once the manifest
+        # rename lands, so a crash mid-epoch leaves the previous chain
+        # (and the backends' dirty sets) intact.
+        committed: list[tuple[str, Any, dict[int, ShardRef], int, int]] = []
         operators: dict[str, dict[str, Any]] = {}
         for node in executor._stateful_nodes:  # noqa: SLF001 - engine back-half
             for idx, instance in enumerate(executor._instances[node.node_id]):  # noqa: SLF001
                 key = f"op{node.node_id}/p{idx}"
-                snap = instance.operator.backend.snapshot()
-                stores[key] = snap.kind
-                base = f"{_epoch_dir(epoch)}/{key}"
-                put(f"{base}/meta", snap.meta)
-                for name, data in snap.files.items():
-                    put(f"{base}/files/{name}", data)
+                backend = instance.operator.backend
+                if self.incremental == "require":
+                    require_capability(backend, CAP_INCREMENTAL, "incremental_checkpoint")
+                if self.incremental and CAP_INCREMENTAL in backend.capabilities:
+                    written, reused, full = self._checkpoint_sharded(
+                        epoch, key, backend, put, stores, sharded, committed
+                    )
+                    shards_written += written
+                    shards_reused += reused
+                    all_full = all_full and full
+                else:
+                    snap = backend.snapshot()
+                    stores[key] = snap.kind
+                    base = f"{_epoch_dir(epoch)}/{key}"
+                    put(f"{base}/meta", snap.meta)
+                    for name, data in snap.files.items():
+                        put(f"{base}/files/{name}", data)
                 operators[key] = instance.operator.checkpoint_state()
         job_meta = pickle.dumps(
             {
@@ -261,11 +425,150 @@ class Checkpointer:
             protocol=pickle.HIGHEST_PROTOCOL,
         )
         put(f"{_epoch_dir(epoch)}/job", job_meta)
-        storage.commit_manifest(
-            epoch, {"epoch": epoch, "stores": stores, "entries": manifest_entries}
-        )
+        manifest: dict[str, Any] = {
+            "epoch": epoch,
+            "stores": stores,
+            "entries": manifest_entries,
+        }
+        if sharded:
+            manifest["sharded"] = sharded
+        storage.commit_manifest(epoch, manifest)
+        # Commit point passed: publish the new chain state and reset
+        # dirty tracking so the next epoch's delta starts at this cut.
+        self._shard_maps = {}
+        self._shard_groupspace = {}
+        self._shard_full_epoch = {}
+        for key, backend, shard_map, groupspace, full_epoch in committed:
+            self._shard_maps[key] = shard_map
+            self._shard_groupspace[key] = groupspace
+            self._shard_full_epoch[key] = full_epoch
+            backend.clear_dirty()
         self.epochs_written += 1
+        self.stats.append(
+            CheckpointStat(
+                epoch=epoch,
+                full=all_full,
+                bytes_written=bytes_written,
+                files_written=len(manifest_entries),
+                shards_written=shards_written,
+                shards_reused=shards_reused,
+                sim_seconds=storage.env.clock.now - started,
+            )
+        )
+        self._collect_garbage()
         return epoch
+
+    def _checkpoint_sharded(
+        self,
+        epoch: int,
+        key: str,
+        backend: Any,
+        put: Any,
+        stores: dict[str, str],
+        sharded: dict[str, dict[str, Any]],
+        committed: list,
+    ) -> tuple[int, int, bool]:
+        """Write one instance's epoch as key-group shards.
+
+        Returns ``(shards_written, shards_reused, took_full_cut)``.
+        """
+        groupspace = int(
+            getattr(backend, "checkpoint_key_groups", DEFAULT_MAX_KEY_GROUPS)
+        )
+        prev_map = self._shard_maps.get(key)
+        last_full = self._shard_full_epoch.get(key)
+        take_full = (
+            prev_map is None
+            or last_full is None
+            or self._shard_groupspace.get(key) != groupspace
+            or epoch - last_full >= self.full_snapshot_interval
+        )
+
+        def group_of(k: bytes, _g: int = groupspace) -> int:
+            return key_group_of(k, _g)
+
+        if take_full:
+            export = backend.export_group_state(None, group_of)
+            dirty: frozenset[int] | None = None
+        else:
+            dirty = frozenset(backend.dirty_groups())
+            export = backend.export_group_state(set(dirty), group_of)
+        per_group: dict[int, list] = {}
+        for entry in export.entries:
+            per_group.setdefault(group_of(entry.key), []).append(entry)
+
+        shard_map: dict[int, ShardRef] = {}
+        if not take_full:
+            assert prev_map is not None and dirty is not None
+            for group, ref in prev_map.items():
+                if group not in dirty:
+                    shard_map[group] = ref
+        reused = len(shard_map)
+        written = 0
+        base = f"{_epoch_dir(epoch)}/{key}"
+        for group in sorted(per_group):
+            entries = per_group[group]
+            if not entries:
+                continue
+            data = pack_group_shard(self.storage.env, entries)
+            path = f"{base}/shards/g{group:05d}"
+            put(path, data)
+            shard_map[group] = ShardRef(epoch, path, len(data), zlib.crc32(data))
+            written += 1
+
+        stores[key] = "sharded"
+        full_epoch = epoch if take_full else int(last_full)  # type: ignore[arg-type]
+        sharded[key] = {
+            "kind": type(backend).__name__,
+            "max_key_groups": groupspace,
+            "full_epoch": full_epoch,
+            "groups": {
+                group: (ref.epoch, ref.path, ref.length, ref.crc)
+                for group, ref in shard_map.items()
+            },
+        }
+        committed.append((key, backend, shard_map, groupspace, full_epoch))
+        return written, reused, take_full
+
+    # ------------------------------------------------------------------
+    # chain-aware garbage collection
+    # ------------------------------------------------------------------
+    def _collect_garbage(self) -> None:
+        """Drop epochs beyond the retention window, then sweep files no
+        surviving manifest references (owned entries *or* shard refs).
+
+        Conservative by construction: if any surviving manifest cannot
+        be read back, nothing is deleted this round — a shard must never
+        be collected while a manifest that references it is live.
+        """
+        if self.retained_epochs is None:
+            return
+        storage = self.storage
+        epochs = storage.epochs()
+        if len(epochs) <= self.retained_epochs:
+            return
+        keep = epochs[-self.retained_epochs:]
+        live: set[str] = set()
+        for epoch in keep:
+            try:
+                manifest = storage.read_manifest(epoch)
+            except SnapshotCorruptError:
+                return
+            live.add(f"{_epoch_dir(epoch)}/MANIFEST")
+            live.update(manifest["entries"])
+            for desc in manifest.get("sharded", {}).values():
+                for _e, path, _l, _c in desc["groups"].values():
+                    live.add(path)
+        for epoch in epochs[: -self.retained_epochs]:
+            # Manifest first: the epoch stops being restorable atomically,
+            # before any of its files disappear.
+            with_retries(
+                storage.env,
+                lambda e=epoch: storage.fs.delete(f"{_epoch_dir(e)}/MANIFEST"),
+            )
+        for name in list(storage.fs.list_files(_CHK_ROOT + "/")):
+            if name not in live:
+                with_retries(storage.env, lambda n=name: storage.fs.delete(n))
 
 
 class RecoveryManager:
@@ -286,6 +589,9 @@ class RecoveryManager:
         checkpoint_interval: int,
         storage: CheckpointStorage | None = None,
         max_restarts: int = 8,
+        incremental: bool | str = True,
+        full_snapshot_interval: int = 4,
+        retained_epochs: int | None = None,
     ) -> None:
         if any(node.kind == "interval_join" for node in plan_env.nodes()):
             raise PlanError(
@@ -296,7 +602,13 @@ class RecoveryManager:
         self.storage = storage or CheckpointStorage(
             SimEnv(cpu=plan_env.cpu, ssd=plan_env.ssd, faults=plan_env.faults)
         )
-        self.checkpointer = Checkpointer(self.storage, checkpoint_interval)
+        self.checkpointer = Checkpointer(
+            self.storage,
+            checkpoint_interval,
+            incremental=incremental,
+            full_snapshot_interval=full_snapshot_interval,
+            retained_epochs=retained_epochs,
+        )
         self.max_restarts = max_restarts
         self.recoveries: list[RecoveryEvent] = []
 
@@ -305,11 +617,14 @@ class RecoveryManager:
         self.plan.validate()
         executor = Executor(self.plan)
         # Fail fast, before any records run: checkpointing needs every
-        # stateful backend to support snapshots.
+        # stateful backend to either shard incrementally or snapshot whole.
         for node in executor._stateful_nodes:  # noqa: SLF001
             backend = executor._instances[node.node_id][0].operator.backend  # noqa: SLF001
-            if backend is not None:
-                require_capability(backend, CAP_SNAPSHOT, "snapshot")
+            if backend is None:
+                continue
+            if self.checkpointer.incremental and CAP_INCREMENTAL in backend.capabilities:
+                continue
+            require_capability(backend, CAP_SNAPSHOT, "snapshot")
         # Materialize the sources ONCE: replays must see the identical
         # record sequence even if the plan's sources were generators.
         records = list(executor._merged_sources())  # noqa: SLF001
@@ -351,6 +666,7 @@ class RecoveryManager:
         result.metrics = total.snapshot()
         result.recoveries = list(self.recoveries)
         result.checkpoints = self.checkpointer.epochs_written
+        result.checkpoint_stats = list(self.checkpointer.stats)
         return result
 
     # ------------------------------------------------------------------
@@ -373,13 +689,17 @@ class RecoveryManager:
                 owner_table = job.get("group_owner")
                 if owner_table is not None:
                     executor.group_owner[:] = owner_table
+                sharded = manifest.get("sharded", {})
                 for node in executor._stateful_nodes:  # noqa: SLF001
                     for idx, instance in enumerate(
                         executor._instances[node.node_id]  # noqa: SLF001
                     ):
                         key = f"op{node.node_id}/p{idx}"
-                        snap = storage.load_snapshot(epoch, manifest, key)
-                        instance.operator.backend.restore(snap)
+                        if key in sharded:
+                            self._restore_sharded(sharded[key], instance.operator.backend)
+                        else:
+                            snap = storage.load_snapshot(epoch, manifest, key)
+                            instance.operator.backend.restore(snap)
                         instance.operator.restore_checkpoint_state(job["operators"][key])
             except SnapshotCorruptError as exc:
                 self.recoveries.append(
@@ -395,7 +715,7 @@ class RecoveryManager:
             executor._sinks = {name: list(vals) for name, vals in job["sinks"].items()}  # noqa: SLF001
             executor._latencies = list(job["latencies"])  # noqa: SLF001
             executor._rescales = list(job["rescales"])  # noqa: SLF001
-            self.checkpointer.start_from(epoch, job["at_record"])
+            self.checkpointer.adopt_manifest(epoch, manifest, job["at_record"])
             self.recoveries.append(
                 RecoveryEvent(
                     kind="restore",
@@ -412,3 +732,22 @@ class RecoveryManager:
         self.recoveries.append(RecoveryEvent(kind="fresh_restart", at_record=0))
         self.checkpointer.start_from(0, 0)
         return 0, float("-inf"), pickle.loads(pristine_policy)
+
+    def _restore_sharded(self, desc: dict[str, Any], backend: Any) -> None:
+        """Compose one instance's state from its manifest's shard chain.
+
+        Every referenced shard — whether owned by this epoch or an
+        earlier one — is read back through :meth:`CheckpointStorage.read_ref`,
+        so a corrupt shard *anywhere in the chain* raises
+        :class:`SnapshotCorruptError` and fails this whole epoch over to
+        an older one.  The dirty set is cleared afterwards: the backend
+        now holds exactly what the shards describe, so the next delta
+        epoch may reference them.
+        """
+        entries: list[Any] = []
+        for group in sorted(desc["groups"]):
+            ref = ShardRef(*desc["groups"][group])
+            data = self.storage.read_ref(ref.path, ref.length, ref.crc)
+            entries.extend(unpack_group_shard(self.storage.env, data))
+        backend.import_state(StateExport(entries=entries))
+        backend.clear_dirty()

@@ -18,17 +18,26 @@ migrated key-group lands in the "same" store slot on its new owner.
 
 from __future__ import annotations
 
-import zlib
 from collections.abc import Iterable
 
 from repro.errors import PlanError
 
-DEFAULT_MAX_KEY_GROUPS = 128
+# Canonical in repro.kvstores.api (backends hash keys for dirty tracking
+# without depending on the rescale package); re-exported here because
+# this module is where ownership-range callers look for them.
+from repro.kvstores.api import DEFAULT_MAX_KEY_GROUPS, key_group_of
 
-
-def key_group_of(key: bytes, max_key_groups: int = DEFAULT_MAX_KEY_GROUPS) -> int:
-    """The key-group a key hashes to (fixed for the lifetime of the job)."""
-    return zlib.crc32(key) % max_key_groups
+__all__ = [
+    "DEFAULT_MAX_KEY_GROUPS",
+    "key_group_of",
+    "owner_of",
+    "key_group_range",
+    "validate_parallelism",
+    "moved_key_groups",
+    "contiguous_owner_table",
+    "moved_groups_from_table",
+    "groups_owned",
+]
 
 
 def owner_of(key_group: int, max_key_groups: int, parallelism: int) -> int:

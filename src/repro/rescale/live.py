@@ -32,9 +32,10 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING, Any
 
-from repro.errors import DiskIOError, InjectedCrashError, PlanError
+from repro.errors import DiskIOError, InjectedCrashError, PlanError, SnapshotCorruptError
 from repro.faults import CRASH_MIGRATE_EXPORT, CRASH_MIGRATE_IMPORT
 from repro.kvstores.api import (
+    CAP_INCREMENTAL,
     CAP_RESCALE,
     DEFAULT_CHUNK_BYTES,
     StateExport,
@@ -45,7 +46,6 @@ from repro.rescale.keygroups import (
     contiguous_owner_table,
     key_group_of,
     moved_groups_from_table,
-    owner_of,
     validate_parallelism,
 )
 from repro.rescale.migration import (
@@ -118,9 +118,16 @@ class LiveMigration:
         at_record: int = 0,
         chunk_bytes: int | None = None,
         queue_limit: int | None = None,
+        seed_source: Any = None,
     ) -> None:
         plan = executor._plan  # noqa: SLF001 - the executor's rescale back-half
         self._exec = executor
+        # Optional repro.recovery.CheckpointSeedSource: moved key-groups
+        # that are *clean* since the last checkpoint are landed at the
+        # destination from that checkpoint's shards (checkpoint-read I/O)
+        # instead of being streamed live; only dirtied groups pay
+        # live-transfer bytes — O(state) becomes O(delta).
+        self._seed = seed_source
         self._G = plan.max_key_groups
         validate_parallelism(new_parallelism, self._G)
         self._new_parallelism = new_parallelism
@@ -192,7 +199,9 @@ class LiveMigration:
         except (InjectedCrashError, DiskIOError):
             self._abort(arrival)
             return
-        if not self._in_transit:
+        # An all-seeded rescale may already have committed via the last
+        # group's cutover during the drain.
+        if not self.done and not self._in_transit:
             self._commit(arrival)
 
     # ------------------------------------------------------------------
@@ -209,20 +218,38 @@ class LiveMigration:
         return cut
 
     def _drain(self, move_plan: dict[int, dict[int, list[int]]], arrival: float) -> None:
-        """Extract every moved key-group from its source, up front."""
+        """Extract every moved key-group from its source, up front.
+
+        With a checkpoint seed source, moved groups that are *clean*
+        since the last checkpoint (dirty set captured before the drain
+        itself marks them) are landed at the destination straight from
+        the checkpoint's shards and skip the live transfer entirely; the
+        drained copy still serves as the rollback journal.  A corrupt or
+        missing shard silently demotes that group to the live path.
+        """
         for node in self._nodes:
             instances = self._exec._instances[node.node_id]  # noqa: SLF001
             report = self._reports[node.node_id]
             for src, dsts in sorted(move_plan.items()):
                 source = instances[src]
+                backend = source.operator.backend
                 if self._faults is not None:
                     self._faults.crash_point(
                         CRASH_MIGRATE_EXPORT, now_fn=lambda s=source: s.env.now
                     )
                 groups = {g for group_list in dsts.values() for g in group_list}
+                # Clean groups are seed candidates; the dirty set must be
+                # read *before* export_state marks every drained key.
+                candidates: set[int] = set()
+                if (
+                    self._seed is not None
+                    and CAP_INCREMENTAL in backend.capabilities
+                    and getattr(backend, "checkpoint_key_groups", None) == self._G
+                ):
+                    candidates = groups - set(backend.dirty_groups())
                 before = source.env.clock.now
                 stream = StateExportStream(
-                    source.operator.backend, groups, self._kg_of, self._chunk_bytes
+                    backend, groups, self._kg_of, self._chunk_bytes
                 )
                 state = source.operator.export_keyed_state(groups, self._kg_of)
                 elapsed = source.env.clock.now - before
@@ -234,10 +261,28 @@ class LiveMigration:
                     state, self._kg_of, groups
                 ).items():
                     self._pieces[(node.node_id, group)] = piece
+                seed_key = f"op{node.node_id}/p{src}"
+                seed_entries: dict[int, list[Any]] = {}
+                for group in sorted(candidates):
+                    ref = self._seed.shard_ref(seed_key, group, self._G)
+                    if ref is None:
+                        continue
+                    try:
+                        seed_entries[group] = self._seed.read_entries(ref)
+                    except SnapshotCorruptError:
+                        continue
+                    stream.skip_transfer(group)
                 for group in groups:
                     entries = stream.entries_of(group)
                     report.entries_moved += len(entries)
-                    report.bytes_moved += sum(e.payload_bytes for e in entries)
+                    size = sum(e.payload_bytes for e in entries)
+                    if group in seed_entries:
+                        report.seeded_groups += 1
+                        report.seeded_bytes += size
+                    else:
+                        report.bytes_moved += size
+                for group in sorted(seed_entries):
+                    self._land_entries(node, group, arrival, seed_entries[group])
 
     # ------------------------------------------------------------------
     def advance(self, arrival: float) -> None:
@@ -319,19 +364,24 @@ class LiveMigration:
             self._land(node, group, arrival)
 
     def _land(self, node: "LogicalNode", group: int, arrival: float) -> None:
-        """All chunks of ``group`` arrived for ``node``: import at the
-        new owner; cut the group over once every node has landed it."""
+        """All chunks of ``group`` arrived for ``node``: import the
+        streamed entries at the new owner."""
+        stream = self._streams[(node.node_id, self._group_src[group])]
+        self._land_entries(node, group, arrival, list(stream.entries_of(group)))
+
+    def _land_entries(
+        self, node: "LogicalNode", group: int, arrival: float, entries: list[Any]
+    ) -> None:
+        """Import one group's entries (streamed or checkpoint-seeded) at
+        the new owner; cut the group over once every node has landed it."""
         instances = self._exec._instances[node.node_id]  # noqa: SLF001
         destination = instances[self._group_dst[group]]
         if self._faults is not None:
             self._faults.crash_point(
                 CRASH_MIGRATE_IMPORT, now_fn=lambda d=destination: d.env.now
             )
-        stream = self._streams[(node.node_id, self._group_src[group])]
         before = destination.env.clock.now
-        destination.operator.backend.import_state(
-            StateExport(list(stream.entries_of(group)))
-        )
+        destination.operator.backend.import_state(StateExport(list(entries)))
         piece = self._pieces.pop((node.node_id, group), None)
         if piece is not None:
             destination.operator.import_keyed_state(piece)

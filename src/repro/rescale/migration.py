@@ -41,6 +41,11 @@ class NodeMigration:
     bytes_moved: int = 0
     export_seconds: float = 0.0  # slowest source instance
     import_seconds: float = 0.0  # slowest destination instance
+    # Live rescale only: groups seeded at the destination from the last
+    # checkpoint's shards instead of streamed; ``seeded_bytes`` is the
+    # live-transfer traffic those groups would otherwise have cost.
+    seeded_groups: int = 0
+    seeded_bytes: int = 0
 
     @property
     def downtime_seconds(self) -> float:
@@ -104,6 +109,15 @@ class RescaleEvent:
     @property
     def entries_moved(self) -> int:
         return sum(node.entries_moved for node in self.per_node)
+
+    @property
+    def seeded_groups(self) -> int:
+        return sum(node.seeded_groups for node in self.per_node)
+
+    @property
+    def seeded_bytes(self) -> int:
+        """Live-transfer bytes avoided by checkpoint seeding."""
+        return sum(node.seeded_bytes for node in self.per_node)
 
     @property
     def downtime_seconds(self) -> float:

@@ -27,6 +27,8 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.errors import SnapshotCorruptError
+from repro.kvstores.api import ExportedEntry
+from repro.model import Window
 from repro.simenv import (
     CAT_RECOVERY,
     CAT_SERDE,
@@ -109,6 +111,49 @@ def verify_snapshot(env: SimEnv, snap: StoreSnapshot) -> None:
             )
         if zlib.crc32(data) != crc:
             raise SnapshotCorruptError(f"{snap.kind} snapshot file {name} failed CRC check")
+
+
+@dataclass(frozen=True)
+class ShardRef:
+    """Where one key-group's shard of one store lives in checkpoint storage.
+
+    Incremental manifests reference unchanged shards from *earlier*
+    epochs by (epoch, path, length, crc) instead of re-copying them;
+    restore re-verifies the length and CRC against the referenced file,
+    so a corrupt shard anywhere in a chain invalidates every manifest
+    that references it.
+    """
+
+    epoch: int
+    path: str
+    length: int
+    crc: int
+
+
+def pack_group_shard(env: SimEnv, entries: list[ExportedEntry]) -> bytes:
+    """Serialize one key-group's exported entries into a shard payload.
+
+    The layout is explicit tuples — ``(key, window_start, window_end,
+    kind, values, ett)`` — rather than pickled :class:`ExportedEntry`
+    objects, so the on-disk format is independent of the dataclass
+    definition.  Serde time is charged as for any snapshot meta.
+    """
+    rows = [
+        (e.key, e.window.start, e.window.end, e.kind, e.values, e.ett)
+        for e in entries
+    ]
+    data = pickle.dumps(rows, protocol=pickle.HIGHEST_PROTOCOL)
+    env.charge_cpu(CAT_SERDE, env.cpu.serde(len(data)))
+    return data
+
+
+def unpack_group_shard(env: SimEnv, data: bytes) -> list[ExportedEntry]:
+    """Inverse of :func:`pack_group_shard`."""
+    env.charge_cpu(CAT_SERDE, env.cpu.serde(len(data)))
+    return [
+        ExportedEntry(key, Window(start, end), kind, values, ett)
+        for key, start, end, kind, values, ett in pickle.loads(data)
+    ]
 
 
 def pack_meta(env: SimEnv, state: Any) -> bytes:

@@ -20,6 +20,7 @@ from repro.core.patterns import StorePattern, WindowKind
 from repro.engine.state import GenericKVBackend, OperatorInfo
 from repro.errors import StoreError, UnsupportedOperationError
 from repro.kvstores.api import (
+    CAP_INCREMENTAL,
     CAP_RESCALE,
     CAP_SNAPSHOT,
     KVStore,
@@ -100,12 +101,14 @@ def heap_backend():
 
 class TestAdvertisedCapabilities:
     def test_heap_backend_supports_everything(self):
-        assert heap_backend().capabilities == {CAP_SNAPSHOT, CAP_RESCALE}
+        assert heap_backend().capabilities == {
+            CAP_SNAPSHOT, CAP_RESCALE, CAP_INCREMENTAL,
+        }
 
     def test_flowkv_supports_everything(self):
         env = SimEnv()
         backend = FlowKVComposite(env, SimFileSystem(env), StorePattern.AAR)
-        assert backend.capabilities == {CAP_SNAPSHOT, CAP_RESCALE}
+        assert backend.capabilities == {CAP_SNAPSHOT, CAP_RESCALE, CAP_INCREMENTAL}
 
     def test_generic_kv_inherits_snapshot_from_store(self):
         env = SimEnv()
@@ -113,13 +116,16 @@ class TestAdvertisedCapabilities:
             store = store_cls(env, SimFileSystem(env), "s")
             assert store.capabilities == {CAP_SNAPSHOT}
             backend = GenericKVBackend(env, store)
-            assert backend.capabilities == {CAP_SNAPSHOT, CAP_RESCALE}
+            assert backend.capabilities == {
+                CAP_SNAPSHOT, CAP_RESCALE, CAP_INCREMENTAL,
+            }
 
     def test_generic_kv_over_bare_store_can_rescale_not_snapshot(self):
-        # export/import is implemented generically on top of scan/put,
-        # but snapshotting needs the store's own support.
+        # export/import (and the dirty-group bookkeeping riding on it) is
+        # implemented generically on top of scan/put, but snapshotting
+        # needs the store's own support.
         backend = GenericKVBackend(SimEnv(), BareStore())
-        assert backend.capabilities == {CAP_RESCALE}
+        assert backend.capabilities == {CAP_RESCALE, CAP_INCREMENTAL}
 
     def test_base_classes_advertise_nothing(self):
         assert BareBackend().capabilities == frozenset()
@@ -186,10 +192,49 @@ class TestCallersCheckUpFront:
         assert not record.ok
         assert record.failure == "unsupported:snapshot"
 
+    def test_checkpointing_degrades_without_incremental_capability(self, monkeypatch):
+        # Without CAP_INCREMENTAL the checkpointer silently falls back to
+        # whole-store snapshots — same answers, every epoch full.
+        monkeypatch.setattr(
+            HeapWindowBackend, "capabilities",
+            frozenset({CAP_SNAPSHOT, CAP_RESCALE}),
+        )
+        record = run_query(
+            self.PROFILE, self.QUERY, "memory", self.WINDOW,
+            checkpoint_interval=300,
+        )
+        assert record.ok
+        assert record.checkpoints > 0
+        assert all(stat.full for stat in record.checkpoint_stats)
+        base = run_query(self.PROFILE, self.QUERY, "memory", self.WINDOW)
+        assert record.output_hash == base.output_hash
+
+    def test_incremental_require_fails_fast_without_capability(self, monkeypatch):
+        monkeypatch.setattr(
+            HeapWindowBackend, "capabilities",
+            frozenset({CAP_SNAPSHOT, CAP_RESCALE}),
+        )
+        record = run_query(
+            self.PROFILE, self.QUERY, "memory", self.WINDOW,
+            checkpoint_interval=300, incremental_checkpoints="require",
+        )
+        assert not record.ok
+        assert record.failure == "unsupported:incremental_checkpoint"
+
+    def test_incremental_require_passes_with_capability(self):
+        record = run_query(
+            self.PROFILE, self.QUERY, "memory", self.WINDOW,
+            checkpoint_interval=300, incremental_checkpoints="require",
+        )
+        assert record.ok
+        assert any(not stat.full for stat in record.checkpoint_stats)
+
     def test_operator_info_unrelated_to_capabilities(self):
         # Factories receive OperatorInfo; capabilities are a property of
         # the backend instance, independent of the operator's pattern.
         info = OperatorInfo(name="w", incremental=True,
                             window_kind=WindowKind.FIXED)
         assert info.pattern is not None
-        assert heap_backend().capabilities == {CAP_SNAPSHOT, CAP_RESCALE}
+        assert heap_backend().capabilities == {
+            CAP_SNAPSHOT, CAP_RESCALE, CAP_INCREMENTAL,
+        }
