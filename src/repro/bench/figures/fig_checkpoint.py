@@ -14,6 +14,11 @@ that are clean since the last cut land from the checkpoint's shards, so
 only the delta pays live-transfer bytes.  Every pair must be
 digest-equal — incremental restore chains and seeded rescales change
 I/O, never answers.
+
+A Q8-Interval row extends both comparisons to interval-join state: the
+join buffers shard along the same key-groups, and a popularity-skewed
+bid stream (a small, drifting hot-auction set) leaves most buffered
+bytes in clean groups so delta epochs beat wholesale snapshots.
 """
 
 from __future__ import annotations
@@ -26,6 +31,77 @@ BACKENDS = ("flowkv", "rocksdb")
 INTERVAL_DIVISORS = (16, 8)
 QUERY = "q11-median"
 RESCALE_TO = 4
+# Interval-join cell: engine-managed join state, checkpointed through
+# the same sharded machinery.  The overrides concentrate bids on a
+# small hot-auction set that drifts as auctions expire, so buffered
+# bids age into clean key-groups that delta epochs reference by CRC.
+JOIN_QUERY = "q8-interval"
+JOIN_BACKEND = "flowkv"
+JOIN_OVERRIDES = {"active_auctions": 16, "hot_fraction": 0.95}
+JOIN_FULL_SNAPSHOT_INTERVAL = 8
+
+
+def _epoch_pair(
+    profile: ScaleProfile, query: str, backend: str, size: float,
+    interval: int, baseline_hash: str | None,
+    generator_overrides: dict | None = None,
+    full_snapshot_interval: int | None = None,
+) -> RunRecord:
+    """One full-vs-incremental epochs comparison at a given cadence."""
+    full = run_query(
+        profile, query, backend, size,
+        checkpoint_interval=interval,
+        incremental_checkpoints=False,
+        generator_overrides=generator_overrides,
+    )
+    incr = run_query(
+        profile, query, backend, size,
+        checkpoint_interval=interval,
+        full_snapshot_interval=full_snapshot_interval,
+        generator_overrides=generator_overrides,
+    )
+    sweep = incr.operator_stats.setdefault("_sweep", {})
+    sweep["interval"] = interval
+    sweep["baseline_hash"] = baseline_hash
+    sweep["full_hash"] = full.output_hash
+    sweep["full_ok"] = full.ok
+    sweep["full_bytes_per_epoch"] = full.checkpoint_bytes_per_epoch()
+    sweep["full_epochs"] = full.checkpoints
+    return incr
+
+
+def _rescale_pair(
+    profile: ScaleProfile, query: str, backend: str, size: float,
+    interval: int, n_input: int, baseline_hash: str | None,
+    generator_overrides: dict | None = None,
+) -> RunRecord:
+    """Seeded vs drain-everything live rescale under a tight checkpoint
+    cadence (the seed is only as fresh as the last cut, so a recent
+    epoch maximizes clean groups)."""
+    schedule = {max(1, n_input // 2): RESCALE_TO}
+    drain = run_query(
+        profile, query, backend, size,
+        checkpoint_interval=interval,
+        rescale_schedule=dict(schedule),
+        seed_rescale_from_checkpoint=False,
+        generator_overrides=generator_overrides,
+    )
+    seeded = run_query(
+        profile, query, backend, size,
+        checkpoint_interval=interval,
+        rescale_schedule=dict(schedule),
+        generator_overrides=generator_overrides,
+    )
+    sweep = seeded.operator_stats.setdefault("_sweep", {})
+    sweep["interval"] = interval
+    sweep["baseline_hash"] = baseline_hash
+    sweep["rescale_pair"] = True
+    sweep["drain_hash"] = drain.output_hash
+    sweep["drain_ok"] = drain.ok
+    sweep["drain_bytes_moved"] = (
+        drain.rescales[0].bytes_moved if drain.rescales else 0
+    )
+    return seeded
 
 
 def run(
@@ -44,49 +120,30 @@ def run(
             intervals = [profile.watermark_interval]
             intervals += [max(50, n_input // d) for d in INTERVAL_DIVISORS]
             for interval in dict.fromkeys(intervals):
-                full = run_query(
-                    profile, QUERY, backend, size,
-                    checkpoint_interval=interval,
-                    incremental_checkpoints=False,
-                )
-                incr = run_query(
-                    profile, QUERY, backend, size,
-                    checkpoint_interval=interval,
-                )
-                sweep = incr.operator_stats.setdefault("_sweep", {})
-                sweep["interval"] = interval
-                sweep["baseline_hash"] = baseline.output_hash
-                sweep["full_hash"] = full.output_hash
-                sweep["full_ok"] = full.ok
-                sweep["full_bytes_per_epoch"] = full.checkpoint_bytes_per_epoch()
-                sweep["full_epochs"] = full.checkpoints
-                records.append(incr)
-            # Seeded vs drain-everything live rescale under a tight
-            # checkpoint cadence (the seed is only as fresh as the last
-            # cut, so a recent epoch maximizes clean groups).
-            interval = profile.watermark_interval
-            schedule = {max(1, n_input // 2): RESCALE_TO}
-            drain = run_query(
-                profile, QUERY, backend, size,
-                checkpoint_interval=interval,
-                rescale_schedule=dict(schedule),
-                seed_rescale_from_checkpoint=False,
-            )
-            seeded = run_query(
-                profile, QUERY, backend, size,
-                checkpoint_interval=interval,
-                rescale_schedule=dict(schedule),
-            )
-            sweep = seeded.operator_stats.setdefault("_sweep", {})
-            sweep["interval"] = interval
-            sweep["baseline_hash"] = baseline.output_hash
-            sweep["rescale_pair"] = True
-            sweep["drain_hash"] = drain.output_hash
-            sweep["drain_ok"] = drain.ok
-            sweep["drain_bytes_moved"] = (
-                drain.rescales[0].bytes_moved if drain.rescales else 0
-            )
-            records.append(seeded)
+                records.append(_epoch_pair(
+                    profile, QUERY, backend, size, interval,
+                    baseline.output_hash,
+                ))
+            records.append(_rescale_pair(
+                profile, QUERY, backend, size, profile.watermark_interval,
+                n_input, baseline.output_hash,
+            ))
+    # Interval-join cell at the largest window (biggest join buffers).
+    size = max(sizes)
+    join_base = run_query(
+        profile, JOIN_QUERY, JOIN_BACKEND, size,
+        generator_overrides=JOIN_OVERRIDES,
+    )
+    records.append(_epoch_pair(
+        profile, JOIN_QUERY, JOIN_BACKEND, size, profile.watermark_interval,
+        join_base.output_hash, generator_overrides=JOIN_OVERRIDES,
+        full_snapshot_interval=JOIN_FULL_SNAPSHOT_INTERVAL,
+    ))
+    records.append(_rescale_pair(
+        profile, JOIN_QUERY, JOIN_BACKEND, size, profile.watermark_interval,
+        join_base.input_records, join_base.output_hash,
+        generator_overrides=JOIN_OVERRIDES,
+    ))
     return records
 
 
@@ -106,6 +163,7 @@ def render(records: list[RunRecord]) -> str:
                 and sweep.get("drain_hash") == sweep.get("baseline_hash")
             )
             rescale_rows.append([
+                record.query,
                 record.backend,
                 f"{record.window_size:g}",
                 f"{sweep.get('interval', 0)}",
@@ -128,6 +186,7 @@ def render(records: list[RunRecord]) -> str:
             and sweep.get("full_hash") == sweep.get("baseline_hash")
         )
         epoch_rows.append([
+            record.query,
             record.backend,
             f"{record.window_size:g}",
             f"{sweep.get('interval', 0)}",
@@ -140,13 +199,13 @@ def render(records: list[RunRecord]) -> str:
             "=" if digests_ok else "DIVERGED",
         ])
     epochs = format_table(
-        ["backend", "window", "interval", "epochs", "full B/epoch",
+        ["query", "backend", "window", "interval", "epochs", "full B/epoch",
          "incr B/epoch", "delta B/epoch", "ratio", "shards reused", "digest"],
         epoch_rows,
     )
     rescales = format_table(
-        ["backend", "window", "interval", "drain B moved", "seeded B moved",
-         "B seeded", "groups seeded", "reduction", "digest"],
+        ["query", "backend", "window", "interval", "drain B moved",
+         "seeded B moved", "B seeded", "groups seeded", "reduction", "digest"],
         rescale_rows,
     )
     return (

@@ -1,17 +1,19 @@
-"""Rescale: live vs stop-the-world key-group migration on Q11-Median.
+"""Rescale: live vs stop-the-world key-group migration on Q11-Median + Q8-Interval.
 
 Not a paper figure — an extension of the evaluation to elastic
 rescaling, now comparing the two migration modes head-to-head on all
-four backends.  Per (backend, window, transition) cell, three runs: a
-fixed-parallelism baseline, a **stop-the-world** rescale (drain, export,
-redeploy, import, resume — the whole job pauses) and a **live** rescale
-(chunked per-key-group transfer: un-moved groups keep serving, records
-for in-transit groups wait in a bounded buffer and replay at cutover).
-The headline columns are the two downtimes as state grows: the
-stop-the-world gap versus the live path's *max record delay* (the worst
-stall any single record observed — no global pause exists), plus
+four backends.  Per (query, backend, window, transition) cell, three
+runs: a fixed-parallelism baseline, a **stop-the-world** rescale (drain,
+export, redeploy, import, resume — the whole job pauses) and a **live**
+rescale (chunked per-key-group transfer: un-moved groups keep serving,
+records for in-transit groups wait in a bounded buffer and replay at
+cutover).  The headline columns are the two downtimes as state grows:
+the stop-the-world gap versus the live path's *max record delay* (the
+worst stall any single record observed — no global pause exists), plus
 per-group cutover counts and throughput recovery against the baseline.
-Both migrated runs must be digest-equal with the baseline.
+Both migrated runs must be digest-equal with the baseline.  Beyond the
+window-state matrix, a Q8-Interval row per transition migrates
+interval-join side buffers through the identical machinery.
 """
 
 from __future__ import annotations
@@ -25,6 +27,41 @@ from repro.bench.report import format_table
 BACKENDS = ("flowkv", "rocksdb", "faster", "memory")
 TRANSITIONS = ((2, 4), (4, 2))
 QUERY = "q11-median"
+# The join row: interval-join side buffers migrated through the same
+# key-group machinery (engine-managed state, so backend-independent).
+JOIN_QUERY = "q8-interval"
+JOIN_BACKEND = "flowkv"
+
+
+def _cell(
+    profile: ScaleProfile, query: str, backend: str, size: float,
+    n_from: int, n_to: int,
+) -> RunRecord:
+    """One (query, backend, window, transition) cell: baseline/stw/live."""
+    # Fixed-parallelism baseline at the starting parallelism: the
+    # recovery denominator, and it tells us the input length so the
+    # rescales can fire at the halfway mark.
+    baseline = run_query(profile, query, backend, size, parallelism=n_from)
+    schedule = {max(1, baseline.input_records // 2): n_to}
+    stw = run_query(
+        profile, query, backend, size, parallelism=n_from,
+        rescale_schedule=dict(schedule), rescale_mode="stw",
+    )
+    live = run_query(
+        profile, query, backend, size, parallelism=n_from,
+        rescale_schedule=dict(schedule), rescale_mode="live",
+    )
+    sweep = live.operator_stats.setdefault("_sweep", {})
+    sweep["n_from"] = n_from
+    sweep["n_to"] = n_to
+    sweep["baseline_throughput"] = baseline.throughput
+    sweep["baseline_hash"] = baseline.output_hash
+    sweep["stw_downtime"] = (
+        stw.rescales[0].downtime_seconds if stw.rescales else 0.0
+    )
+    sweep["stw_hash"] = stw.output_hash
+    sweep["stw_ok"] = stw.ok
+    return live
 
 
 def run(
@@ -44,31 +81,13 @@ def run(
             cell_profile = replace(profile, heap_total_bytes=8 << 20)
         for size in sizes:
             for n_from, n_to in transitions:
-                # Fixed-parallelism baseline at the starting parallelism:
-                # the recovery denominator, and it tells us the input
-                # length so the rescales can fire at the halfway mark.
-                baseline = run_query(cell_profile, QUERY, backend, size,
-                                     parallelism=n_from)
-                schedule = {max(1, baseline.input_records // 2): n_to}
-                stw = run_query(
-                    cell_profile, QUERY, backend, size, parallelism=n_from,
-                    rescale_schedule=dict(schedule), rescale_mode="stw",
+                records.append(
+                    _cell(cell_profile, QUERY, backend, size, n_from, n_to)
                 )
-                live = run_query(
-                    cell_profile, QUERY, backend, size, parallelism=n_from,
-                    rescale_schedule=dict(schedule), rescale_mode="live",
-                )
-                sweep = live.operator_stats.setdefault("_sweep", {})
-                sweep["n_from"] = n_from
-                sweep["n_to"] = n_to
-                sweep["baseline_throughput"] = baseline.throughput
-                sweep["baseline_hash"] = baseline.output_hash
-                sweep["stw_downtime"] = (
-                    stw.rescales[0].downtime_seconds if stw.rescales else 0.0
-                )
-                sweep["stw_hash"] = stw.output_hash
-                sweep["stw_ok"] = stw.ok
-                records.append(live)
+    for n_from, n_to in transitions:
+        records.append(
+            _cell(profile, JOIN_QUERY, JOIN_BACKEND, max(sizes), n_from, n_to)
+        )
     return records
 
 
@@ -89,6 +108,7 @@ def render(records: list[RunRecord]) -> str:
             and sweep.get("stw_hash") == sweep.get("baseline_hash")
         )
         rows.append([
+            record.query,
             record.backend,
             f"{record.window_size:g}",
             f"{n_from}->{n_to}",
@@ -104,7 +124,7 @@ def render(records: list[RunRecord]) -> str:
             "=" if digests_ok else "DIVERGED",
         ])
     return format_table(
-        ["backend", "window", "rescale", "groups", "bytes moved",
+        ["query", "backend", "window", "rescale", "groups", "bytes moved",
          "stw down ms", "live down ms", "speedup", "cutovers",
          "buffered", "migration ms", "recovery", "digest"],
         rows,
@@ -114,7 +134,7 @@ def render(records: list[RunRecord]) -> str:
 def main() -> None:
     profile = active_profile()
     print(f"Rescale figure (profile={profile.name}): "
-          f"{QUERY} live vs stop-the-world rescaling")
+          f"{QUERY} + {JOIN_QUERY} live vs stop-the-world rescaling")
     print(render(run(profile)))
 
 

@@ -8,7 +8,7 @@ become crossed bars (Figure 8), latency overload becomes a missing point
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any
 
 from repro.bench.profiles import ScaleProfile
@@ -110,6 +110,7 @@ def run_query(
     full_snapshot_interval: int | None = None,
     retained_epochs: int | None = None,
     seed_rescale_from_checkpoint: bool = True,
+    generator_overrides: dict[str, Any] | None = None,
 ) -> RunRecord:
     """Execute one cell of the evaluation matrix.
 
@@ -138,6 +139,10 @@ def run_query(
     generator = profile.generator(
         seed=seed, duration=duration, events_per_second=events_per_second
     )
+    if generator_overrides:
+        # Workload-shape tweaks for a single cell (e.g. popularity skew
+        # for the incremental-checkpoint comparison).
+        generator = replace(generator, **generator_overrides)
     effective_workers = workers or profile.workers
     start_parallelism = parallelism or profile.parallelism
     if session_gap is None:

@@ -4,9 +4,22 @@ The paper's windowed joins (Q8) fall out of window state naturally; it
 names *interval joins* — ``right.ts in [left.ts + lower, left.ts + upper]``
 per key — as the interesting extension.  Flink implements them with
 per-key MapState buffers on both sides, cleaned up by watermark; this
-operator does the same, holding the buffers as engine-managed state (the
-horizon-bounded working set Flink would keep hot) and charging engine CPU
-for probes and scans.
+operator does the same, holding the buffers in a
+:class:`JoinStateBackend` (the horizon-bounded working set Flink would
+keep hot) and charging engine CPU for probes and scans.
+
+The backend side makes join state a first-class citizen of the
+key-group machinery: the per-key side buffers export/import along
+key-group boundaries exactly like window state (``crc32 %
+max_key_groups``), serialize one blob per (key, side) for measurable
+transfer volume charged to the ``migration`` ledger, snapshot/restore
+whole for legacy
+checkpoints, and shard incrementally with
+:class:`~repro.kvstores.api.KeyGroupDirtyTracker` dirty marking.
+Dirty-tracking rule: *semantic* mutations mark — inserts, imports, and
+watermark expiry (an expired group's checkpoint shard must be rewritten
+or dropped, or a restore would resurrect dead entries) — while probes
+(reads) do not.
 """
 
 from __future__ import annotations
@@ -16,13 +29,34 @@ from collections.abc import Callable
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.model import StreamRecord
-from repro.simenv import CAT_ENGINE, CAT_QUERY, SimEnv
+from repro.errors import StoreClosedError
+from repro.kvstores.api import (
+    CAP_INCREMENTAL,
+    CAP_RESCALE,
+    CAP_SNAPSHOT,
+    DEFAULT_MAX_KEY_GROUPS,
+    KIND_JOIN_LEFT,
+    KIND_JOIN_RIGHT,
+    ExportedEntry,
+    KeyGroupDirtyTracker,
+    KeyGroupFn,
+    StateExport,
+)
+from repro.model import PickleSerde, StreamRecord, Window
+from repro.simenv import CAT_ENGINE, CAT_MIGRATION, CAT_QUERY, CAT_RECOVERY, SimEnv
 
 Collector = Callable[[StreamRecord], None]
 
 LEFT = "L"
 RIGHT = "R"
+
+# Join buffers have no window namespace; exported entries carry this
+# sentinel so they pack into the same per-group shard rows as window
+# state (the side lives in the entry kind, the timestamps in the values).
+_JOIN_WINDOW = Window(0.0, 1.0)
+
+_SIDE_KIND = {LEFT: KIND_JOIN_LEFT, RIGHT: KIND_JOIN_RIGHT}
+_KIND_SIDE = {KIND_JOIN_LEFT: LEFT, KIND_JOIN_RIGHT: RIGHT}
 
 
 @dataclass
@@ -48,6 +82,227 @@ class _SideBuffer:
         return cut
 
 
+def _estimate_bytes(value: Any) -> int:
+    """Cheap payload-size estimate (mirrors the heap backend's sizer)."""
+    if hasattr(value, "payload_bytes"):
+        return int(value.payload_bytes)
+    if isinstance(value, (bytes, bytearray, str)):
+        return len(value)
+    if isinstance(value, (int, float)):
+        return 8
+    if isinstance(value, tuple):
+        return 8 + sum(_estimate_bytes(v) for v in value)
+    return 64
+
+
+class JoinStateBackend:
+    """Keyed interval-join buffer state with the backend protocol surface.
+
+    Holds both sides' per-key :class:`_SideBuffer`\\ s and implements the
+    same optional-capability API as the window-state backends, so the
+    rescale executors (stop-the-world and live), the sharded checkpointer
+    and the recovery restore path move join state through the exact code
+    paths window state takes:
+
+    * ``export_state`` / ``import_state`` — destructive key-group
+      migration, per-entry serialization charged to ``migration``;
+    * ``export_group_state`` — non-destructive sharded checkpoint reads,
+      charged to ``recovery``;
+    * ``snapshot`` / ``restore`` — sealed whole-store capture for
+      non-incremental epochs;
+    * ``dirty_groups`` / ``clear_dirty`` — inserts, imports *and
+      watermark expiry* mark a key-group dirty (probes do not), so a
+      delta epoch re-shards exactly the groups whose buffers changed and
+      an expired-empty group's stale shard ref is dropped.
+    """
+
+    capabilities = frozenset({CAP_SNAPSHOT, CAP_RESCALE, CAP_INCREMENTAL})
+
+    def __init__(self, env: SimEnv, max_key_groups: int = DEFAULT_MAX_KEY_GROUPS) -> None:
+        self._env = env
+        self._sides: dict[str, dict[bytes, _SideBuffer]] = {LEFT: {}, RIGHT: {}}
+        self._dirty = KeyGroupDirtyTracker(max_key_groups)
+        self._closed = False
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StoreClosedError("join state backend is closed")
+
+    # --- operator-facing buffer access ---------------------------------
+    def buffer(self, side: str, key: bytes) -> _SideBuffer | None:
+        """The side buffer of ``key`` (a probe — does not dirty)."""
+        return self._sides[side].get(key)
+
+    def insert(self, side: str, key: bytes, timestamp: float, value: Any) -> None:
+        self._check_open()
+        self._sides[side].setdefault(key, _SideBuffer()).add(timestamp, value)
+        self._dirty.mark_key(key)
+
+    def expire(self, left_cut: float, right_cut: float) -> int:
+        """Drop entries no watermark-respecting record can join anymore.
+
+        Expiry is a semantic mutation: every key-group that lost entries
+        is marked dirty so the next delta epoch rewrites (or, once empty,
+        drops) its shard — otherwise a restore or checkpoint-seeded
+        rescale would resurrect the expired entries.
+        """
+        self._check_open()
+        total = 0
+        for buffers, cut in ((self._sides[LEFT], left_cut), (self._sides[RIGHT], right_cut)):
+            dead_keys = []
+            for key, buffer in buffers.items():
+                expired = buffer.expire_before(cut)
+                if expired:
+                    total += expired
+                    self._dirty.mark_key(key)
+                if not buffer.entries:
+                    dead_keys.append(key)
+            for key in dead_keys:
+                del buffers[key]
+        return total
+
+    def drop_all(self) -> None:
+        """Discard every buffer (end-of-input teardown, no dirty marks)."""
+        self._sides[LEFT].clear()
+        self._sides[RIGHT].clear()
+
+    # --- accounting -----------------------------------------------------
+    @property
+    def memory_entries(self) -> int:
+        return sum(
+            len(buffer.entries)
+            for buffers in self._sides.values()
+            for buffer in buffers.values()
+        )
+
+    @property
+    def memory_bytes(self) -> int:
+        return sum(
+            len(key) + sum(16 + _estimate_bytes(value) for _ts, value in buffer.entries)
+            for buffers in self._sides.values()
+            for key, buffer in buffers.items()
+        )
+
+    # --- incremental checkpointing --------------------------------------
+    @property
+    def checkpoint_key_groups(self) -> int:
+        """Group-space resolution of dirty tracking and checkpoint shards."""
+        return self._dirty.max_key_groups
+
+    def dirty_groups(self) -> frozenset[int]:
+        return self._dirty.groups()
+
+    def clear_dirty(self) -> None:
+        self._dirty.clear()
+
+    # --- checkpointing (whole-store) -------------------------------------
+    def snapshot(self):
+        """Sealed capture of both sides' buffers (non-incremental epochs)."""
+        from repro.snapshot import StoreSnapshot, pack_meta, seal_snapshot
+
+        self._check_open()
+        meta = pack_meta(
+            self._env,
+            {
+                side: {key: list(buffer.entries) for key, buffer in buffers.items()}
+                for side, buffers in self._sides.items()
+            },
+        )
+        return seal_snapshot(self._env, StoreSnapshot("join", meta))
+
+    def restore(self, snapshot) -> None:
+        from repro.errors import StoreRestoreError
+        from repro.snapshot import unpack_meta, verify_snapshot
+
+        self._check_open()
+        verify_snapshot(self._env, snapshot)
+        if self._sides[LEFT] or self._sides[RIGHT]:
+            raise StoreRestoreError("restore into non-empty join state backend")
+        state = unpack_meta(self._env, snapshot.meta)
+        for side in (LEFT, RIGHT):
+            self._sides[side] = {
+                key: _SideBuffer(list(entries)) for key, entries in state[side].items()
+            }
+
+    # --- elastic rescaling (key-group migration) -------------------------
+    def export_state(self, key_groups: set[int], key_group_of: KeyGroupFn) -> StateExport:
+        """Serialize & evict the moved key-groups' buffers (both sides).
+
+        One :class:`ExportedEntry` per (key, side): the entry kind
+        carries the side and the single value blob is the buffer's
+        ``(ts, value)`` list serialized whole (timestamp order
+        preserved, pickle memoization shared across entries), so
+        transfer volume is measurable and charged to ``migration``.
+        Vacated keys are marked dirty — the old owner's next delta epoch
+        must drop their stale shards.
+        """
+        self._check_open()
+        serde = PickleSerde()
+        export = StateExport()
+        for side in (LEFT, RIGHT):
+            buffers = self._sides[side]
+            for key in [k for k in buffers if key_group_of(k) in key_groups]:
+                buffer = buffers.pop(key)
+                data = serde.serialize(buffer.entries)
+                self._env.charge_cpu(CAT_MIGRATION, self._env.cpu.serde(len(data)))
+                self._dirty.mark_key(key)
+                export.entries.append(
+                    ExportedEntry(key, _JOIN_WINDOW, _SIDE_KIND[side], [data])
+                )
+        return export
+
+    def export_group_state(
+        self, key_groups: set[int] | None, key_group_of: KeyGroupFn
+    ) -> StateExport:
+        """Serialize the selected key-groups *without evicting them* —
+        the sharded checkpointer's read path (charged as recovery).
+        ``None`` means every group (a full snapshot epoch)."""
+        self._check_open()
+        serde = PickleSerde()
+        export = StateExport()
+        for side in (LEFT, RIGHT):
+            for key, buffer in self._sides[side].items():
+                if key_groups is not None and key_group_of(key) not in key_groups:
+                    continue
+                self._env.charge_cpu(CAT_RECOVERY, self._env.cpu.hash_probe)
+                data = serde.serialize(buffer.entries)
+                self._env.charge_cpu(CAT_RECOVERY, self._env.cpu.serde(len(data)))
+                export.entries.append(
+                    ExportedEntry(key, _JOIN_WINDOW, _SIDE_KIND[side], [data])
+                )
+        return export
+
+    def import_state(self, export: StateExport) -> None:
+        self._check_open()
+        serde = PickleSerde()
+        for entry in export.entries:
+            side = _KIND_SIDE.get(entry.kind)
+            if side is None:
+                raise ValueError(f"not a join state entry kind: {entry.kind!r}")
+            self._dirty.mark_key(entry.key)
+            buffers = self._sides[side]
+            buffer = buffers.get(entry.key)
+            decoded: list[tuple[float, Any]] = []
+            for data in entry.values:
+                self._env.charge_cpu(CAT_MIGRATION, self._env.cpu.serde(len(data)))
+                decoded.extend(serde.deserialize(data))
+            if buffer is None:
+                # Exported in timestamp order; lands sorted as-is.
+                buffers[entry.key] = _SideBuffer(decoded)
+            else:
+                for timestamp, value in decoded:
+                    buffer.add(timestamp, value)
+
+    # --- lifecycle ------------------------------------------------------
+    def flush(self) -> None:
+        self._check_open()
+
+    def close(self) -> None:
+        self._closed = True
+        self._sides[LEFT].clear()
+        self._sides[RIGHT].clear()
+
+
 @dataclass
 class IntervalJoinOperator:
     """One physical instance of a keyed interval join.
@@ -57,6 +312,10 @@ class IntervalJoinOperator:
     timestamps satisfy the interval; matches emit ``join_fn(left, right)``
     with the later timestamp.  Watermarks expire buffer entries that can
     no longer join anything.
+
+    State lives in a :class:`JoinStateBackend` (self-created on ``open``
+    when none is supplied), which carries the export/import, snapshot and
+    dirty-tracking surface the rescale and recovery subsystems drive.
     """
 
     lower: float
@@ -65,37 +324,33 @@ class IntervalJoinOperator:
     name: str = "interval_join"
 
     env: SimEnv = field(init=False, default=None)
-    backend: Any = field(init=False, default=None)  # unused: state is engine-managed
+    backend: JoinStateBackend = field(init=False, default=None)
     collector: Collector = field(init=False, default=None)
 
     def __post_init__(self) -> None:
         if self.lower > self.upper:
             raise ValueError(f"interval lower {self.lower} > upper {self.upper}")
-        self._left: dict[bytes, _SideBuffer] = {}
-        self._right: dict[bytes, _SideBuffer] = {}
         self.results_emitted = 0
 
-    def open(self, env: SimEnv, backend: Any, collector: Collector) -> None:
+    def open(self, env: SimEnv, backend: JoinStateBackend | None, collector: Collector) -> None:
         self.env = env
-        self.backend = backend
+        self.backend = backend if backend is not None else JoinStateBackend(env)
         self.collector = collector
 
     @property
     def memory_entries(self) -> int:
-        return sum(len(b.entries) for b in self._left.values()) + sum(
-            len(b.entries) for b in self._right.values()
-        )
+        return self.backend.memory_entries if self.backend is not None else 0
 
     # ------------------------------------------------------------------
     def process(self, record: StreamRecord) -> None:
         self.env.charge_cpu(CAT_ENGINE, self.env.cpu.function_call)
         side, value = record.value
         if side == LEFT:
-            own, other = self._left, self._right
+            other = RIGHT
             low = record.timestamp + self.lower
             high = record.timestamp + self.upper
         elif side == RIGHT:
-            own, other = self._right, self._left
+            other = LEFT
             # right.ts in [left.ts + lower, left.ts + upper]  <=>
             # left.ts in [right.ts - upper, right.ts - lower]
             low = record.timestamp - self.upper
@@ -103,7 +358,7 @@ class IntervalJoinOperator:
         else:
             raise ValueError(f"interval join record without side tag: {record.value!r}")
         self.env.charge_cpu(CAT_ENGINE, 2 * self.env.cpu.hash_probe)
-        partners = other.get(record.key)
+        partners = self.backend.buffer(other, record.key)
         if partners is not None:
             matches = partners.range(low, high)
             self.env.charge_cpu(
@@ -121,8 +376,7 @@ class IntervalJoinOperator:
                 self.collector(
                     StreamRecord(record.key, output, max(record.timestamp, partner_ts))
                 )
-        buffer = own.setdefault(record.key, _SideBuffer())
-        buffer.add(record.timestamp, value)
+        self.backend.insert(side, record.key, record.timestamp, value)
 
     def on_watermark(self, watermark: float) -> None:
         """Expire entries that can no longer find a partner.
@@ -131,19 +385,33 @@ class IntervalJoinOperator:
         ``ts + upper``; once the watermark passes that, it is dead.
         Symmetrically for the right side.
         """
-        left_cut = watermark - self.upper
-        right_cut = watermark + self.lower
-        for buffers, cut in ((self._left, left_cut), (self._right, right_cut)):
-            dead_keys = []
-            for key, buffer in buffers.items():
-                expired = buffer.expire_before(cut)
-                if expired:
-                    self.env.charge_cpu(CAT_ENGINE, expired * self.env.cpu.branch_step)
-                if not buffer.entries:
-                    dead_keys.append(key)
-            for key in dead_keys:
-                del buffers[key]
+        expired = self.backend.expire(watermark - self.upper, watermark + self.lower)
+        if expired:
+            self.env.charge_cpu(CAT_ENGINE, expired * self.env.cpu.branch_step)
+
+    # ------------------------------------------------------------------
+    # rescale / checkpoint protocol (the keyed state is all in the
+    # backend; the operator itself carries no per-key metadata)
+    # ------------------------------------------------------------------
+    def export_keyed_state(self, key_groups: set[int], key_group_of: KeyGroupFn) -> dict:
+        """Keyed operator metadata of the moved groups — none for joins;
+        the canonical empty shape keeps the migration splitters generic."""
+        return {
+            "sessions": {},
+            "window_keys": [],
+            "count_state": {},
+            "pending_aligned": set(),
+            "max_timestamp": float("-inf"),
+        }
+
+    def import_keyed_state(self, state: dict) -> None:
+        """Nothing to merge: join state moves entirely via the backend."""
+
+    def checkpoint_state(self) -> dict:
+        return {"results_emitted": self.results_emitted}
+
+    def restore_checkpoint_state(self, state: dict) -> None:
+        self.results_emitted = state["results_emitted"]
 
     def finish(self) -> None:
-        self._left.clear()
-        self._right.clear()
+        self.backend.drop_all()

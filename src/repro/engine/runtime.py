@@ -28,7 +28,7 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.engine.joins import IntervalJoinOperator
+from repro.engine.joins import IntervalJoinOperator, JoinStateBackend
 from repro.engine.operators import WindowOperator
 from repro.engine.plan import LogicalNode, StreamEnvironment
 from repro.errors import PlanError, ReproError, SimTimeoutError
@@ -135,7 +135,11 @@ class Executor:
         fs = SimFileSystem(env)
         name = f"{node.name}/p{index}"
         if node.kind == "interval_join":
-            backend = None  # engine-managed buffers (MapState analogue)
+            # Engine-managed buffers (MapState analogue) — held in a
+            # JoinStateBackend so the key-group machinery (migrate,
+            # LiveMigration, sharded checkpoints) moves them like any
+            # other keyed state.
+            backend = JoinStateBackend(env, max_key_groups=self._plan.max_key_groups)
             operator: Any = IntervalJoinOperator(
                 lower=node.params["lower"],
                 upper=node.params["upper"],
@@ -155,7 +159,12 @@ class Executor:
         return instance
 
     def _build_instances(self) -> None:
-        if self._plan.backend_factory is None:
+        # Join state is engine-managed; only window nodes need a KV
+        # backend, so a join-only plan may run (and checkpoint) without
+        # a backend_factory.
+        if self._plan.backend_factory is None and any(
+            node.kind == "window" for node in self._stateful_nodes
+        ):
             raise PlanError("StreamEnvironment has no backend_factory")
         for node in self._stateful_nodes:
             self._instances[node.node_id] = [

@@ -27,6 +27,8 @@ from repro.model import Window
 # Entry kinds crossing the migration boundary (elastic rescaling).
 KIND_LIST = "list"  # append-pattern list state (AAR / AUR / ListState)
 KIND_AGG = "agg"  # read-modify-write aggregate state (RMW / ValueState)
+KIND_JOIN_LEFT = "joinL"  # interval-join left side buffer (MapState analogue)
+KIND_JOIN_RIGHT = "joinR"  # interval-join right side buffer
 
 # Optional-capability names a backend may advertise (``capabilities``).
 CAP_SNAPSHOT = "snapshot"  # snapshot() / restore() — checkpointing

@@ -208,6 +208,36 @@ def build_q2(env: StreamEnvironment, source, window_size: float, session_gap: fl
     )
 
 
+def build_q8_interval(
+    env: StreamEnvironment, source, window_size: float, session_gap: float
+) -> None:
+    """Auctions interval-joined with their bids (stateful on both sides).
+
+    The interval-join variant of Q8: an auction at ``ts`` pairs with
+    every bid on it whose timestamp falls in ``[ts - window_size,
+    ts + window_size]``.  Both sides key by the auction id, so the join
+    buffers are ordinary keyed state that rescales and checkpoints along
+    key-group boundaries; the negative lower bound keeps a full window
+    of bids buffered (the popularity-skewed bulk of the state).
+    """
+    auctions = (
+        source.filter(lambda e: isinstance(e, Auction), name="auctions")
+        .key_by(lambda a: _u64(a.auction_id), name="by_auction_open")
+    )
+    bids = (
+        _bids(env, source)
+        .key_by(lambda b: _u64(b.auction), name="by_auction_bid")
+    )
+    (
+        auctions.interval_join(
+            bids, -window_size, window_size,
+            lambda a, b: (a.auction_id, a.seller, b.bidder, b.price),
+            name="auction_bids",
+        )
+        .sink(SINK)
+    )
+
+
 class AverageProcessFunction(ProcessWindowFunction):
     """Average over the full value list (non-incremental on purpose)."""
 
@@ -268,6 +298,10 @@ EXTRA_QUERIES: dict[str, QuerySpec] = {
     "q6-count": QuerySpec(
         "q6-count", "average of last 10 bids per bidder (count windows)",
         ("AUR",), build_q6_count,
+    ),
+    "q8-interval": QuerySpec(
+        "q8-interval", "auctions interval-joined with their bids",
+        ("JOIN",), build_q8_interval,
     ),
 }
 

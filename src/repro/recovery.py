@@ -593,11 +593,6 @@ class RecoveryManager:
         full_snapshot_interval: int = 4,
         retained_epochs: int | None = None,
     ) -> None:
-        if any(node.kind == "interval_join" for node in plan_env.nodes()):
-            raise PlanError(
-                "RecoveryManager cannot checkpoint interval joins: join "
-                "buffers are engine-managed (see ROADMAP open items)"
-            )
         self.plan = plan_env
         self.storage = storage or CheckpointStorage(
             SimEnv(cpu=plan_env.cpu, ssd=plan_env.ssd, faults=plan_env.faults)

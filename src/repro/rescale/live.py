@@ -32,7 +32,7 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING, Any
 
-from repro.errors import DiskIOError, InjectedCrashError, PlanError, SnapshotCorruptError
+from repro.errors import DiskIOError, InjectedCrashError, SnapshotCorruptError
 from repro.faults import CRASH_MIGRATE_EXPORT, CRASH_MIGRATE_IMPORT
 from repro.kvstores.api import (
     CAP_INCREMENTAL,
@@ -147,16 +147,10 @@ class LiveMigration:
         )
         self.done = False
         self._nodes = list(executor._stateful_nodes)  # noqa: SLF001
-        if move_plan and any(node.kind == "interval_join" for node in self._nodes):
-            raise PlanError(
-                "cannot rescale a plan with interval joins: join buffers are "
-                "engine-managed and not yet migratable (see ROADMAP open items)"
-            )
         if move_plan:
             for node in self._nodes:
                 backend = executor._instances[node.node_id][0].operator.backend  # noqa: SLF001
-                if backend is not None:
-                    require_capability(backend, CAP_RESCALE, "export_state")
+                require_capability(backend, CAP_RESCALE, "export_state")
 
         self._group_src: dict[int, int] = {}
         self._group_dst: dict[int, int] = {}

@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
-from repro.errors import DiskIOError, InjectedCrashError, PlanError
+from repro.errors import DiskIOError, InjectedCrashError
 from repro.faults import CRASH_MIGRATE_EXPORT, CRASH_MIGRATE_IMPORT, with_retries
 from repro.kvstores.api import CAP_RESCALE, StateExport, require_capability
 from repro.rescale.keygroups import (
@@ -216,18 +216,10 @@ def migrate(
             len(groups) for dsts in move_plan.values() for groups in dsts.values()
         ),
     )
-    if move_plan and any(
-        node.kind == "interval_join" for node in executor._stateful_nodes  # noqa: SLF001
-    ):
-        raise PlanError(
-            "cannot rescale a plan with interval joins: join buffers are "
-            "engine-managed and not yet migratable (see ROADMAP open items)"
-        )
     if move_plan:
         for node in executor._stateful_nodes:  # noqa: SLF001
             backend = executor._instances[node.node_id][0].operator.backend  # noqa: SLF001
-            if backend is not None:
-                require_capability(backend, CAP_RESCALE, "export_state")
+            require_capability(backend, CAP_RESCALE, "export_state")
 
     def kg_of(key: bytes) -> int:
         return key_group_of(key, max_groups)

@@ -3,10 +3,12 @@
 from __future__ import annotations
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.backends import memory_backend
 from repro.engine import StreamEnvironment
-from repro.engine.joins import IntervalJoinOperator, _SideBuffer
+from repro.engine.joins import LEFT, RIGHT, IntervalJoinOperator, _SideBuffer
 from repro.errors import PlanError
 from repro.model import StreamRecord
 from repro.simenv import SimEnv
@@ -141,3 +143,105 @@ class TestEndToEndPlan:
         left.interval_join(right, -1.0, 1.0, lambda a, b: (a, b)).sink("out")
         with pytest.raises(PlanError):
             env.execute()
+
+
+# A randomized join schedule: records on both sides with non-decreasing
+# timestamps, a key per record, and optional watermark advances between
+# them (a watermark never exceeds the timestamps already processed, as
+# in the runtime's heap-merged source order).
+SCHEDULES = st.lists(
+    st.tuples(
+        st.integers(0, 40),              # timestamp offset (sorted below)
+        st.sampled_from((LEFT, RIGHT)),  # side
+        st.integers(0, 2),               # key index
+        st.booleans(),                   # advance the watermark afterwards?
+    ),
+    min_size=1, max_size=40,
+)
+INTERVALS = st.tuples(st.integers(-6, 6), st.integers(0, 8)).map(
+    lambda pair: (float(pair[0]), float(pair[0] + pair[1]))
+)
+
+
+def brute_force_pairs(records, lower, upper):
+    """Every (left_index, right_index) pair the join semantics admit."""
+    return {
+        (i, j)
+        for i, (lts, lside, lkey) in enumerate(records)
+        for j, (rts, rside, rkey) in enumerate(records)
+        if lside == LEFT and rside == RIGHT and lkey == rkey
+        and lower <= rts - lts <= upper
+    }
+
+
+class TestExpiryProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(interval=INTERVALS, schedule=SCHEDULES)
+    def test_watermark_expiry_never_loses_matches(self, interval, schedule):
+        # Oracle: with in-order arrivals, interleaved watermark expiry
+        # must be invisible — the operator emits exactly the all-pairs
+        # brute-force join, no matter when buffers are cleaned.
+        lower, upper = interval
+        schedule = sorted(schedule, key=lambda s: s[0])
+        operator, outputs = make_operator(lower=lower, upper=upper)
+        records = []
+        for ts, side, key_index, advance in schedule:
+            key = f"k{key_index}".encode()
+            records.append((float(ts), side, key))
+            operator.process(
+                StreamRecord(key, (side, len(records) - 1), float(ts))
+            )
+            if advance:
+                operator.on_watermark(float(ts))
+        emitted = {record.value for record in outputs}
+        assert emitted == brute_force_pairs(records, lower, upper)
+
+    @settings(max_examples=200, deadline=None)
+    @given(interval=INTERVALS, schedule=SCHEDULES, final_wm=st.integers(0, 60))
+    def test_survivors_are_exactly_the_still_joinable(self, interval, schedule, final_wm):
+        # After on_watermark(w) the buffers hold precisely the entries a
+        # watermark-respecting future record could still pair with:
+        # left ts >= w - upper, right ts >= w + lower (brute force).
+        lower, upper = interval
+        operator, _outputs = make_operator(lower=lower, upper=upper)
+        inserted = {LEFT: [], RIGHT: []}
+        for ts, side, key_index, _advance in sorted(schedule, key=lambda s: s[0]):
+            key = f"k{key_index}".encode()
+            inserted[side].append((float(ts), key))
+            operator.process(StreamRecord(key, (side, ts), float(ts)))
+        wm = float(max(final_wm, max(s[0] for s in schedule)))
+        operator.on_watermark(wm)
+        cuts = {LEFT: wm - upper, RIGHT: wm + lower}
+        for side in (LEFT, RIGHT):
+            survivors = {
+                (ts, key)
+                for key, buffer in operator.backend._sides[side].items()
+                for ts, _value in buffer.entries
+            }
+            expected = {
+                (ts, key) for ts, key in inserted[side] if ts >= cuts[side]
+            }
+            assert survivors == expected
+
+    @settings(max_examples=100, deadline=None)
+    @given(interval=INTERVALS, schedule=SCHEDULES)
+    def test_memory_monotone_under_watermarks_without_input(self, interval, schedule):
+        # Soak: with no new input, successive watermarks only ever
+        # shrink the buffers, and they never emit anything.
+        lower, upper = interval
+        operator, outputs = make_operator(lower=lower, upper=upper)
+        last_ts = 0.0
+        for ts, side, key_index, _advance in sorted(schedule, key=lambda s: s[0]):
+            last_ts = float(ts)
+            operator.process(
+                StreamRecord(f"k{key_index}".encode(), (side, ts), last_ts)
+            )
+        emitted = len(outputs)
+        previous = operator.memory_entries
+        for step in range(12):
+            operator.on_watermark(last_ts + step * 5.0)
+            assert operator.memory_entries <= previous
+            previous = operator.memory_entries
+        assert len(outputs) == emitted
+        # The horizon passes every buffered entry eventually: drained.
+        assert operator.memory_entries == 0

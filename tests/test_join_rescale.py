@@ -1,0 +1,135 @@
+"""Rescaling interval-join state: equivalence, live cutover, rollback.
+
+Join buffers are first-class key-group state: a NEXMark-style
+interval-join plan (Q8-Interval: auctions joined with their bids)
+rescaled mid-stream — stop-the-world or live — must produce the same
+order-independent digest as the unrescaled runs at either parallelism.
+A mid-transfer fault on the live path rolls back exactly the join
+groups that had not yet cut over.
+
+``FAULT_SEED`` (env var) varies the fault plans exactly as in
+``test_recovery.py`` so the CI fault matrix covers this file too.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.harness import run_query
+from repro.bench.profiles import TINY_PROFILE
+from repro.faults import CRASH_MIGRATE_IMPORT, FaultPlan
+
+FAULT_SEED = int(os.environ.get("FAULT_SEED", "7"))
+
+WINDOW = TINY_PROFILE.window_sizes[0]
+QUERY = "q8-interval"
+BACKEND = "flowkv"
+TRANSITIONS = ((2, 4), (4, 2))
+
+
+def run(parallelism, **kwargs):
+    return run_query(TINY_PROFILE, QUERY, BACKEND, WINDOW,
+                     parallelism=parallelism, **kwargs)
+
+
+def rescaled(n_from, n_to, mode, at_record, **kwargs):
+    return run(n_from, rescale_schedule={at_record: n_to},
+               rescale_mode=mode, **kwargs)
+
+
+class TestJoinRescaleEquivalence:
+    @pytest.mark.parametrize("n_from,n_to", TRANSITIONS)
+    @pytest.mark.parametrize("mode", ("stw", "live"))
+    def test_rescaled_join_digest_equals_baselines(self, n_from, n_to, mode):
+        base_from = run(n_from)
+        base_to = run(n_to)
+        assert base_from.ok and base_to.ok
+        assert base_from.results > 0
+        # Parallelism itself must be invisible before rescaling can be.
+        assert base_from.output_hash == base_to.output_hash
+
+        record = rescaled(n_from, n_to, mode, base_from.input_records // 2)
+        assert record.ok
+        assert record.output_hash == base_from.output_hash
+        assert record.results == base_from.results
+        (event,) = record.rescales
+        assert event.mode == mode and not event.aborted
+        assert event.moved_groups > 0
+        assert event.entries_moved > 0
+        assert event.bytes_moved > 0
+        # Join state moved through the migration ledger, not for free.
+        assert record.migration_seconds > 0
+
+    def test_live_join_rescale_downtime_below_stop_the_world(self):
+        base = run(2)
+        half = base.input_records // 2
+        stw = rescaled(2, 4, "stw", half)
+        live = rescaled(2, 4, "live", half)
+        (stw_event,) = stw.rescales
+        (live_event,) = live.rescales
+        # Join records were actually buffered against in-transit groups
+        # and replayed at cutover — yet the worst single-record stall
+        # stays strictly under the global stop-the-world pause.
+        assert sum(c.buffered_records for c in live_event.cutovers) > 0
+        assert len(live_event.cutovers) == live_event.moved_groups
+        assert live_event.downtime_seconds > 0
+        assert live_event.downtime_seconds < stw_event.downtime_seconds
+
+
+class TestJoinPartialRollback:
+    @pytest.mark.parametrize("n_from,n_to", TRANSITIONS)
+    def test_mid_transfer_fault_rolls_back_remaining_join_groups(self, n_from, n_to):
+        never_migrated = run(n_from)
+        half = never_migrated.input_records // 2
+
+        # Crash on a late group landing: by then some join groups have
+        # already cut over, so the rollback is genuinely partial.
+        plan = FaultPlan(seed=FAULT_SEED).crash(CRASH_MIGRATE_IMPORT, on_hit=40)
+        aborted = rescaled(n_from, n_to, "live", half, fault_plan=plan)
+        assert aborted.ok
+        (event,) = aborted.rescales
+        assert event.aborted
+        assert event.cutovers, "fault fired before any join group cut over"
+        assert event.rolled_back_groups > 0
+        assert event.rolled_back_groups + len(event.cutovers) == event.moved_groups
+        # Cut-over groups keep their new owner; rolled-back join buffers
+        # are re-imported at the old owner — either way every (auction,
+        # bid) pair is emitted exactly once.
+        assert aborted.output_hash == never_migrated.output_hash
+        assert aborted.results == never_migrated.results
+
+    def test_faulted_stw_join_migration_rolls_back_whole(self):
+        never_migrated = run(2)
+        half = never_migrated.input_records // 2
+        plan = FaultPlan(seed=FAULT_SEED).crash(CRASH_MIGRATE_IMPORT, on_hit=2)
+        aborted = rescaled(2, 4, "stw", half, fault_plan=plan)
+        assert aborted.ok
+        assert [event.aborted for event in aborted.rescales] == [True]
+        assert aborted.output_hash == never_migrated.output_hash
+
+
+class TestJoinSeededRescale:
+    def test_checkpoint_seeds_clean_join_groups(self):
+        # Checkpoint cadence = watermark cadence: join groups clean
+        # since the last cut land from checkpoint shards, so the live
+        # stream moves strictly fewer bytes than draining everything.
+        base = run(2)
+        half = base.input_records // 2
+        kwargs = dict(
+            rescale_schedule={half: 4}, rescale_mode="live",
+            checkpoint_interval=TINY_PROFILE.watermark_interval,
+        )
+        drain = run(2, seed_rescale_from_checkpoint=False, **kwargs)
+        seeded = run(2, **kwargs)
+        assert drain.ok and seeded.ok
+        assert seeded.output_hash == drain.output_hash == base.output_hash
+
+        (d_event,) = drain.rescales
+        (s_event,) = seeded.rescales
+        assert d_event.seeded_groups == 0 and d_event.seeded_bytes == 0
+        assert s_event.seeded_groups > 0 and s_event.seeded_bytes > 0
+        assert s_event.bytes_moved < d_event.bytes_moved
+        # Seeding relabels transfer volume, it does not change it.
+        assert s_event.bytes_moved + s_event.seeded_bytes == d_event.bytes_moved

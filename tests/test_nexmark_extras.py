@@ -15,7 +15,7 @@ GEN = GeneratorConfig(events_per_second=60.0, duration=150.0, seed=17)
 
 class TestRegistry:
     def test_extras_registered(self):
-        assert set(EXTRA_QUERIES) == {"q1", "q2", "q6-count"}
+        assert set(EXTRA_QUERIES) == {"q1", "q2", "q6-count", "q8-interval"}
 
     def test_extras_do_not_collide_with_eval_set(self):
         assert not set(EXTRA_QUERIES) & set(QUERIES)

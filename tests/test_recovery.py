@@ -21,7 +21,7 @@ from repro.bench.harness import run_query
 from repro.bench.profiles import TINY_PROFILE
 from repro.core.aar import AarStore
 from repro.engine import StreamEnvironment
-from repro.errors import PlanError, SnapshotCorruptError, StoreRestoreError
+from repro.errors import SnapshotCorruptError, StoreRestoreError
 from repro.faults import (
     CRASH_MIGRATE_EXPORT,
     CRASH_MIGRATE_IMPORT,
@@ -295,11 +295,31 @@ class TestRestoreEdgeCases:
             fresh.restore(snap)
 
 
-class TestRecoveryManagerGuards:
-    def test_interval_join_plans_rejected(self):
-        env = StreamEnvironment(parallelism=2, backend_factory=memory_backend())
-        left = env.from_source([(("u", "a"), 1.0)]).key_by(lambda v: v[0].encode())
-        right = env.from_source([(("u", "b"), 1.5)]).key_by(lambda v: v[0].encode())
+class TestJoinPlanRecovery:
+    # Interval-join plans used to be rejected by a guard here; join
+    # state is now first-class, so the RecoveryManager accepts them —
+    # even without any KV backend factory (the join backend is
+    # engine-managed and self-created).
+    def build(self, backend_factory):
+        env = StreamEnvironment(parallelism=2, backend_factory=backend_factory)
+        left = env.from_source(
+            [((f"u{i % 3}", i), float(i)) for i in range(60)]
+        ).key_by(lambda v: v[0].encode())
+        right = env.from_source(
+            [((f"u{i % 3}", -i), float(i) + 0.5) for i in range(60)]
+        ).key_by(lambda v: v[0].encode())
         left.interval_join(right, -1.0, 1.0, lambda a, b: (a, b)).sink("out")
-        with pytest.raises(PlanError, match="interval join"):
-            RecoveryManager(env, checkpoint_interval=100)
+        return env
+
+    @pytest.mark.parametrize("factory", (None, memory_backend()))
+    def test_join_plan_checkpoints(self, factory):
+        baseline = self.build(factory).execute(watermark_interval=5)
+        env = self.build(factory)
+        env.validate()
+        manager = RecoveryManager(env, checkpoint_interval=20)
+        result = manager.run(watermark_interval=5)
+        assert result.failure is None
+        assert result.checkpoints > 0
+        assert sorted(map(repr, result.sink_outputs["out"])) == sorted(
+            map(repr, baseline.sink_outputs["out"])
+        )

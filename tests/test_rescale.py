@@ -287,9 +287,13 @@ class TestCompositeRouting:
             assert source.read_key_window(key, window) == []
 
 
-class TestIntervalJoinGuard:
-    def test_rescale_with_interval_join_rejected(self):
-        env = StreamEnvironment(parallelism=2, backend_factory=memory_backend())
+class TestIntervalJoinRescale:
+    # Join state is first-class in the key-group machinery: a plan with
+    # an interval join rescales mid-stream (no guard, no PlanError) and
+    # produces exactly the outputs of the unrescaled run.
+    def build(self, parallelism=2):
+        env = StreamEnvironment(parallelism=parallelism,
+                                backend_factory=memory_backend())
         left = env.from_source(
             [((f"u{i % 3}", i), float(i)) for i in range(40)]
         ).key_by(lambda v: v[0].encode())
@@ -297,8 +301,18 @@ class TestIntervalJoinGuard:
             [((f"u{i % 3}", -i), float(i) + 0.5) for i in range(40)]
         ).key_by(lambda v: v[0].encode())
         left.interval_join(right, -1.0, 1.0, lambda a, b: (a, b)).sink("out")
-        with pytest.raises(PlanError, match="interval join"):
-            env.execute(
-                watermark_interval=5.0,
-                rescale_policy=ScheduledRescale({10: 4}),
-            )
+        return env
+
+    def test_rescale_with_interval_join_supported(self):
+        baseline = self.build().execute(watermark_interval=5.0)
+        rescaled = self.build().execute(
+            watermark_interval=5.0,
+            rescale_policy=ScheduledRescale({10: 4}),
+        )
+        assert len(rescaled.rescales) == 1
+        event = rescaled.rescales[0]
+        assert not event.aborted
+        assert event.moved_groups > 0
+        assert sorted(map(repr, rescaled.sink_outputs["out"])) == sorted(
+            map(repr, baseline.sink_outputs["out"])
+        )
