@@ -63,15 +63,16 @@ def main(argv: list[str]) -> int:
     profile = active_profile()
     print(f"profile: {profile.name} "
           f"({profile.generator().expected_events:,} events per run)\n")
-    collected: dict[str, tuple[str, list]] = {}
+    collected: dict[str, tuple[str, list, float]] = {}
     for name in names:
         spec = FIGURES[name]
         started = time.time()
         print(f"=== {name}: {spec.description} ===")
         records = spec.run(profile)
-        collected[name] = (spec.description, records)
+        elapsed = time.time() - started
+        collected[name] = (spec.description, records, elapsed)
         print(spec.render(records, profile))
-        print(f"[{name} took {time.time() - started:.1f}s wall]\n")
+        print(f"[{name} took {elapsed:.1f}s wall]\n")
     targets = [json_path] if json_path else []
     if run_all:
         targets.append(SUMMARY_FILE)

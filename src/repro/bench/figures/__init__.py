@@ -15,6 +15,7 @@ from repro.bench.figures import (  # noqa: F401 - imported for registration
     fig12,
     fig13,
     fig_checkpoint,
+    fig_cluster_recovery,
     fig_recovery,
     fig_rescale,
 )

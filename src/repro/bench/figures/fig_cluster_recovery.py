@@ -1,0 +1,108 @@
+"""Cluster recovery: peer-seeded node restore cost versus state size.
+
+Not a paper figure — the cluster extension of the recovery evaluation
+(§8): each run spreads Q11-Median over a four-node cluster, checkpoints
+every quarter of the input into replica-placed node-local storage, and
+then loses an entire node (all its instances plus its local checkpoint
+replicas) at ~70% of the input.  Recovery restores the dead node's
+key-groups from shards fetched over the network from surviving peers
+and replays.  Swept over state size (window) for FlowKV versus a
+RocksDB-style LSM.  Reported per cell: checkpoints taken, checkpoint
+files lost with the node, the restored epoch, the simulated downtime
+(restore + replayed work), total bytes moved over the network, and
+whether the recovered output digest matches an uninterrupted cluster
+run (the exactly-once check — always ``yes``).
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import RunRecord, run_query
+from repro.bench.profiles import ScaleProfile, active_profile
+from repro.bench.report import format_table
+from repro.cluster import ClusterTopology
+from repro.faults import FaultPlan
+
+BACKENDS = ("flowkv", "rocksdb")
+QUERY = "q11-median"
+FAULT_SEED = 7
+N_NODES = 4
+DEAD_NODE = 2
+
+
+def run(
+    profile: ScaleProfile,
+    backends: tuple[str, ...] = BACKENDS,
+    window_sizes: tuple[float, ...] | None = None,
+) -> list[RunRecord]:
+    from dataclasses import replace
+
+    sizes = tuple(window_sizes or profile.window_sizes)
+    # One instance per node: parallelism = cluster size, a single worker.
+    clustered = replace(profile, workers=1, parallelism=N_NODES)
+    records = []
+    for backend in backends:
+        for size in sizes:
+            # Uninterrupted cluster baseline: the digest reference, and
+            # it tells us the input length so kill and cut points scale.
+            baseline = run_query(
+                clustered, QUERY, backend, size,
+                cluster=ClusterTopology.uniform(N_NODES),
+            )
+            interval = max(1, baseline.input_records // 4)
+            kill_at = max(2, (7 * baseline.input_records) // 10)
+            plan = FaultPlan(seed=FAULT_SEED).kill_node(DEAD_NODE, on_hit=kill_at)
+            recovered = run_query(
+                clustered, QUERY, backend, size,
+                cluster=ClusterTopology.uniform(N_NODES),
+                fault_plan=plan, checkpoint_interval=interval,
+            )
+            sweep = recovered.operator_stats.setdefault("_sweep", {})
+            sweep["baseline_hash"] = baseline.output_hash
+            sweep["baseline_net_bytes"] = baseline.network_bytes
+            sweep["kill_at"] = kill_at
+            sweep["dead_node"] = DEAD_NODE
+            records.append(recovered)
+    return records
+
+
+def render(records: list[RunRecord]) -> str:
+    rows = []
+    for record in records:
+        sweep = record.operator_stats.get("_sweep", {})
+        exact = record.output_hash == sweep.get("baseline_hash")
+        restored = [e for e in record.recoveries if e.kind == "restore"]
+        node_failures = [e for e in record.recoveries if e.kind == "node_failure"]
+        # Network traffic caused by the failure itself: peer-seeded shard
+        # fetches + replayed shuffle, over what the clean run moved.
+        recovery_net = record.network_bytes - sweep.get("baseline_net_bytes", 0)
+        rows.append([
+            record.backend,
+            f"{record.window_size:g}",
+            f"{record.checkpoints}",
+            f"{len(node_failures)}",
+            f"@{restored[0].at_record}" if restored else "fresh",
+            f"{record.restore_seconds * 1e3:.3f}",
+            f"{record.recovery_seconds * 1e3:.3f}",
+            f"{recovery_net / 1024:.0f} KiB",
+            "yes" if exact else "NO",
+        ])
+    return format_table(
+        ["backend", "window", "checkpoints", "node kills", "restored",
+         "restore ms", "recovery cpu ms", "recovery net", "exactly-once"],
+        rows,
+    )
+
+
+def main() -> None:
+    records = run(active_profile())
+    print(render(records))
+
+
+if __name__ == "__main__":
+    main()
+
+from repro.bench.registry import register_figure  # noqa: E402 - self-registration
+
+register_figure(
+    "fig_cluster_recovery", __doc__.strip().splitlines()[0], run, render
+)

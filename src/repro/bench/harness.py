@@ -40,6 +40,7 @@ class RunRecord:
     recoveries: list[Any] = field(default_factory=list)  # RecoveryEvent
     checkpoints: int = 0
     checkpoint_stats: list[Any] = field(default_factory=list)  # CheckpointStat
+    node_stats: dict[str, dict[str, Any]] = field(default_factory=dict)
 
     @property
     def checkpoint_bytes(self) -> int:
@@ -78,6 +79,20 @@ class RunRecord:
         return self.metrics.cpu_seconds.get("recovery", 0.0)
 
     @property
+    def network_seconds(self) -> float:
+        """Simulated time charged to the ``network`` ledger category."""
+        if self.metrics is None:
+            return 0.0
+        return self.metrics.cpu_seconds.get("network", 0.0)
+
+    @property
+    def network_bytes(self) -> int:
+        """Bytes moved over simulated cluster links (0 single-node)."""
+        if self.metrics is None:
+            return 0
+        return self.metrics.counters.get("net_bytes", 0)
+
+    @property
     def restore_seconds(self) -> float:
         """Simulated time spent restoring checkpoints after crashes."""
         return sum(
@@ -111,6 +126,7 @@ def run_query(
     retained_epochs: int | None = None,
     seed_rescale_from_checkpoint: bool = True,
     generator_overrides: dict[str, Any] | None = None,
+    cluster: Any = None,
 ) -> RunRecord:
     """Execute one cell of the evaluation matrix.
 
@@ -134,6 +150,11 @@ def run_query(
     ``retained_epochs`` enables chain-aware checkpoint GC, and
     ``seed_rescale_from_checkpoint`` lets live rescales seed clean moved
     key-groups from the latest checkpoint instead of streaming them.
+
+    ``cluster`` (a :class:`repro.cluster.ClusterTopology`) places the
+    physical instances on simulated machines: cross-node shuffle hops,
+    migration chunks, and checkpoint shard replication/fetch all pay the
+    network, and job time respects per-node core budgets.
     """
     factory = profile.backend_factory(backend, **(flowkv_overrides or {}))
     generator = profile.generator(
@@ -157,6 +178,7 @@ def run_query(
         session_gap=session_gap,
         cost_scale=profile.latency_cost_scale if arrival_rate else 1.0,
         faults=fault_plan.build() if fault_plan is not None else None,
+        cluster=cluster,
     )
     record = RunRecord(query=query, backend=backend, window_size=window_size,
                        arrival_rate=arrival_rate,
@@ -212,6 +234,7 @@ def run_query(
     record.recoveries = result.recoveries
     record.checkpoints = result.checkpoints
     record.checkpoint_stats = result.checkpoint_stats
+    record.node_stats = result.node_stats
     record.output_hash = output_digest(result.sink_outputs)
     if arrival_rate:
         record.p95_latency = result.p95_latency()

@@ -175,6 +175,15 @@ def record_summary(record: Any) -> dict[str, Any]:
             {"kind": ev.kind, "epoch": ev.epoch, "at_record": ev.at_record}
             for ev in recoveries
         ]
+    # Cluster runs: network totals and the per-machine utilization map.
+    # Zero network bytes on a single node — omitted entirely there.
+    network_bytes = getattr(record, "network_bytes", 0)
+    if network_bytes:
+        row["network_bytes"] = network_bytes
+        row["network_seconds"] = getattr(record, "network_seconds", 0.0)
+    node_stats = getattr(record, "node_stats", {})
+    if node_stats:
+        row["nodes"] = node_stats
     sweep = getattr(record, "operator_stats", {}).get("_sweep")
     if sweep:
         row["sweep"] = {
@@ -184,24 +193,31 @@ def record_summary(record: Any) -> dict[str, Any]:
 
 
 def summary_payload(
-    profile_name: str, figures: dict[str, tuple[str, list[Any]]]
+    profile_name: str, figures: dict[str, tuple[Any, ...]]
 ) -> dict[str, Any]:
     """The ``BENCH_summary.json`` document (schema_version 1).
 
-    ``figures`` maps figure name to ``(description, records)``.  The
-    schema is stable: new figures and new per-record fields may be
-    added, existing keys keep their meaning.
+    ``figures`` maps figure name to ``(description, records)`` or
+    ``(description, records, elapsed_seconds)`` — the third element is
+    the real wall-clock time the figure took to run, so the perf
+    trajectory is tracked per PR.  The schema is stable: new figures
+    and new per-record fields may be added, existing keys keep their
+    meaning.
     """
+    out: dict[str, Any] = {}
+    for name, entry in figures.items():
+        description, records = entry[0], entry[1]
+        figure: dict[str, Any] = {
+            "description": description,
+            "rows": [record_summary(r) for r in records],
+        }
+        if len(entry) > 2 and entry[2] is not None:
+            figure["elapsed_seconds"] = round(float(entry[2]), 3)
+        out[name] = figure
     return {
         "schema_version": 1,
         "profile": profile_name,
-        "figures": {
-            name: {
-                "description": description,
-                "rows": [record_summary(r) for r in records],
-            }
-            for name, (description, records) in figures.items()
-        },
+        "figures": out,
     }
 
 

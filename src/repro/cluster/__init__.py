@@ -1,0 +1,28 @@
+"""Multi-node cluster simulation: topology, network model, failure domains.
+
+Only the topology surface is exported here; the cluster-aware checkpoint
+storage lives in :mod:`repro.cluster.storage` and is imported lazily by
+:class:`repro.recovery.RecoveryManager` (it depends on the recovery
+layout, which depends on the runtime, which routes through topologies —
+a direct re-export would close an import cycle).
+"""
+
+from repro.cluster.topology import (
+    DEFAULT_BANDWIDTH,
+    DEFAULT_LATENCY,
+    RECORD_OVERHEAD_BYTES,
+    ClusterTopology,
+    NetworkModel,
+    Node,
+    charge_link,
+)
+
+__all__ = [
+    "ClusterTopology",
+    "NetworkModel",
+    "Node",
+    "charge_link",
+    "DEFAULT_BANDWIDTH",
+    "DEFAULT_LATENCY",
+    "RECORD_OVERHEAD_BYTES",
+]

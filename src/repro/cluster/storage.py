@@ -1,0 +1,149 @@
+"""Replica-placed checkpoint storage for cluster runs.
+
+In a real deployment checkpoint shards live on the workers' local disks
+(or a quorum store built from them), not on magic always-available
+storage: a shard is uploaded from the instance that produced it to a
+small set of replica nodes, a node failure destroys the replicas on that
+node's disk, and a restore that runs on a different node than a shard's
+replicas must fetch the bytes over the network.
+
+:class:`ClusterCheckpointStorage` adds exactly that to
+:class:`repro.recovery.CheckpointStorage`:
+
+* **placement** — every checkpoint file gets ``replication`` replicas on
+  consecutive nodes starting at its *origin* (the node of the instance
+  that wrote it; hashed when no origin is known).  Uploading to each
+  remote replica is charged to the ``network`` ledger category.
+* **failure domains** — :meth:`fail_node` models the machine dying: the
+  node's replicas are gone.  A file whose last replica died is deleted
+  outright, so a later read surfaces as a missing checkpoint file
+  (:class:`~repro.errors.SnapshotCorruptError`) and recovery falls back
+  down the epoch chain, exactly like any other corruption.
+* **peer reads** — :meth:`read_ref` takes the reading instance's node;
+  when no replica is local the shard is downloaded from a surviving
+  peer, charged to the network.  This is the peer-seeded node restore:
+  the replacement instances of a dead node pull their key-group shards
+  from the peers that still hold them.
+
+All network time lands on the storage environment's clock, so restore
+durations (measured on that clock) include the fetch-over-network wait.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any
+
+from repro.cluster.topology import ClusterTopology, charge_link
+from repro.recovery import CheckpointStorage, _epoch_dir
+from repro.simenv import SimEnv
+from repro.storage.filesystem import SimFileSystem
+
+
+class ClusterCheckpointStorage(CheckpointStorage):
+    """Checkpoint storage whose files live on cluster nodes' disks."""
+
+    def __init__(
+        self,
+        env: SimEnv,
+        cluster: ClusterTopology,
+        fs: SimFileSystem | None = None,
+        replication: int = 2,
+    ) -> None:
+        super().__init__(env, fs)
+        if replication < 1:
+            raise ValueError(f"replication must be >= 1: {replication}")
+        self.cluster = cluster
+        self.replication = min(replication, cluster.n_nodes)
+        # path -> surviving replica node ids (first = primary/origin).
+        self._placement: dict[str, tuple[int, ...]] = {}
+        self.files_lost = 0
+
+    # ------------------------------------------------------------------
+    def _place(self, path: str, origin: int | None) -> tuple[int, ...]:
+        primary = (
+            origin if origin is not None
+            else zlib.crc32(path.encode()) % self.cluster.n_nodes
+        )
+        return tuple(
+            (primary + step) % self.cluster.n_nodes
+            for step in range(self.replication)
+        )
+
+    def replicas_of(self, path: str) -> tuple[int, ...]:
+        """Surviving replica nodes of ``path`` (empty when unknown)."""
+        return self._placement.get(path, ())
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+    def put_file(self, path: str, data: bytes, origin: int | None = None) -> None:
+        """Write ``path`` to its replica set, charging remote uploads.
+
+        The local replica (the origin's own disk) costs only the device
+        write already charged by the base class; every further replica
+        costs one network hop from the origin.
+        """
+        super().put_file(path, data)
+        replicas = self._place(path, origin)
+        self._placement[path] = replicas
+        source = replicas[0]
+        for target in replicas[1:]:
+            charge_link(
+                self.env, self.cluster.network, source, target, len(data),
+                f"net/chk/put/{path}", self.env.faults,
+            )
+
+    def commit_manifest(self, epoch: int, manifest: dict[str, Any]) -> None:
+        """Commit, then re-home the placement from the tmp to the final name."""
+        super().commit_manifest(epoch, manifest)
+        tmp = f"{_epoch_dir(epoch)}/MANIFEST.tmp"
+        final = f"{_epoch_dir(epoch)}/MANIFEST"
+        if tmp in self._placement:
+            self._placement[final] = self._placement.pop(tmp)
+
+    # ------------------------------------------------------------------
+    # failure domain
+    # ------------------------------------------------------------------
+    def fail_node(self, node_id: int) -> int:
+        """A machine died: drop its replicas; delete files with none left.
+
+        Returns the number of checkpoint files lost outright (every
+        replica was on the dead node).  Lost files surface to recovery as
+        missing — :class:`~repro.errors.SnapshotCorruptError` at read
+        time — failing the epoch over to an older one.
+        """
+        lost = 0
+        for path, replicas in list(self._placement.items()):
+            surviving = tuple(node for node in replicas if node != node_id)
+            if surviving:
+                self._placement[path] = surviving
+                continue
+            del self._placement[path]
+            if self.fs.exists(path):
+                self.fs.delete(path)
+            lost += 1
+        self.files_lost += lost
+        return lost
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+    def read_ref(
+        self, path: str, length: int, crc: int, reader: int | None = None
+    ) -> bytes:
+        """Read + verify ``path``; fetch over the network when remote.
+
+        ``reader`` is the node of the restoring instance.  With a local
+        replica the read costs only device time; otherwise the bytes
+        stream from the first surviving peer replica.  Unknown placement
+        (files from before this storage was attached) reads locally.
+        """
+        data = super().read_ref(path, length, crc)
+        replicas = self._placement.get(path)
+        if reader is not None and replicas and reader not in replicas:
+            charge_link(
+                self.env, self.cluster.network, replicas[0], reader, len(data),
+                f"net/chk/get/{path}", self.env.faults,
+            )
+        return data

@@ -1,0 +1,172 @@
+"""Multi-node cluster topology and network cost model.
+
+The paper's evaluation runs on a cluster of i3.2xlarge workers connected
+by 10 GbE ("up to 10 Gigabit" networking); until now the reproduction
+collapsed all workers into one process whose job time was the maximum
+busy time over instances.  This module promotes nodes to first-class
+simulated machines:
+
+* a :class:`Node` is one worker — a core budget and (implicitly) its own
+  local disk, hosting a subset of the physical operator instances;
+* a :class:`NetworkModel` prices every cross-node byte: a transfer of
+  ``n`` bytes in ``r`` requests over link ``(src, dst)`` costs
+  ``r * latency + n / bandwidth`` seconds, charged to the ``network``
+  ledger category via :meth:`repro.simenv.SimEnv.charge_network`;
+* a :class:`ClusterTopology` places instances on nodes round-robin
+  (``index % n_nodes`` — stable under rescaling, so a grown instance
+  lands on a deterministic node and a shrink never re-homes survivors).
+
+Intra-node traffic is free by construction (``transfer_time`` is zero
+when source and destination coincide), so a single-node cluster — and
+every pre-existing non-cluster run — is charge-for-charge identical to
+the legacy execution model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PlanError
+
+# 10 GbE at ~wire speed, and a conservative intra-rack round-trip: the
+# defaults model the paper's cluster fabric.
+DEFAULT_BANDWIDTH = 1.25e9  # bytes/second (10 Gb/s)
+DEFAULT_LATENCY = 200e-6  # seconds per request (RPC round-trip share)
+
+# Framing + key bytes a shuffled record occupies on the wire beyond its
+# payload accounting (headers, lengths, channel multiplexing).
+RECORD_OVERHEAD_BYTES = 64
+
+
+@dataclass(frozen=True)
+class Node:
+    """One simulated worker machine."""
+
+    name: str
+    cores: int = 8  # i3.2xlarge: 8 vCPUs
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise PlanError(f"node {self.name} must have >= 1 core: {self.cores}")
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Per-link bandwidth/latency menu.
+
+    ``links`` overrides individual directed links ``(src, dst) ->
+    (bandwidth, latency)``; unlisted links use the uniform defaults.
+    """
+
+    bandwidth: float = DEFAULT_BANDWIDTH
+    latency: float = DEFAULT_LATENCY
+    record_overhead_bytes: int = RECORD_OVERHEAD_BYTES
+    links: dict[tuple[int, int], tuple[float, float]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0 or self.latency < 0:
+            raise PlanError(
+                f"network model needs bandwidth > 0 and latency >= 0: "
+                f"{self.bandwidth}, {self.latency}"
+            )
+
+    def link(self, src: int, dst: int) -> tuple[float, float]:
+        """The ``(bandwidth, latency)`` of the directed link src -> dst."""
+        return self.links.get((src, dst), (self.bandwidth, self.latency))
+
+    def transfer_time(
+        self, src: int, dst: int, n_bytes: int, n_requests: int = 1
+    ) -> float:
+        """Seconds to move ``n_bytes`` from node ``src`` to node ``dst``.
+
+        Zero when the endpoints coincide: loopback traffic is a memcpy
+        already charged by the transfer's CPU model, not a network hop.
+        """
+        if n_bytes < 0 or n_requests < 0:
+            raise PlanError(f"negative transfer size: {n_bytes}B/{n_requests}req")
+        if src == dst:
+            return 0.0
+        bandwidth, latency = self.link(src, dst)
+        return n_requests * latency + n_bytes / bandwidth
+
+
+@dataclass(frozen=True)
+class ClusterTopology:
+    """A set of nodes plus the network connecting them.
+
+    Placement is round-robin over nodes by physical-instance index —
+    ``place(i) = i % n_nodes`` — for every stateful operator.  Round-robin
+    (rather than contiguous blocks) keeps placement *stable under
+    rescaling*: growing parallelism only adds instances at new indices
+    and never re-homes an existing one, so a live migration moves state
+    exactly once.
+    """
+
+    nodes: tuple[Node, ...]
+    network: NetworkModel = field(default_factory=NetworkModel)
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise PlanError("a cluster needs at least one node")
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    def place(self, instance_index: int) -> int:
+        """Node id hosting physical instance ``instance_index``."""
+        if instance_index < 0:
+            raise PlanError(f"instance index must be >= 0: {instance_index}")
+        return instance_index % self.n_nodes
+
+    def ingest_node(self, record_ordinal: int) -> int:
+        """Node whose source task ingests the ``record_ordinal``-th record.
+
+        Sources are sharded round-robin over nodes like any operator, so
+        a record's first shuffle hop starts from a deterministic node.
+        """
+        return record_ordinal % self.n_nodes
+
+    @classmethod
+    def uniform(
+        cls,
+        n_nodes: int,
+        cores: int = 8,
+        network: NetworkModel | None = None,
+    ) -> "ClusterTopology":
+        """A homogeneous cluster of ``n_nodes`` identical workers."""
+        if n_nodes < 1:
+            raise PlanError(f"cluster size must be >= 1: {n_nodes}")
+        return cls(
+            nodes=tuple(Node(name=f"node{i}", cores=cores) for i in range(n_nodes)),
+            network=network or NetworkModel(),
+        )
+
+
+def charge_link(
+    env,
+    network: NetworkModel,
+    src: int,
+    dst: int,
+    n_bytes: int,
+    label: str,
+    faults=None,
+    n_requests: int = 1,
+) -> float:
+    """Charge one cross-node transfer to ``env`` and return its seconds.
+
+    The single funnel for network accounting: consults the fault injector
+    (``drop_link`` raises :class:`~repro.errors.DiskIOError`, ``slow_link``
+    stretches the transfer), then books the (possibly stretched) link
+    time via :meth:`~repro.simenv.SimEnv.charge_network`.  Intra-node
+    transfers return 0.0 without touching the injector — loopback cannot
+    drop, and counting it would shift cross-node fault ordinals.
+    """
+    if src == dst:
+        return 0.0
+    factor = 1.0
+    if faults is not None:
+        factor = faults.on_network(label, env.now)
+    seconds = network.transfer_time(src, dst, n_bytes, n_requests) * factor
+    env.charge_network(seconds, n_bytes, n_requests)
+    return seconds

@@ -166,6 +166,12 @@ class StreamEnvironment:
         faults: optional :class:`repro.faults.FaultInjector` shared by
             every physical instance's environment (fault injection and
             crash points).
+        cluster: optional :class:`repro.cluster.ClusterTopology`.  With a
+            cluster, physical instances are placed on simulated nodes
+            (round-robin by index) and every cross-node hop — shuffle,
+            migration chunk, checkpoint shard — is charged to the
+            ``network`` ledger category.  ``None`` (the default) keeps
+            the legacy single-machine model, charge-for-charge.
     """
 
     def __init__(
@@ -177,6 +183,7 @@ class StreamEnvironment:
         workers: int = 1,
         max_key_groups: int = DEFAULT_MAX_KEY_GROUPS,
         faults: Any = None,
+        cluster: Any = None,
     ) -> None:
         if parallelism < 1 or workers < 1:
             raise PlanError("parallelism and workers must be >= 1")
@@ -184,6 +191,7 @@ class StreamEnvironment:
         validate_parallelism(parallelism * workers, max_key_groups)
         self.parallelism = parallelism
         self.workers = workers
+        self.cluster = cluster
         self.backend_factory = backend_factory
         self.cpu = cpu or CpuCostModel()
         self.ssd = ssd or SsdCostModel()

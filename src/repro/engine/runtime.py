@@ -28,6 +28,7 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.cluster.topology import charge_link
 from repro.engine.joins import IntervalJoinOperator, JoinStateBackend
 from repro.engine.operators import WindowOperator
 from repro.engine.plan import LogicalNode, StreamEnvironment
@@ -55,6 +56,7 @@ class PhysicalInstance:
     operator: WindowOperator
     wall_available: float = 0.0
     outbox: list[StreamRecord] = field(default_factory=list)
+    cluster_node: int = 0  # hosting node id (0 when no cluster is configured)
 
 
 @dataclass
@@ -73,6 +75,9 @@ class JobResult:
     recoveries: list[Any] = field(default_factory=list)  # RecoveryEvent
     checkpoints: int = 0
     checkpoint_stats: list[Any] = field(default_factory=list)  # CheckpointStat
+    # Cluster runs only: per-node utilization/traffic breakdown, keyed by
+    # node name (empty for legacy single-machine runs).
+    node_stats: dict[str, dict[str, Any]] = field(default_factory=dict)
 
     @property
     def throughput(self) -> float:
@@ -128,6 +133,11 @@ class Executor:
         """Whether a live state migration is currently in flight."""
         return self._live is not None and not self._live.done
 
+    def cluster_node_of(self, index: int) -> int | None:
+        """Hosting node id of instance ``index`` (None without a cluster)."""
+        cluster = self._plan.cluster
+        return None if cluster is None else cluster.place(index)
+
     def _new_instance(self, node: LogicalNode, index: int) -> PhysicalInstance:
         """Deploy one physical instance of a stateful node (fresh state)."""
         factory = self._plan.backend_factory
@@ -154,7 +164,10 @@ class Executor:
                 name=name,
                 with_window=node.params.get("with_window", False),
             )
-        instance = PhysicalInstance(name=name, env=env, operator=operator)
+        instance = PhysicalInstance(
+            name=name, env=env, operator=operator,
+            cluster_node=self.cluster_node_of(index) or 0,
+        )
         operator.open(env, backend, instance.outbox.append)
         return instance
 
@@ -250,6 +263,7 @@ class Executor:
         failure: str | None = None
         last_busy = self._busy_sum()
         last_arrival = 0.0
+        cluster = self._plan.cluster
         try:
             for source_node, value, timestamp in merged:
                 if faults is not None:
@@ -261,7 +275,10 @@ class Executor:
                 record = StreamRecord(b"", value, timestamp)
                 if self._first_ts is None:
                     self._first_ts = timestamp
-                self._push(source_node, record, arrival)
+                # Source tasks are sharded round-robin over cluster nodes;
+                # the record's first shuffle hop starts from its ingest node.
+                origin = 0 if cluster is None else cluster.ingest_node(count)
+                self._push(source_node, record, arrival, origin)
                 count += 1
                 self.records_ingested = count
                 if timestamp > max_ts:
@@ -428,33 +445,69 @@ class Executor:
                 heapq.heappush(heap, (nts, idx, nvalue, node, iterator))
 
     # ------------------------------------------------------------------
-    def _push(self, node: LogicalNode, record: StreamRecord, arrival: float) -> None:
+    def _push(
+        self, node: LogicalNode, record: StreamRecord, arrival: float, origin: int = 0
+    ) -> None:
         for child in self._children.get(node.node_id, []):
-            self._handle(child, record, arrival)
+            self._handle(child, record, arrival, origin)
 
-    def _handle(self, node: LogicalNode, record: StreamRecord, arrival: float) -> None:
+    def _handle(
+        self, node: LogicalNode, record: StreamRecord, arrival: float, origin: int = 0
+    ) -> None:
+        """Process one record at ``node``.
+
+        ``origin`` is the cluster node the record currently lives on
+        (its ingest node, or the node of the instance that emitted it);
+        stateless transforms run where the record already is, so only the
+        keyed hand-off to a stateful instance can cross the network.
+        """
         kind = node.kind
         if kind == "map":
             out = StreamRecord(record.key, node.params["fn"](record.value), record.timestamp)
-            self._push(node, out, arrival)
+            self._push(node, out, arrival, origin)
         elif kind == "filter":
             if node.params["fn"](record.value):
-                self._push(node, record, arrival)
+                self._push(node, record, arrival, origin)
         elif kind == "flat_map":
             for value in node.params["fn"](record.value):
-                self._push(node, StreamRecord(record.key, value, record.timestamp), arrival)
+                self._push(
+                    node, StreamRecord(record.key, value, record.timestamp),
+                    arrival, origin,
+                )
         elif kind == "key_by":
             key = node.params["fn"](record.value)
             if not isinstance(key, bytes):
                 raise PlanError(f"key_by {node.name} must return bytes, got {type(key)}")
-            self._push(node, StreamRecord(key, record.value, record.timestamp), arrival)
+            self._push(node, StreamRecord(key, record.value, record.timestamp), arrival, origin)
         elif kind == "union":
-            self._push(node, record, arrival)
+            self._push(node, record, arrival, origin)
         elif kind in ("window", "interval_join"):
             if self._live is not None and self._live.intercept(node, record, arrival):
                 return  # buffered: replays at the new owner on cutover
             instance = self._route(node, record.key)
-            self._run_unit(node, instance, arrival, lambda: instance.operator.process(record))
+            cluster = self._plan.cluster
+            if cluster is not None and origin != instance.cluster_node:
+                # Cross-node shuffle hop: the receive wait occupies the
+                # destination instance (charged inside its service time).
+                # Shuffle channels stay open and pipelined, so a record
+                # pays wire bandwidth only (n_requests=0): per-record
+                # round-trip latency would serialize throughput in a way
+                # no streaming shuffle does.
+                wire_bytes = cluster.network.record_overhead_bytes + len(record.key)
+
+                def thunk(inst=instance, rec=record, org=origin, wire=wire_bytes):
+                    charge_link(
+                        inst.env, cluster.network, org, inst.cluster_node, wire,
+                        f"net/shuffle/{node.name}", self._plan.faults,
+                        n_requests=0,
+                    )
+                    inst.operator.process(rec)
+
+                self._run_unit(node, instance, arrival, thunk)
+            else:
+                self._run_unit(
+                    node, instance, arrival, lambda: instance.operator.process(record)
+                )
         elif kind == "sink":
             self._sinks[node.name].append(record.value)
             self._latencies.append(max(0.0, arrival - record.timestamp))
@@ -481,7 +534,7 @@ class Executor:
             emitted = list(instance.outbox)
             instance.outbox.clear()
             for out in emitted:
-                self._push(node, out, completion)
+                self._push(node, out, completion, origin=instance.cluster_node)
 
     def _broadcast_watermark(self, watermark: float, arrival: float) -> None:
         for node in self._stateful_nodes:
@@ -532,6 +585,13 @@ class Executor:
         total = MetricsLedger()
         per_operator: dict[str, MetricsSnapshot] = {}
         operator_stats: dict[str, dict[str, Any]] = {}
+        cluster = self._plan.cluster
+        # Per cluster node: summed busy time, busiest instance, instance
+        # count, and network traffic — feeds the node-capacity job model.
+        node_busy: dict[int, float] = {}
+        node_peak: dict[int, float] = {}
+        node_count: dict[int, int] = {}
+        node_net: dict[int, tuple[float, int]] = {}
         job_seconds = 0.0
         for node in self._stateful_nodes:
             node_ledger = MetricsLedger()
@@ -541,6 +601,17 @@ class Executor:
                 node_ledger.merge(snapshot)
                 total.merge(snapshot)
                 job_seconds = max(job_seconds, instance.env.clock.now)
+                if cluster is not None:
+                    host = instance.cluster_node
+                    busy = instance.env.clock.now
+                    node_busy[host] = node_busy.get(host, 0.0) + busy
+                    node_peak[host] = max(node_peak.get(host, 0.0), busy)
+                    node_count[host] = node_count.get(host, 0) + 1
+                    secs, nbytes = node_net.get(host, (0.0, 0))
+                    node_net[host] = (
+                        secs + snapshot.network_seconds,
+                        nbytes + snapshot.network_bytes,
+                    )
                 stats["results"] += instance.operator.results_emitted
                 backend = instance.operator.backend
                 stats["memory_bytes"] += getattr(backend, "memory_bytes", 0)
@@ -559,6 +630,32 @@ class Executor:
                 stats["prefetch_hit_ratio"] = stats.get("prefetch_hits", 0) / loads
             per_operator[node.name] = node_ledger.snapshot()
             operator_stats[node.name] = stats
+        node_stats: dict[str, dict[str, Any]] = {}
+        if cluster is not None:
+            # Node-capacity job time: a node with more runnable instances
+            # than cores cannot overlap them all, so it finishes no sooner
+            # than its total work divided by its cores — and never sooner
+            # than its busiest single (sequential) instance.  Job time is
+            # the slowest node, not a bare max-over-instances.
+            for host, machine in enumerate(cluster.nodes):
+                busy = node_busy.get(host, 0.0)
+                peak = node_peak.get(host, 0.0)
+                node_seconds = max(peak, busy / machine.cores)
+                job_seconds = max(job_seconds, node_seconds)
+                secs, nbytes = node_net.get(host, (0.0, 0))
+                node_stats[machine.name] = {
+                    "instances": node_count.get(host, 0),
+                    "cores": machine.cores,
+                    "busy_seconds": busy,
+                    "node_seconds": node_seconds,
+                    "network_seconds": secs,
+                    "network_bytes": nbytes,
+                }
+            for entry in node_stats.values():
+                entry["utilization"] = (
+                    entry["busy_seconds"] / (entry["cores"] * job_seconds)
+                    if job_seconds > 0 else 0.0
+                )
         return JobResult(
             sink_outputs=dict(self._sinks),
             latencies=self._latencies,
@@ -569,4 +666,5 @@ class Executor:
             operator_stats=operator_stats,
             failure=failure,
             rescales=list(self._rescales),
+            node_stats=node_stats,
         )

@@ -114,6 +114,23 @@ class InjectedCrashError(ReproError):
         self.now = now
 
 
+class NodeFailureError(InjectedCrashError):
+    """A whole simulated cluster node died (fault domain = machine).
+
+    Killing a node takes down every physical instance it hosts *and* the
+    checkpoint-shard replicas on its local disk.  Subclasses
+    :class:`InjectedCrashError` so every existing crash-handling path
+    (recovery manager, migration rollback) treats it as a crash; carries
+    the failed ``node`` id so cluster-aware checkpoint storage can drop
+    that node's replicas before the restore.
+    """
+
+    def __init__(self, node: int, site: str, now: float = 0.0) -> None:
+        super().__init__(site, now)
+        self.node = node
+        self.args = (f"injected node {node} failure at {site} (t={now:.6f}s)",)
+
+
 class PlanError(ReproError):
     """A streaming job graph is malformed or cannot be compiled."""
 

@@ -32,7 +32,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
-from repro.errors import DiskIOError, InjectedCrashError
+from repro.errors import DiskIOError, InjectedCrashError, NodeFailureError
 from repro.simenv.metrics import CAT_RECOVERY
 
 # Canonical crash-point names (the instrumented sites).
@@ -55,6 +55,7 @@ CRASH_POINTS = (
 KIND_ERROR = "error"
 KIND_TORN = "torn"
 KIND_BITFLIP = "bitflip"
+KIND_SLOW = "slow"  # network only: the link transfer takes `factor` x longer
 
 
 @dataclass
@@ -68,12 +69,13 @@ class DiskFault:
     after that clock reading).
     """
 
-    kind: str  # KIND_ERROR | KIND_TORN | KIND_BITFLIP
-    op: str = "any"  # "read" | "write" | "transfer" | "any"
+    kind: str  # KIND_ERROR | KIND_TORN | KIND_BITFLIP | KIND_SLOW
+    op: str = "any"  # "read" | "write" | "transfer" | "net" | "any"
     on_io: int | None = None
     at_time: float | None = None
     path_prefix: str = ""
     times: int = 1
+    factor: float = 1.0  # KIND_SLOW: link-time multiplier
     fired: int = field(default=0, init=False)
 
     def matches(self, op: str, name: str, io_index: int, now: float) -> bool:
@@ -103,6 +105,7 @@ class CrashFault:
     site: str
     on_hit: int | None = None
     at_time: float | None = None
+    node: int | None = None  # kills this whole cluster node instead of one process
     fired: bool = field(default=False, init=False)
 
 
@@ -177,6 +180,42 @@ class FaultPlan:
         )
         return self
 
+    def drop_link(
+        self,
+        on_io: int | None = None,
+        at_time: float | None = None,
+        path_prefix: str = "",
+        times: int = 1,
+    ) -> "FaultPlan":
+        """Schedule transient :class:`DiskIOError` on cross-node transfers.
+
+        ``path_prefix`` matches the transfer label (e.g. ``net/migrate``);
+        like device faults, a dropped link retries where the caller wraps
+        the transfer in :func:`with_retries` and escalates to rollback or
+        crash handling once the budget is spent.
+        """
+        self.disk_faults.append(
+            DiskFault(KIND_ERROR, "net", on_io, at_time, path_prefix, times)
+        )
+        return self
+
+    def slow_link(
+        self,
+        factor: float,
+        on_io: int | None = None,
+        at_time: float | None = None,
+        path_prefix: str = "",
+        times: int = 1,
+    ) -> "FaultPlan":
+        """Schedule a degraded link: matching transfers take ``factor`` x
+        their modelled time (congestion / failing NIC)."""
+        if factor < 1.0:
+            raise ValueError(f"slow_link factor must be >= 1: {factor}")
+        self.disk_faults.append(
+            DiskFault(KIND_SLOW, "net", on_io, at_time, path_prefix, times, factor)
+        )
+        return self
+
     def crash(
         self, site: str, on_hit: int | None = None, at_time: float | None = None
     ) -> "FaultPlan":
@@ -186,6 +225,28 @@ class FaultPlan:
         if on_hit is None and at_time is None:
             raise ValueError("crash fault needs on_hit or at_time")
         self.crashes.append(CrashFault(site, on_hit, at_time))
+        return self
+
+    def kill_node(
+        self,
+        node: int,
+        site: str = CRASH_RUNTIME_RECORD,
+        on_hit: int | None = None,
+        at_time: float | None = None,
+    ) -> "FaultPlan":
+        """Schedule a whole-node failure (all instances + local disk).
+
+        Raises :class:`~repro.errors.NodeFailureError` at the named crash
+        point; cluster-aware recovery drops the node's checkpoint-shard
+        replicas before restoring from surviving peers.
+        """
+        if node < 0:
+            raise ValueError(f"node id must be >= 0: {node}")
+        if site not in CRASH_POINTS:
+            raise ValueError(f"unknown crash point {site!r}; one of {CRASH_POINTS}")
+        if on_hit is None and at_time is None:
+            raise ValueError("node-kill fault needs on_hit or at_time")
+        self.crashes.append(CrashFault(site, on_hit, at_time, node=node))
         return self
 
     def build(self) -> "FaultInjector":
@@ -284,6 +345,37 @@ class FaultInjector:
             )
             raise DiskIOError(f"injected transfer fault on {label}")
 
+    def on_network(self, label: str, now: float) -> float:
+        """Consulted before a cross-node transfer (op ``net``).
+
+        Returns the link-time multiplier (1.0 normally, the fault's
+        ``factor`` under an armed ``slow_link``); raises
+        :class:`DiskIOError` under an armed ``drop_link``.  Transfers
+        share the global I/O ordinal space with device I/O so a plan can
+        pin a network fault relative to disk activity.
+        """
+        self.io_index += 1
+        factor = 1.0
+        for fault in self._plan.disk_faults:
+            if fault.op != "net":
+                continue
+            if not fault.matches("net", label, self.io_index, now):
+                continue
+            fault.fired += 1
+            if fault.kind == KIND_ERROR:
+                self.fired.append(
+                    FaultRecord(KIND_ERROR, label, now, self.io_index, "link dropped")
+                )
+                raise DiskIOError(f"injected link drop on {label}")
+            if fault.kind == KIND_SLOW:
+                self.fired.append(
+                    FaultRecord(
+                        KIND_SLOW, label, now, self.io_index, f"x{fault.factor:g}"
+                    )
+                )
+                factor *= fault.factor
+        return factor
+
     # ------------------------------------------------------------------
     # crash points
     # ------------------------------------------------------------------
@@ -308,6 +400,13 @@ class FaultInjector:
                 if now < fault.at_time:
                     continue
             fault.fired = True
+            if fault.node is not None:
+                self.fired.append(
+                    FaultRecord(
+                        "node_failure", site, now, None, f"node {fault.node} hit {hits}"
+                    )
+                )
+                raise NodeFailureError(fault.node, site, now)
             self.fired.append(FaultRecord("crash", site, now, None, f"hit {hits}"))
             raise InjectedCrashError(site, now)
 

@@ -316,13 +316,16 @@ def build_query(
     session_gap: float | None = None,
     cost_scale: float = 1.0,
     faults: Any = None,
+    cluster: Any = None,
 ) -> StreamEnvironment:
     """Construct a ready-to-execute environment for one query.
 
     Returns an environment whose ``execute()`` runs the query over a
     freshly generated event stream; results land in the ``results`` sink.
     ``session_gap`` (session queries only) defaults to
-    ``window_size * SESSION_GAP_FRACTION``.
+    ``window_size * SESSION_GAP_FRACTION``.  ``cluster`` (a
+    :class:`repro.cluster.ClusterTopology`) spreads the physical
+    instances over simulated machines with a network between them.
     """
     key = name.lower()
     spec = QUERIES.get(key) or EXTRA_QUERIES.get(key)
@@ -333,7 +336,7 @@ def build_query(
         cpu, ssd = scaled_cost_models(cost_scale)
     env = StreamEnvironment(
         parallelism=parallelism, backend_factory=backend_factory, workers=workers,
-        cpu=cpu, ssd=ssd, faults=faults,
+        cpu=cpu, ssd=ssd, faults=faults, cluster=cluster,
     )
     source = env.from_source(generate_events(generator_config), name="nexmark")
     gap = session_gap if session_gap is not None else window_size * SESSION_GAP_FRACTION

@@ -104,8 +104,13 @@ class CheckpointStorage:
     # ------------------------------------------------------------------
     # write path
     # ------------------------------------------------------------------
-    def put_file(self, path: str, data: bytes) -> None:
-        """Durably write one checkpoint file (idempotent, retried)."""
+    def put_file(self, path: str, data: bytes, origin: int | None = None) -> None:
+        """Durably write one checkpoint file (idempotent, retried).
+
+        ``origin`` — the cluster node of the writing instance — is
+        ignored here; :class:`repro.cluster.storage.ClusterCheckpointStorage`
+        uses it to place replicas and charge cross-node uploads.
+        """
 
         def attempt() -> None:
             if self.fs.exists(path):
@@ -164,13 +169,17 @@ class CheckpointStorage:
         length, crc = entry
         return self.read_ref(path, length, crc)
 
-    def read_ref(self, path: str, length: int, crc: int) -> bytes:
+    def read_ref(
+        self, path: str, length: int, crc: int, reader: int | None = None
+    ) -> bytes:
         """Read one file verified against an explicit ``(length, crc)``.
 
         This is how incremental manifests reach *earlier* epochs' shard
         files: the reference carries its own checksum, so a shard shared
         by many manifests is verified on every restore exactly as an
-        owned file would be.
+        owned file would be.  ``reader`` (the restoring instance's
+        cluster node) is ignored here; the cluster storage subclass uses
+        it to charge peer downloads.
         """
         if not self.fs.exists(path):
             raise SnapshotCorruptError(f"checkpoint file {path} is missing")
@@ -368,11 +377,11 @@ class Checkpointer:
         shards_reused = 0
         all_full = True
 
-        def put(path: str, data: bytes) -> None:
+        def put(path: str, data: bytes, origin: int | None = None) -> None:
             nonlocal bytes_written
             if faults is not None:
                 faults.crash_point(CRASH_SNAPSHOT_FILE, now=storage.env.now)
-            storage.put_file(path, data)
+            storage.put_file(path, data, origin=origin)
             # The manifest records what was *intended*: a torn or
             # bit-flipped device write is caught at restore time.
             manifest_entries[path] = (len(data), zlib.crc32(data))
@@ -390,11 +399,19 @@ class Checkpointer:
             for idx, instance in enumerate(executor._instances[node.node_id]):  # noqa: SLF001
                 key = f"op{node.node_id}/p{idx}"
                 backend = instance.operator.backend
+                # Cluster runs: the instance's shards upload from its
+                # hosting node (the replica-placement origin).
+                node_of = getattr(executor, "cluster_node_of", None)
+                origin = None if node_of is None else node_of(idx)
+                iput = (
+                    put if origin is None
+                    else lambda path, data, _o=origin: put(path, data, _o)
+                )
                 if self.incremental == "require":
                     require_capability(backend, CAP_INCREMENTAL, "incremental_checkpoint")
                 if self.incremental and CAP_INCREMENTAL in backend.capabilities:
                     written, reused, full = self._checkpoint_sharded(
-                        epoch, key, backend, put, stores, sharded, committed
+                        epoch, key, backend, iput, stores, sharded, committed
                     )
                     shards_written += written
                     shards_reused += reused
@@ -403,9 +420,9 @@ class Checkpointer:
                     snap = backend.snapshot()
                     stores[key] = snap.kind
                     base = f"{_epoch_dir(epoch)}/{key}"
-                    put(f"{base}/meta", snap.meta)
+                    iput(f"{base}/meta", snap.meta)
                     for name, data in snap.files.items():
-                        put(f"{base}/files/{name}", data)
+                        iput(f"{base}/files/{name}", data)
                 operators[key] = instance.operator.checkpoint_state()
         job_meta = pickle.dumps(
             {
@@ -594,9 +611,20 @@ class RecoveryManager:
         retained_epochs: int | None = None,
     ) -> None:
         self.plan = plan_env
-        self.storage = storage or CheckpointStorage(
-            SimEnv(cpu=plan_env.cpu, ssd=plan_env.ssd, faults=plan_env.faults)
-        )
+        if storage is None:
+            env = SimEnv(cpu=plan_env.cpu, ssd=plan_env.ssd, faults=plan_env.faults)
+            cluster = getattr(plan_env, "cluster", None)
+            if cluster is not None and cluster.n_nodes > 1:
+                # Checkpoints live on the workers' disks: replica-placed,
+                # node failures destroy local replicas, remote shards are
+                # fetched from peers.  (Imported lazily: the storage
+                # module depends on this one.)
+                from repro.cluster.storage import ClusterCheckpointStorage
+
+                storage = ClusterCheckpointStorage(env, cluster)
+            else:
+                storage = CheckpointStorage(env)
+        self.storage = storage
         self.checkpointer = Checkpointer(
             self.storage,
             checkpoint_interval,
@@ -641,14 +669,32 @@ class RecoveryManager:
                 break
             except (InjectedCrashError, DiskIOError) as exc:
                 site = getattr(exc, "site", "disk")
-                self.recoveries.append(
-                    RecoveryEvent(
-                        kind="crash",
-                        at_record=getattr(executor, "records_ingested", 0),
-                        site=site,
-                        detail=str(exc),
+                failed_node = getattr(exc, "node", None)
+                if failed_node is None:
+                    self.recoveries.append(
+                        RecoveryEvent(
+                            kind="crash",
+                            at_record=getattr(executor, "records_ingested", 0),
+                            site=site,
+                            detail=str(exc),
+                        )
                     )
-                )
+                else:
+                    # Whole-node failure domain: the machine's checkpoint
+                    # replicas die with it before anything is restored.
+                    lost = 0
+                    fail = getattr(self.storage, "fail_node", None)
+                    if fail is not None:
+                        lost = fail(failed_node)
+                    self.recoveries.append(
+                        RecoveryEvent(
+                            kind="node_failure",
+                            at_record=getattr(executor, "records_ingested", 0),
+                            site=site,
+                            detail=f"node {failed_node} died; "
+                                   f"{lost} checkpoint files lost",
+                        )
+                    )
                 restarts += 1
                 if restarts > self.max_restarts:
                     raise
@@ -685,13 +731,18 @@ class RecoveryManager:
                 if owner_table is not None:
                     executor.group_owner[:] = owner_table
                 sharded = manifest.get("sharded", {})
+                node_of = getattr(executor, "cluster_node_of", None)
                 for node in executor._stateful_nodes:  # noqa: SLF001
                     for idx, instance in enumerate(
                         executor._instances[node.node_id]  # noqa: SLF001
                     ):
                         key = f"op{node.node_id}/p{idx}"
                         if key in sharded:
-                            self._restore_sharded(sharded[key], instance.operator.backend)
+                            self._restore_sharded(
+                                sharded[key],
+                                instance.operator.backend,
+                                reader=None if node_of is None else node_of(idx),
+                            )
                         else:
                             snap = storage.load_snapshot(epoch, manifest, key)
                             instance.operator.backend.restore(snap)
@@ -728,21 +779,25 @@ class RecoveryManager:
         self.checkpointer.start_from(0, 0)
         return 0, float("-inf"), pickle.loads(pristine_policy)
 
-    def _restore_sharded(self, desc: dict[str, Any], backend: Any) -> None:
+    def _restore_sharded(
+        self, desc: dict[str, Any], backend: Any, reader: int | None = None
+    ) -> None:
         """Compose one instance's state from its manifest's shard chain.
 
         Every referenced shard — whether owned by this epoch or an
         earlier one — is read back through :meth:`CheckpointStorage.read_ref`,
         so a corrupt shard *anywhere in the chain* raises
         :class:`SnapshotCorruptError` and fails this whole epoch over to
-        an older one.  The dirty set is cleared afterwards: the backend
-        now holds exactly what the shards describe, so the next delta
-        epoch may reference them.
+        an older one.  ``reader`` is the restoring instance's cluster
+        node: cluster storage charges a peer download when no replica of
+        a shard lives there.  The dirty set is cleared afterwards: the
+        backend now holds exactly what the shards describe, so the next
+        delta epoch may reference them.
         """
         entries: list[Any] = []
         for group in sorted(desc["groups"]):
             ref = ShardRef(*desc["groups"][group])
-            data = self.storage.read_ref(ref.path, ref.length, ref.crc)
+            data = self.storage.read_ref(ref.path, ref.length, ref.crc, reader=reader)
             entries.extend(unpack_group_shard(self.storage.env, data))
         backend.import_state(StateExport(entries=entries))
         backend.clear_dirty()

@@ -94,7 +94,14 @@ def contiguous_owner_table(max_key_groups: int, parallelism: int) -> list[int]:
     :func:`owner_of` so that a *live* rescale can flip ownership one
     key-group at a time (per-group routing epochs) and an aborted
     migration can leave a mixed — but still authoritative — assignment.
+
+    Validates up front: with ``parallelism > max_key_groups`` (or a
+    non-positive parallelism) the ``g * P // G`` layout would silently
+    hand out owner indices while some instances own zero groups —
+    callers going through :class:`~repro.engine.plan.StreamEnvironment`
+    are already checked, but direct callers were not.
     """
+    validate_parallelism(parallelism, max_key_groups)
     return [owner_of(g, max_key_groups, parallelism) for g in range(max_key_groups)]
 
 

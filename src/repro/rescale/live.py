@@ -32,6 +32,7 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING, Any
 
+from repro.cluster.topology import charge_link
 from repro.errors import DiskIOError, InjectedCrashError, SnapshotCorruptError
 from repro.faults import CRASH_MIGRATE_EXPORT, CRASH_MIGRATE_IMPORT
 from repro.kvstores.api import (
@@ -347,6 +348,17 @@ class LiveMigration:
         self._bump(source, arrival, elapsed)
         cut.transfer_seconds += elapsed
         before = destination.env.clock.now
+        cluster = self._exec._plan.cluster  # noqa: SLF001
+        if cluster is not None:
+            # Cross-node chunk: the receiver waits out the link time.  A
+            # dropped link raises DiskIOError here, escalating to the
+            # partial rollback exactly like a failed transfer charge.
+            charge_link(
+                destination.env, cluster.network,
+                source.cluster_node, destination.cluster_node,
+                chunk.total_bytes, f"net/migrate/{node.name}/g{group}",
+                self._faults,
+            )
         _transfer(
             destination.env, f"{node.name}/dst{dst}", chunk.total_bytes,
             len(chunk), self._faults,

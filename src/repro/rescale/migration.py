@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
+from repro.cluster.topology import charge_link
 from repro.errors import DiskIOError, InjectedCrashError
 from repro.faults import CRASH_MIGRATE_EXPORT, CRASH_MIGRATE_IMPORT, with_retries
 from repro.kvstores.api import CAP_RESCALE, StateExport, require_capability
@@ -251,6 +252,8 @@ def migrate(
             imported: list[int] = []
             journal.append((node, exported, imported))
             pending: dict[int, tuple[StateExport, dict[str, Any]]] = {}
+            # dst -> [(src, bytes)] shares that must cross the network.
+            remote_in: dict[int, list[tuple[int, int]]] = {}
             # Export phase: every source drains & extracts its moved groups.
             for src, dsts in sorted(move_plan.items()):
                 source = instances[src]
@@ -283,6 +286,7 @@ def migrate(
                 )
                 for dst in dsts:
                     part = per_dst_export.get(dst, StateExport())
+                    remote_in.setdefault(dst, []).append((src, part.total_bytes))
                     if dst in pending:
                         merged_export, merged_state = pending[dst]
                         merged_export.entries.extend(part.entries)
@@ -297,6 +301,16 @@ def migrate(
                         CRASH_MIGRATE_IMPORT, now_fn=lambda d=destination: d.env.now
                     )
                 before = destination.env.clock.now
+                cluster = plan.cluster
+                if cluster is not None:
+                    # Each source's share crosses its own link; intra-node
+                    # shares are free (charge_link no-ops on src == dst).
+                    for src, n_bytes in remote_in.get(dst, []):
+                        charge_link(
+                            destination.env, cluster.network,
+                            cluster.place(src), cluster.place(dst), n_bytes,
+                            f"net/migrate/{node.name}/dst{dst}", faults,
+                        )
                 _transfer(
                     destination.env, f"{node.name}/dst{dst}", export.total_bytes,
                     len(export), faults,

@@ -32,6 +32,7 @@ from repro.simenv.metrics import (
     CAT_ENGINE,
     CAT_GC,
     CAT_MIGRATION,
+    CAT_NETWORK,
     CAT_QUERY,
     CAT_RECOVERY,
     CAT_SERDE,
@@ -62,5 +63,6 @@ __all__ = [
     "CAT_GC",
     "CAT_MIGRATION",
     "CAT_RECOVERY",
+    "CAT_NETWORK",
     "CPU_CATEGORIES",
 ]

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from repro.simenv.clock import SimClock
 from repro.simenv.cpu import CpuCostModel
 from repro.simenv.disk import SsdCostModel
-from repro.simenv.metrics import MetricsLedger
+from repro.simenv.metrics import CAT_NETWORK, MetricsLedger
 
 
 def scaled_cost_models(
@@ -91,6 +91,23 @@ class SimEnv:
         seconds = self.ssd.write_time(n_bytes, n_requests)
         self.clock.advance(seconds)
         self.ledger.add_write(n_bytes, seconds, n_requests)
+
+    def charge_network(self, seconds: float, n_bytes: int, n_requests: int = 1) -> None:
+        """Charge cross-node link time (a cluster transfer's local share).
+
+        The clock advances by the link time and the ``network`` ledger
+        category plus byte/request counters record the traffic.  Intra-node
+        transfers never reach here — :meth:`repro.cluster.topology.
+        NetworkModel.transfer_time` is zero when source and destination
+        nodes coincide, so single-node jobs stay charge-free.
+        """
+        if n_bytes < 0:
+            raise ValueError(f"negative network payload: {n_bytes}")
+        if seconds > 0.0:
+            self.clock.advance(seconds)
+            self.ledger.add_cpu(CAT_NETWORK, seconds)
+        self.ledger.bump("net_bytes", n_bytes)
+        self.ledger.bump("net_requests", n_requests)
 
     def bump(self, counter: str, delta: int = 1) -> None:
         self.ledger.bump(counter, delta)

@@ -21,6 +21,7 @@ CAT_ENGINE = "engine"  # routing, window assignment, timers
 CAT_GC = "gc"  # JVM garbage collection (heap backend model)
 CAT_MIGRATION = "migration"  # key-group export/transfer/import during rescaling
 CAT_RECOVERY = "recovery"  # checksums, checkpoint verify/replay reads, rollback, retry backoff
+CAT_NETWORK = "network"  # cross-node link time: shuffles, chunk transfers, shard up/downloads
 
 CPU_CATEGORIES = (
     CAT_QUERY,
@@ -33,7 +34,12 @@ CPU_CATEGORIES = (
     CAT_GC,
     CAT_MIGRATION,
     CAT_RECOVERY,
+    CAT_NETWORK,
 )
+
+# Charge-time validation set: a typo'd category must fail loudly instead
+# of silently accumulating in a bucket no report ever reads.
+_KNOWN_CATEGORIES = frozenset(CPU_CATEGORIES)
 
 
 @dataclass
@@ -64,6 +70,15 @@ class MetricsSnapshot:
         )
 
     @property
+    def network_seconds(self) -> float:
+        """Simulated time spent on cross-node network links."""
+        return self.cpu_seconds.get(CAT_NETWORK, 0.0)
+
+    @property
+    def network_bytes(self) -> int:
+        return self.counters.get("net_bytes", 0)
+
+    @property
     def total_seconds(self) -> float:
         return self.total_cpu_seconds + self.io_wait_seconds
 
@@ -85,6 +100,10 @@ class MetricsLedger:
     def add_cpu(self, category: str, seconds: float) -> None:
         if seconds < 0:
             raise ValueError(f"negative CPU charge: {seconds}")
+        if category not in _KNOWN_CATEGORIES:
+            raise ValueError(
+                f"unknown CPU category {category!r}; one of {CPU_CATEGORIES}"
+            )
         self.cpu_seconds[category] = self.cpu_seconds.get(category, 0.0) + seconds
 
     def add_read(self, n_bytes: int, seconds: float, n_requests: int = 1) -> None:

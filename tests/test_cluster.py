@@ -1,0 +1,163 @@
+"""Cluster topology, network accounting, and single-node equivalence.
+
+The cluster model must be *invisible* when it is trivial: a run on a
+one-node cluster (or with no cluster at all) charges zero network and
+produces the same digest, job time, and ledger as the legacy execution
+model.  With more nodes, cross-node shuffle pays the network, the
+``network`` ledger category and ``net_bytes`` counter fill in, and job
+time respects per-node core budgets instead of a bare max over
+instances.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import run_query
+from repro.bench.profiles import TINY_PROFILE
+from repro.cluster import (
+    ClusterTopology,
+    NetworkModel,
+    Node,
+    charge_link,
+)
+from repro.errors import PlanError
+from repro.simenv import CAT_NETWORK, SimEnv
+
+WINDOW = TINY_PROFILE.window_sizes[0]
+QUERY = "q11-median"
+
+
+def run(cluster=None, **kwargs):
+    return run_query(TINY_PROFILE, QUERY, "flowkv", WINDOW,
+                     cluster=cluster, **kwargs)
+
+
+class TestTopology:
+    def test_round_robin_placement(self):
+        cluster = ClusterTopology.uniform(3)
+        assert [cluster.place(i) for i in range(7)] == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_placement_stable_under_growth(self):
+        # Growing parallelism adds instances at new indices; survivors
+        # keep their node, so rescale never re-homes existing state.
+        cluster = ClusterTopology.uniform(4)
+        before = [cluster.place(i) for i in range(4)]
+        after = [cluster.place(i) for i in range(8)]
+        assert after[:4] == before
+
+    def test_transfer_time_zero_on_loopback(self):
+        net = NetworkModel()
+        assert net.transfer_time(2, 2, 1 << 30) == 0.0
+
+    def test_transfer_time_latency_plus_bandwidth(self):
+        net = NetworkModel(bandwidth=1e9, latency=1e-3)
+        assert net.transfer_time(0, 1, 1_000_000, n_requests=2) == pytest.approx(
+            2e-3 + 1e-3
+        )
+
+    def test_per_link_override(self):
+        net = NetworkModel(links={(0, 1): (1e6, 0.5)})
+        assert net.link(0, 1) == (1e6, 0.5)
+        assert net.link(1, 0) == (net.bandwidth, net.latency)
+
+    def test_validation(self):
+        with pytest.raises(PlanError):
+            ClusterTopology.uniform(0)
+        with pytest.raises(PlanError):
+            Node(name="bad", cores=0)
+        with pytest.raises(PlanError):
+            NetworkModel(bandwidth=0)
+        with pytest.raises(PlanError):
+            NetworkModel().transfer_time(0, 1, -1)
+
+
+class TestChargeLink:
+    def test_intra_node_free_and_uncounted(self):
+        env = SimEnv()
+        assert charge_link(env, NetworkModel(), 1, 1, 4096, "net/x") == 0.0
+        snap = env.ledger.snapshot()
+        assert snap.network_bytes == 0
+        assert snap.network_seconds == 0.0
+
+    def test_cross_node_charges_ledger(self):
+        env = SimEnv()
+        seconds = charge_link(env, NetworkModel(), 0, 1, 4096, "net/x")
+        assert seconds > 0.0
+        snap = env.ledger.snapshot()
+        assert snap.network_bytes == 4096
+        assert snap.network_seconds == pytest.approx(seconds)
+        assert snap.counters["net_requests"] == 1
+        assert env.now == pytest.approx(seconds)
+
+    def test_unknown_ledger_category_rejected(self):
+        # S1 regression: a typo'd category used to silently create a new
+        # bucket that no report ever surfaced.
+        env = SimEnv()
+        with pytest.raises(ValueError, match="unknown CPU category"):
+            env.ledger.add_cpu("netwrok", 1.0)
+        assert CAT_NETWORK in env.ledger.cpu_seconds
+
+
+class TestSingleNodeEquivalence:
+    def test_one_node_cluster_digest_equal_to_no_cluster(self):
+        legacy = run()
+        clustered = run(cluster=ClusterTopology.uniform(1))
+        assert legacy.ok and clustered.ok
+        assert clustered.output_hash == legacy.output_hash
+        assert clustered.results == legacy.results
+        assert clustered.job_seconds == pytest.approx(legacy.job_seconds)
+
+    def test_one_node_cluster_charges_zero_network(self):
+        clustered = run(cluster=ClusterTopology.uniform(1))
+        assert clustered.network_bytes == 0
+        assert clustered.network_seconds == 0.0
+
+    def test_no_cluster_has_no_node_stats(self):
+        assert run().node_stats == {}
+
+
+class TestMultiNode:
+    def test_multi_node_digest_equal_and_network_charged(self):
+        legacy = run()
+        clustered = run(cluster=ClusterTopology.uniform(4))
+        assert clustered.ok
+        # The network changes *when* work happens, never *what* results.
+        assert clustered.output_hash == legacy.output_hash
+        assert clustered.network_bytes > 0
+        assert clustered.network_seconds > 0.0
+        assert clustered.metrics.cpu_seconds[CAT_NETWORK] > 0.0
+
+    def test_node_stats_reported_per_machine(self):
+        clustered = run(cluster=ClusterTopology.uniform(2))
+        assert set(clustered.node_stats) == {"node0", "node1"}
+        for stats in clustered.node_stats.values():
+            assert stats["instances"] >= 1
+            assert stats["cores"] == 8
+            assert 0.0 <= stats["utilization"] <= 1.0
+            assert stats["busy_seconds"] > 0.0
+        assert sum(s["network_bytes"] for s in clustered.node_stats.values()) == (
+            clustered.network_bytes
+        )
+
+    def test_job_time_respects_core_budget(self):
+        # Two instances sharing a 1-core node must serialize: the node's
+        # time is the *sum* of instance busy time, not the max.
+        roomy = run(cluster=ClusterTopology.uniform(1, cores=8))
+        starved = run(cluster=ClusterTopology.uniform(1, cores=1))
+        assert starved.ok and roomy.ok
+        assert starved.output_hash == roomy.output_hash
+        assert starved.job_seconds > roomy.job_seconds
+        stats = starved.node_stats["node0"]
+        assert stats["node_seconds"] == pytest.approx(stats["busy_seconds"])
+
+    def test_slow_network_stretches_job(self):
+        fast = run(cluster=ClusterTopology.uniform(4))
+        slow = run(cluster=ClusterTopology.uniform(
+            4, network=NetworkModel(bandwidth=1e4)
+        ))
+        assert slow.ok
+        assert slow.output_hash == fast.output_hash
+        assert slow.network_bytes == fast.network_bytes
+        assert slow.network_seconds > fast.network_seconds
+        assert slow.job_seconds > fast.job_seconds

@@ -1,0 +1,99 @@
+"""Cross-node live migration under injected network faults.
+
+Rescaling on a cluster moves key-group state between machines, so the
+chunks ride the simulated network: a dropped link mid-transfer must
+abort the migration with a partial rollback (groups already cut over
+stay, the rest roll back) while the run still produces the single-node
+baseline digest; a merely slow link must stretch the transfer without
+changing any output.
+
+``FAULT_SEED`` (env var) varies the fault plans exactly as in
+``test_recovery.py`` so the CI fault matrix covers this file too.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.bench.harness import run_query
+from repro.bench.profiles import TINY_PROFILE
+from repro.cluster import ClusterTopology
+from repro.faults import FaultPlan
+
+FAULT_SEED = int(os.environ.get("FAULT_SEED", "7"))
+
+WINDOW = TINY_PROFILE.window_sizes[0]
+QUERY = "q11-median"
+N_NODES = 2
+
+
+def run(cluster=None, parallelism=2, **kwargs):
+    return run_query(TINY_PROFILE, QUERY, "flowkv", WINDOW,
+                     parallelism=parallelism, cluster=cluster, **kwargs)
+
+
+def migrated(mode="live", cluster=None, **kwargs):
+    base = run()
+    half = base.input_records // 2
+    record = run(cluster=cluster, rescale_schedule={half: 4},
+                 rescale_mode=mode, **kwargs)
+    return base, record
+
+
+class TestCrossNodeMigration:
+    def test_cluster_migration_digest_equals_single_node(self):
+        base, clustered = migrated(cluster=ClusterTopology.uniform(N_NODES))
+        assert clustered.ok
+        assert clustered.output_hash == base.output_hash
+        (event,) = clustered.rescales
+        assert event.mode == "live" and not event.aborted
+        assert event.moved_groups > 0
+
+    def test_migration_chunks_pay_the_network(self):
+        # 2 -> 4 on two nodes moves groups from node 0/1 instances to the
+        # new instances on the other node: cross-node chunks are charged.
+        _, clustered = migrated(cluster=ClusterTopology.uniform(N_NODES))
+        assert clustered.network_bytes > 0
+        assert clustered.network_seconds > 0.0
+
+    def test_dropped_link_mid_transfer_rolls_back_partially(self):
+        plan = FaultPlan(seed=FAULT_SEED).drop_link(
+            at_time=0.0, path_prefix="net/migrate"
+        )
+        base, dropped = migrated(
+            cluster=ClusterTopology.uniform(N_NODES), fault_plan=plan,
+        )
+        assert dropped.ok
+        # Exactly-once output despite the aborted transfer.
+        assert dropped.output_hash == base.output_hash
+        (event,) = dropped.rescales
+        assert event.aborted
+        # Partial rollback: the drop hit the *first* cross-node chunk, so
+        # not every planned group can have cut over.
+        assert len(event.cutovers) < event.moved_groups
+
+    def test_dropped_link_stw_rolls_back(self):
+        plan = FaultPlan(seed=FAULT_SEED).drop_link(
+            at_time=0.0, path_prefix="net/migrate"
+        )
+        base, dropped = migrated(
+            mode="stw", cluster=ClusterTopology.uniform(N_NODES), fault_plan=plan,
+        )
+        assert dropped.ok
+        assert dropped.output_hash == base.output_hash
+        (event,) = dropped.rescales
+        assert event.aborted
+
+    def test_slow_link_mid_transfer_completes_slower(self):
+        plan = FaultPlan(seed=FAULT_SEED).slow_link(
+            1000.0, at_time=0.0, path_prefix="net/migrate", times=1 << 30
+        )
+        base, healthy = migrated(cluster=ClusterTopology.uniform(N_NODES))
+        _, congested = migrated(
+            cluster=ClusterTopology.uniform(N_NODES), fault_plan=plan,
+        )
+        assert congested.ok
+        assert congested.output_hash == base.output_hash
+        (event,) = congested.rescales
+        assert not event.aborted
+        assert congested.network_seconds > healthy.network_seconds

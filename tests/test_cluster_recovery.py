@@ -1,0 +1,144 @@
+"""Node failure domains and peer-seeded node recovery.
+
+A node kill takes down every instance the node hosts *and* its local
+checkpoint-shard replicas.  Recovery must restore the dead node's
+key-groups from shards fetched over the network from surviving peer
+replicas, replay, and land on the exact digest of an uninterrupted run
+(exactly-once).  The storage-level tests pin the replica-placement
+mechanics that make this possible.
+
+``FAULT_SEED`` (env var) varies the fault plans exactly as in
+``test_recovery.py`` so the CI fault matrix covers this file too.
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+
+import pytest
+
+from repro.bench.harness import run_query
+from repro.bench.profiles import TINY_PROFILE
+from repro.cluster import ClusterTopology
+from repro.cluster.storage import ClusterCheckpointStorage
+from repro.errors import NodeFailureError, SnapshotCorruptError
+from repro.faults import CRASH_RUNTIME_RECORD, FaultPlan
+from repro.simenv import SimEnv
+
+FAULT_SEED = int(os.environ.get("FAULT_SEED", "7"))
+
+WINDOW = TINY_PROFILE.window_sizes[0]
+QUERY = "q11-median"
+N_NODES = 4
+
+
+def run(cluster=None, **kwargs):
+    return run_query(TINY_PROFILE, QUERY, "flowkv", WINDOW,
+                     parallelism=N_NODES, workers=1, cluster=cluster, **kwargs)
+
+
+class TestClusterStorage:
+    def make(self, n_nodes=3, replication=2):
+        return ClusterCheckpointStorage(
+            SimEnv(), ClusterTopology.uniform(n_nodes), replication=replication
+        )
+
+    def test_replicas_consecutive_from_origin(self):
+        storage = self.make()
+        storage.put_file("chk/1/a", b"x" * 64, origin=2)
+        assert storage.replicas_of("chk/1/a") == (2, 0)
+
+    def test_remote_replica_upload_charges_network(self):
+        storage = self.make()
+        storage.put_file("chk/1/a", b"x" * 4096, origin=0)
+        snap = storage.env.ledger.snapshot()
+        # One remote replica (origin-local copy is free).
+        assert snap.network_bytes == 4096
+        assert snap.network_seconds > 0.0
+
+    def test_replication_clamped_to_cluster_size(self):
+        storage = self.make(n_nodes=1, replication=3)
+        assert storage.replication == 1
+        storage.put_file("chk/1/a", b"x", origin=0)
+        assert storage.env.ledger.snapshot().network_bytes == 0
+
+    def test_fail_node_keeps_surviving_replicas(self):
+        storage = self.make()
+        data = b"y" * 128
+        storage.put_file("chk/1/a", data, origin=0)  # replicas (0, 1)
+        assert storage.fail_node(0) == 0  # node 1 still holds it
+        assert storage.replicas_of("chk/1/a") == (1,)
+        assert storage.read_ref("chk/1/a", len(data), zlib.crc32(data)) == data
+
+    def test_fail_all_replicas_loses_the_file(self):
+        storage = self.make()
+        data = b"z" * 128
+        storage.put_file("chk/1/a", data, origin=0)  # replicas (0, 1)
+        storage.fail_node(0)
+        assert storage.fail_node(1) == 1
+        assert storage.files_lost == 1
+        with pytest.raises(SnapshotCorruptError, match="missing"):
+            storage.read_ref("chk/1/a", len(data), zlib.crc32(data))
+
+    def test_peer_read_charges_download(self):
+        storage = self.make()
+        data = b"w" * 2048
+        storage.put_file("chk/1/a", data, origin=0)  # replicas (0, 1)
+        uploaded = storage.env.ledger.snapshot().network_bytes
+        # Local read: node 1 holds a replica, no network.
+        storage.read_ref("chk/1/a", len(data), zlib.crc32(data), reader=1)
+        assert storage.env.ledger.snapshot().network_bytes == uploaded
+        # Peer read: node 2 holds nothing, pays the fetch.
+        storage.read_ref("chk/1/a", len(data), zlib.crc32(data), reader=2)
+        assert storage.env.ledger.snapshot().network_bytes == uploaded + len(data)
+
+
+class TestNodeFailureDomain:
+    def test_kill_node_raises_typed_error(self):
+        injector = FaultPlan(seed=FAULT_SEED).kill_node(1, on_hit=1).build()
+        with pytest.raises(NodeFailureError) as caught:
+            injector.crash_point(CRASH_RUNTIME_RECORD, now=0.5)
+        assert caught.value.node == 1
+
+    def test_kill_node_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan().kill_node(-1, on_hit=1)
+        with pytest.raises(ValueError):
+            FaultPlan().kill_node(0)  # needs a trigger
+
+
+class TestPeerSeededRecovery:
+    def test_node_kill_recovers_exactly_once(self):
+        baseline = run(cluster=ClusterTopology.uniform(N_NODES))
+        assert baseline.ok
+        interval = max(1, baseline.input_records // 4)
+        kill_at = max(2, (7 * baseline.input_records) // 10)
+        plan = FaultPlan(seed=FAULT_SEED).kill_node(2, on_hit=kill_at)
+        recovered = run(
+            cluster=ClusterTopology.uniform(N_NODES),
+            fault_plan=plan, checkpoint_interval=interval,
+        )
+        assert recovered.ok
+        assert recovered.output_hash == baseline.output_hash
+        assert recovered.results == baseline.results
+        kinds = [e.kind for e in recovered.recoveries]
+        assert "node_failure" in kinds
+        assert "restore" in kinds
+        # The restore fetched the dead node's shards from peers: strictly
+        # more network traffic than the uninterrupted run.
+        assert recovered.network_bytes > baseline.network_bytes
+
+    def test_node_kill_without_checkpoints_restarts_fresh(self):
+        baseline = run(cluster=ClusterTopology.uniform(N_NODES))
+        kill_at = max(2, baseline.input_records // 2)
+        plan = FaultPlan(seed=FAULT_SEED).kill_node(0, on_hit=kill_at)
+        recovered = run(
+            cluster=ClusterTopology.uniform(N_NODES),
+            fault_plan=plan, checkpoint_interval=baseline.input_records * 10,
+        )
+        assert recovered.ok
+        assert recovered.output_hash == baseline.output_hash
+        kinds = [e.kind for e in recovered.recoveries]
+        assert "node_failure" in kinds
+        assert "fresh_restart" in kinds

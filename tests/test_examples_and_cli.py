@@ -98,4 +98,5 @@ def test_cli_runs_one_figure():
         env=subprocess_env(REPRO_BENCH_PROFILE="tiny"),
     )
     assert result.returncode == 0, result.stderr[-2000:]
-    assert "workers" in result.stdout
+    assert "nodes" in result.stdout
+    assert "network" in result.stdout

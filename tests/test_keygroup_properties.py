@@ -1,0 +1,78 @@
+"""Key-group ownership properties, exhaustively over small spaces.
+
+Ownership is load-bearing for everything above it — routing, rescale
+planning, checkpoint sharding, cluster placement — so the invariants are
+checked for *every* ``(max_key_groups, parallelism)`` pair up to 16
+rather than a handful of spot values.  The uneven cases
+(``max_key_groups % parallelism != 0``) are exactly where an off-by-one
+in the ceil-divided range arithmetic would hide.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PlanError
+from repro.rescale.keygroups import (
+    contiguous_owner_table,
+    key_group_range,
+    moved_key_groups,
+    owner_of,
+)
+
+LIMIT = 16
+PAIRS = [
+    (groups, parallelism)
+    for groups in range(1, LIMIT + 1)
+    for parallelism in range(1, groups + 1)
+]
+UNEVEN = [(g, p) for g, p in PAIRS if g % p != 0]
+
+
+@pytest.mark.parametrize("groups,parallelism", PAIRS)
+def test_every_group_owned_exactly_once(groups, parallelism):
+    table = contiguous_owner_table(groups, parallelism)
+    assert len(table) == groups
+    # The table agrees with owner_of, and every owner index is in range.
+    assert table == [owner_of(g, groups, parallelism) for g in range(groups)]
+    assert all(0 <= owner < parallelism for owner in table)
+    # The per-instance ranges partition [0, groups): disjoint, complete.
+    seen: list[int] = []
+    for index in range(parallelism):
+        seen.extend(key_group_range(index, groups, parallelism))
+    assert seen == list(range(groups))
+
+
+@pytest.mark.parametrize("groups,parallelism", PAIRS)
+def test_every_instance_owns_at_least_one_group(groups, parallelism):
+    table = contiguous_owner_table(groups, parallelism)
+    assert set(table) == set(range(parallelism))
+
+
+@pytest.mark.parametrize("groups,parallelism", PAIRS)
+def test_ownership_is_contiguous_and_monotone(groups, parallelism):
+    table = contiguous_owner_table(groups, parallelism)
+    assert table == sorted(table)
+
+
+@pytest.mark.parametrize("groups,parallelism", UNEVEN)
+def test_uneven_split_balanced_within_one(groups, parallelism):
+    table = contiguous_owner_table(groups, parallelism)
+    counts = [table.count(owner) for owner in range(parallelism)]
+    assert max(counts) - min(counts) <= 1
+    assert sum(counts) == groups
+
+
+@pytest.mark.parametrize("groups", range(1, LIMIT + 1))
+def test_identity_rescale_moves_nothing(groups):
+    for parallelism in range(1, groups + 1):
+        assert moved_key_groups(groups, parallelism, parallelism) == {}
+
+
+def test_owner_table_rejects_unsatisfiable_parallelism():
+    # Direct callers used to bypass plan-level validation: P > G would
+    # silently produce owners while some instances owned zero groups.
+    with pytest.raises(PlanError):
+        contiguous_owner_table(8, 9)
+    with pytest.raises(PlanError):
+        contiguous_owner_table(8, 0)
