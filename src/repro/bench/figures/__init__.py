@@ -16,6 +16,7 @@ from repro.bench.figures import (  # noqa: F401 - imported for registration
     fig13,
     fig_checkpoint,
     fig_cluster_recovery,
+    fig_failover,
     fig_recovery,
     fig_rescale,
 )

@@ -100,6 +100,16 @@ class RunRecord:
             if getattr(event, "kind", "") == "restore"
         )
 
+    @property
+    def recovery_downtime(self) -> float:
+        """Simulated time from failure to serving again, whichever lane
+        recovered the job (checkpoint restore or standby promotion);
+        failed attempts that degraded are part of the downtime too."""
+        return sum(
+            event.sim_seconds for event in self.recoveries
+            if getattr(event, "kind", "") in ("restore", "promote", "degraded")
+        )
+
 
 def run_query(
     profile: ScaleProfile,
@@ -127,6 +137,7 @@ def run_query(
     seed_rescale_from_checkpoint: bool = True,
     generator_overrides: dict[str, Any] | None = None,
     cluster: Any = None,
+    recovery_mode: str = "restore",
 ) -> RunRecord:
     """Execute one cell of the evaluation matrix.
 
@@ -210,6 +221,8 @@ def run_query(
                 manager_kwargs["full_snapshot_interval"] = full_snapshot_interval
             if retained_epochs is not None:
                 manager_kwargs["retained_epochs"] = retained_epochs
+            if recovery_mode != "restore":
+                manager_kwargs["mode"] = recovery_mode
             manager = RecoveryManager(env, checkpoint_interval, **manager_kwargs)
             result = manager.run(**run_kwargs)
         else:

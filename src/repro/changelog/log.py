@@ -1,0 +1,99 @@
+"""Changelog records, per-instance writers, and CRC-framed segments.
+
+A changelog record is one semantic mutation as seen at the store
+boundary — the faust table changelog is the exemplar: what gets logged
+is the *effect* on a cell (append/put/remove/trim/merge with serialized
+payloads), not the physical I/O that implemented it, so compaction and
+spills ship zero bytes.
+
+Records buffer in memory at the owner, partitioned by key-group, and
+are sealed into one segment per dirty group at every checkpoint-epoch
+cut (:meth:`ChangelogWriter.seal`).  Each record carries a per-group
+sequence number (``seq``), contiguous from 1; the standby's
+``persisted_offset`` for a group is the highest seq it has applied, and
+a gap means a lost segment — the replica invalidates itself rather than
+silently diverge.
+
+Segment wire format: ``crc32(payload).to_bytes(4) || payload`` where
+payload is the pickled row list.  A torn or bit-flipped segment fails
+the CRC at the standby and raises :class:`SnapshotCorruptError`.
+"""
+
+from __future__ import annotations
+
+import pickle
+import zlib
+
+from repro.errors import SnapshotCorruptError
+
+# Row layout: (seq, op, key, window, kind, values) — op is one of the
+# LOG_* tags in repro.kvstores.api; window is a repro.model.Window (or
+# None for trims); values is a tuple of serialized payloads (empty for
+# removes, the single cut timestamp for trims).
+
+
+def pack_segment(rows: list[tuple]) -> bytes:
+    """Frame one group's epoch rows for the wire (CRC32 header)."""
+    payload = pickle.dumps(rows, protocol=pickle.HIGHEST_PROTOCOL)
+    return zlib.crc32(payload).to_bytes(4, "big") + payload
+
+
+def unpack_segment(data: bytes) -> list[tuple]:
+    """Inverse of :func:`pack_segment`; CRC-verified."""
+    if len(data) < 4:
+        raise SnapshotCorruptError("changelog segment truncated")
+    expected = int.from_bytes(data[:4], "big")
+    payload = data[4:]
+    if zlib.crc32(payload) != expected:
+        raise SnapshotCorruptError("changelog segment failed CRC check")
+    return pickle.loads(payload)
+
+
+class ChangelogWriter:
+    """Buffers one instance's changelog records between epoch cuts.
+
+    Attached to the instance backend's
+    :class:`~repro.kvstores.api.KeyGroupDirtyTracker` (its ``changelog``
+    attribute); the tracker's ``log_*`` methods call :meth:`record`.
+    Sequence numbers are per key-group and survive sealing — they are
+    the standby's ``persisted_offset`` coordinate system.
+    """
+
+    def __init__(self, key: str, groupspace: int) -> None:
+        self.key = key
+        self.groupspace = groupspace
+        self._rows: dict[int, list[tuple]] = {}
+        self._seq: dict[int, int] = {}
+        self.records_logged = 0
+        self.bytes_logged = 0
+
+    def record(self, group: int, op: str, key: bytes, window, kind: str, values) -> None:
+        seq = self._seq.get(group, 0) + 1
+        self._seq[group] = seq
+        values = tuple(values)
+        self._rows.setdefault(group, []).append((seq, op, key, window, kind, values))
+        self.records_logged += 1
+        for value in values:
+            if isinstance(value, (bytes, bytearray)):
+                self.bytes_logged += len(value)
+
+    @property
+    def has_records(self) -> bool:
+        return bool(self._rows)
+
+    def sequences(self) -> dict[int, int]:
+        """Current per-group sequence high-water marks."""
+        return dict(self._seq)
+
+    def seal(self) -> dict[int, list[tuple]]:
+        """Hand over the buffered rows per group and start a new epoch.
+
+        Sequence counters persist across seals; only the buffers clear.
+        """
+        rows = self._rows
+        self._rows = {}
+        return rows
+
+    def clear(self) -> None:
+        """Drop buffered rows without shipping (no standby placed)."""
+        self._rows.clear()

@@ -27,6 +27,8 @@ from repro.kvstores.api import (
     CAP_INCREMENTAL,
     CAP_RESCALE,
     CAP_SNAPSHOT,
+    KIND_AGG,
+    KIND_LIST,
     KeyGroupDirtyTracker,
     KeyGroupFn,
     StateExport,
@@ -108,6 +110,14 @@ class FlowKVComposite(WindowStateBackend):
     def clear_dirty(self) -> None:
         self._dirty.clear()
 
+    def attach_changelog(self, writer) -> None:
+        """Route semantic mutations into a changelog writer (replication)."""
+        self._dirty.changelog = writer
+
+    @property
+    def _kind(self) -> str:
+        return KIND_AGG if self._pattern is StorePattern.RMW else KIND_LIST
+
     @property
     def instances(self) -> list[Any]:
         return list(self._instances)
@@ -145,7 +155,7 @@ class FlowKVComposite(WindowStateBackend):
     def append(self, key: bytes, window: Window, value: Any, timestamp: float) -> None:
         self._require(StorePattern.AAR, StorePattern.AUR)
         data = self._encode(value)
-        self._dirty.mark_key(key)
+        self._dirty.log_append(key, window, self._kind, (data,))
         store = self._route(key)
         if self._pattern is StorePattern.AAR:
             store.append(key, data, window)
@@ -156,14 +166,14 @@ class FlowKVComposite(WindowStateBackend):
         self._require(StorePattern.AAR)
         for store in self._instances:
             for key, values in store.get_window(window):
-                self._dirty.mark_key(key)
+                self._dirty.log_remove(key, window, self._kind)
                 yield key, [self._decode(v) for v in values]
 
     def read_key_window(self, key: bytes, window: Window) -> list[Any]:
         self._require(StorePattern.AUR)
         values = self._route(key).get(key, window)
         if values:
-            self._dirty.mark_key(key)
+            self._dirty.log_remove(key, window, self._kind)
         return [self._decode(v) for v in values]
 
     # ------------------------------------------------------------------
@@ -176,14 +186,15 @@ class FlowKVComposite(WindowStateBackend):
 
     def rmw_put(self, key: bytes, window: Window, aggregate: Any) -> None:
         self._require(StorePattern.RMW)
-        self._dirty.mark_key(key)
-        self._route(key).put(key, window, self._encode(aggregate))
+        data = self._encode(aggregate)
+        self._dirty.log_put(key, window, self._kind, (data,))
+        self._route(key).put(key, window, data)
 
     def rmw_remove(self, key: bytes, window: Window) -> Any | None:
         self._require(StorePattern.RMW)
         data = self._route(key).remove(key, window)
         if data is not None:
-            self._dirty.mark_key(key)
+            self._dirty.log_remove(key, window, self._kind)
         return None if data is None else self._decode(data)
 
     # ------------------------------------------------------------------
@@ -259,7 +270,7 @@ class FlowKVComposite(WindowStateBackend):
         for store in self._instances:
             export.entries.extend(store.export_state(key_groups, key_group_of).entries)
         for entry in export.entries:
-            self._dirty.mark_key(entry.key)
+            self._dirty.log_remove(entry.key, entry.window, entry.kind)
         return export
 
     def export_group_state(
@@ -279,7 +290,7 @@ class FlowKVComposite(WindowStateBackend):
         m = len(self._instances)
         per_instance: dict[int, StateExport] = {}
         for entry in export.entries:
-            self._dirty.mark_key(entry.key)
+            self._dirty.log_merge(entry.key, entry.window, entry.kind, entry.values)
             index = self._key_group(entry.key) % m
             per_instance.setdefault(index, StateExport()).entries.append(entry)
         for index, part in per_instance.items():

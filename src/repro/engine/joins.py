@@ -43,7 +43,14 @@ from repro.kvstores.api import (
     StateExport,
 )
 from repro.model import PickleSerde, StreamRecord, Window
-from repro.simenv import CAT_ENGINE, CAT_MIGRATION, CAT_QUERY, CAT_RECOVERY, SimEnv
+from repro.simenv import (
+    CAT_CHANGELOG,
+    CAT_ENGINE,
+    CAT_MIGRATION,
+    CAT_QUERY,
+    CAT_RECOVERY,
+    SimEnv,
+)
 
 Collector = Callable[[StreamRecord], None]
 
@@ -123,6 +130,11 @@ class JoinStateBackend:
         self._sides: dict[str, dict[bytes, _SideBuffer]] = {LEFT: {}, RIGHT: {}}
         self._dirty = KeyGroupDirtyTracker(max_key_groups)
         self._closed = False
+        self._log_serde = PickleSerde()
+
+    def attach_changelog(self, writer) -> None:
+        """Route semantic mutations into a changelog writer (replication)."""
+        self._dirty.changelog = writer
 
     def _check_open(self) -> None:
         if self._closed:
@@ -136,7 +148,14 @@ class JoinStateBackend:
     def insert(self, side: str, key: bytes, timestamp: float, value: Any) -> None:
         self._check_open()
         self._sides[side].setdefault(key, _SideBuffer()).add(timestamp, value)
-        self._dirty.mark_key(key)
+        if self._dirty.logging:
+            # Buffers live as raw objects; the (ts, value) pair is only
+            # serialized for the changelog while replication is on.
+            data = self._log_serde.serialize((timestamp, value))
+            self._env.charge_cpu(CAT_CHANGELOG, self._env.cpu.serde(len(data)))
+            self._dirty.log_append(key, _JOIN_WINDOW, _SIDE_KIND[side], (data,))
+        else:
+            self._dirty.mark_key(key)
 
     def expire(self, left_cut: float, right_cut: float) -> int:
         """Drop entries no watermark-respecting record can join anymore.
@@ -148,13 +167,14 @@ class JoinStateBackend:
         """
         self._check_open()
         total = 0
-        for buffers, cut in ((self._sides[LEFT], left_cut), (self._sides[RIGHT], right_cut)):
+        for side, cut in ((LEFT, left_cut), (RIGHT, right_cut)):
+            buffers = self._sides[side]
             dead_keys = []
             for key, buffer in buffers.items():
                 expired = buffer.expire_before(cut)
                 if expired:
                     total += expired
-                    self._dirty.mark_key(key)
+                    self._dirty.log_trim(key, _SIDE_KIND[side], cut)
                 if not buffer.entries:
                     dead_keys.append(key)
             for key in dead_keys:
@@ -245,7 +265,7 @@ class JoinStateBackend:
                 buffer = buffers.pop(key)
                 data = serde.serialize(buffer.entries)
                 self._env.charge_cpu(CAT_MIGRATION, self._env.cpu.serde(len(data)))
-                self._dirty.mark_key(key)
+                self._dirty.log_remove(key, _JOIN_WINDOW, _SIDE_KIND[side])
                 export.entries.append(
                     ExportedEntry(key, _JOIN_WINDOW, _SIDE_KIND[side], [data])
                 )
@@ -279,7 +299,7 @@ class JoinStateBackend:
             side = _KIND_SIDE.get(entry.kind)
             if side is None:
                 raise ValueError(f"not a join state entry kind: {entry.kind!r}")
-            self._dirty.mark_key(entry.key)
+            self._dirty.log_merge(entry.key, entry.window, entry.kind, entry.values)
             buffers = self._sides[side]
             buffer = buffers.get(entry.key)
             decoded: list[tuple[float, Any]] = []

@@ -126,6 +126,12 @@ class Executor:
         self._checkpointer: Any = None
         self._seed_rescale = True
         self._first_ts: float | None = None
+        # Failover repointing: instance index -> hosting node, overriding
+        # the cluster's static placement (a promoted standby serves its
+        # dead owner's instances from the peer node).
+        self.node_override: dict[int, int] = {}
+        # Set by ChangelogReplication.bind(); feeds promote-mode rescales.
+        self._replication: Any = None
         self._build_instances()
 
     @property
@@ -134,9 +140,17 @@ class Executor:
         return self._live is not None and not self._live.done
 
     def cluster_node_of(self, index: int) -> int | None:
-        """Hosting node id of instance ``index`` (None without a cluster)."""
+        """Hosting node id of instance ``index`` (None without a cluster).
+
+        Consults :attr:`node_override` first, so a standby promotion can
+        repoint a dead node's instances at the surviving peer without
+        touching the placement of any other instance.
+        """
         cluster = self._plan.cluster
-        return None if cluster is None else cluster.place(index)
+        if cluster is None:
+            return None
+        override = self.node_override.get(index)
+        return override if override is not None else cluster.place(index)
 
     def _new_instance(self, node: LogicalNode, index: int) -> PhysicalInstance:
         """Deploy one physical instance of a stateful node (fresh state)."""
@@ -234,7 +248,9 @@ class Executor:
             rescale_mode: ``"live"`` (default) migrates state per
                 key-group while un-moved groups keep serving
                 (:class:`~repro.rescale.live.LiveMigration`); ``"stw"``
-                uses the stop-the-world path.
+                uses the stop-the-world path; ``"promote"`` runs the
+                live path but seeds clean moved groups from warm standby
+                replicas (requires changelog replication to be active).
             transfer_chunk_bytes: live-mode per-chunk byte budget.
             transfer_queue_limit: live-mode bound on records buffered per
                 in-transit key-group before backpressure forces its
@@ -245,7 +261,7 @@ class Executor:
                 instead of streaming them live; requires a sharding
                 ``checkpointer``.
         """
-        if rescale_mode not in ("live", "stw"):
+        if rescale_mode not in ("live", "stw", "promote"):
             raise PlanError(f"unknown rescale_mode {rescale_mode!r}")
         self._rescale_mode = rescale_mode
         self._transfer_chunk_bytes = transfer_chunk_bytes
@@ -339,9 +355,15 @@ class Executor:
         the whole stop-the-world migration before returning
         (:mod:`repro.rescale.migration`).
         """
-        if self._rescale_mode == "live":
+        if self._rescale_mode in ("live", "promote"):
             seed_source = None
-            if self._seed_rescale and self._checkpointer is not None:
+            if self._rescale_mode == "promote":
+                # Rescale-by-replica-promotion: clean moved groups land
+                # from the peer's warm standby copy instead of the
+                # checkpoint store or the owner's hot path.
+                if self._replication is not None:
+                    seed_source = self._replication.seed_source()
+            elif self._seed_rescale and self._checkpointer is not None:
                 seed_fn = getattr(self._checkpointer, "seed_source", None)
                 if seed_fn is not None:
                     seed_source = seed_fn()

@@ -97,6 +97,14 @@ class GenericKVBackend(WindowStateBackend):
         self._dirty = KeyGroupDirtyTracker()
 
     @property
+    def _kind(self) -> str:
+        return KIND_AGG if self._pattern is StorePattern.RMW else KIND_LIST
+
+    def attach_changelog(self, writer) -> None:
+        """Route semantic mutations into a changelog writer (replication)."""
+        self._dirty.changelog = writer
+
+    @property
     def store(self) -> KVStore:
         return self._store
 
@@ -132,8 +140,9 @@ class GenericKVBackend(WindowStateBackend):
 
     # ------------------------------------------------------------------
     def append(self, key: bytes, window: Window, value: Any, timestamp: float) -> None:
-        self._dirty.mark_key(key)
-        self._store.append(composite_key(window, key), self._encode(value))
+        data = self._encode(value)
+        self._dirty.log_append(key, window, self._kind, (data,))
+        self._store.append(composite_key(window, key), data)
 
     def read_window(self, window: Window) -> Iterator[tuple[bytes, list[Any]]]:
         prefix = window.key_bytes()
@@ -142,7 +151,7 @@ class GenericKVBackend(WindowStateBackend):
             key = ck[16:]
             values = [self._decode(e) for e in unpack_list_value(merged)]
             to_delete.append(ck)
-            self._dirty.mark_key(key)
+            self._dirty.log_remove(key, window, self._kind)
             yield key, values
         for ck in to_delete:
             self._store.delete(ck)
@@ -152,7 +161,7 @@ class GenericKVBackend(WindowStateBackend):
         merged = self._store.get(ck)
         if merged is None:
             return []
-        self._dirty.mark_key(key)
+        self._dirty.log_remove(key, window, self._kind)
         self._store.delete(ck)
         return [self._decode(e) for e in unpack_list_value(merged)]
 
@@ -162,15 +171,16 @@ class GenericKVBackend(WindowStateBackend):
         return None if data is None else self._decode(data)
 
     def rmw_put(self, key: bytes, window: Window, aggregate: Any) -> None:
-        self._dirty.mark_key(key)
-        self._store.put(composite_key(window, key), self._encode(aggregate))
+        data = self._encode(aggregate)
+        self._dirty.log_put(key, window, self._kind, (data,))
+        self._store.put(composite_key(window, key), data)
 
     def rmw_remove(self, key: bytes, window: Window) -> Any | None:
         ck = composite_key(window, key)
         data = self._store.get(ck)
         if data is None:
             return None
-        self._dirty.mark_key(key)
+        self._dirty.log_remove(key, window, self._kind)
         self._store.delete(ck)
         return self._decode(data)
 
@@ -191,7 +201,7 @@ class GenericKVBackend(WindowStateBackend):
             self._env.charge_cpu(CAT_MIGRATION, self._env.cpu.serde(len(merged)))
             values = list(unpack_list_value(merged)) if kind == KIND_LIST else [merged]
             export.entries.append(ExportedEntry(key, window, kind, values))
-            self._dirty.mark_key(key)
+            self._dirty.log_remove(key, window, kind)
             moved.append(ck)
         for ck in moved:
             self._store.delete(ck)
@@ -216,7 +226,7 @@ class GenericKVBackend(WindowStateBackend):
 
     def import_state(self, export: StateExport) -> None:
         for entry in export.entries:
-            self._dirty.mark_key(entry.key)
+            self._dirty.log_merge(entry.key, entry.window, entry.kind, entry.values)
             ck = composite_key(entry.window, entry.key)
             self._env.charge_cpu(
                 CAT_MIGRATION, self._env.cpu.serde(sum(len(v) for v in entry.values))

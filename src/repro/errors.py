@@ -100,6 +100,36 @@ class DiskIOError(FileSystemError):
     """
 
 
+class RetriesExhaustedError(DiskIOError):
+    """A transient-I/O retry budget was spent without a success.
+
+    Raised by :func:`repro.faults.with_retries` instead of re-raising the
+    last bare :class:`DiskIOError`, so callers that escalate can see the
+    whole attempt history (one entry per failed attempt).  Subclasses
+    :class:`DiskIOError` so every existing ``except DiskIOError`` crash
+    path handles it unchanged.
+    """
+
+    def __init__(self, attempts: int, history: list[str]) -> None:
+        super().__init__(
+            f"I/O still failing after {attempts} attempts: "
+            + "; ".join(history)
+        )
+        self.attempts = attempts
+        self.history = list(history)
+
+
+class StandbyNotReadyError(StoreError):
+    """No standby replica can serve a promotion at any usable epoch.
+
+    Raised inside the :class:`repro.recovery.RecoveryManager` standby
+    lane when the replica for a failed node is absent (never
+    bootstrapped), lagging (its changelog tail had not fully arrived by
+    the failure time), or corrupt (a segment failed its CRC).  The
+    manager catches it and degrades to plain checkpoint-restore.
+    """
+
+
 class InjectedCrashError(ReproError):
     """The process was killed at an instrumented crash point.
 

@@ -32,7 +32,12 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
-from repro.errors import DiskIOError, InjectedCrashError, NodeFailureError
+from repro.errors import (
+    DiskIOError,
+    InjectedCrashError,
+    NodeFailureError,
+    RetriesExhaustedError,
+)
 from repro.simenv.metrics import CAT_RECOVERY
 
 # Canonical crash-point names (the instrumented sites).
@@ -42,6 +47,8 @@ CRASH_SNAPSHOT_FILE = "snapshot.file"  # between two checkpoint file writes
 CRASH_SNAPSHOT_COMMIT = "snapshot.commit"  # after the temp manifest, before the rename
 CRASH_MIGRATE_EXPORT = "migrate.export"  # before a source instance exports
 CRASH_MIGRATE_IMPORT = "migrate.import"  # before a destination instance imports
+CRASH_CHANGELOG_SEAL = "changelog.seal"  # between two changelog segment ships
+CRASH_STANDBY_PROMOTE = "standby.promote"  # before a standby instance promotes
 
 CRASH_POINTS = (
     CRASH_RUNTIME_RECORD,
@@ -50,6 +57,8 @@ CRASH_POINTS = (
     CRASH_SNAPSHOT_COMMIT,
     CRASH_MIGRATE_EXPORT,
     CRASH_MIGRATE_IMPORT,
+    CRASH_CHANGELOG_SEAL,
+    CRASH_STANDBY_PROMOTE,
 )
 
 KIND_ERROR = "error"
@@ -250,7 +259,68 @@ class FaultPlan:
         return self
 
     def build(self) -> "FaultInjector":
+        self.validate()
         return FaultInjector(self)
+
+    # ------------------------------------------------------------------
+    # construction-time validation
+    # ------------------------------------------------------------------
+    _OP_DOMAINS = {
+        "read": frozenset(("read",)),
+        "write": frozenset(("write",)),
+        "any": frozenset(("read", "write")),
+        "transfer": frozenset(("transfer",)),
+        "net": frozenset(("net",)),
+    }
+
+    def validate(self) -> None:
+        """Reject plans that could never fire the way they read.
+
+        Two classes of silent mistake are caught here instead of being
+        discovered as a mysteriously fault-free run:
+
+        * crash faults naming an unknown site (nothing instruments it,
+          so it never fires) — also possible by appending to
+          ``crashes`` directly, bypassing the fluent builder's check;
+        * two ordinal-triggered device faults claiming overlapping I/O
+          ordinals on intersecting op domains and prefix-compatible
+          paths: whichever is listed first wins (or both mutate the
+          same write), which is order-dependent and almost always a
+          copy-paste error.  Two ``slow_link`` faults may overlap —
+          their factors compound multiplicatively by design.
+        """
+        for fault in self.crashes:
+            if fault.site not in CRASH_POINTS:
+                raise ValueError(
+                    f"unknown crash point {fault.site!r}; valid crash points: "
+                    f"{', '.join(CRASH_POINTS)}"
+                )
+        for fault in self.disk_faults:
+            if fault.op not in self._OP_DOMAINS:
+                raise ValueError(
+                    f"unknown I/O op {fault.op!r}; one of "
+                    f"{sorted(self._OP_DOMAINS)}"
+                )
+        ordinal = [f for f in self.disk_faults if f.on_io is not None]
+        for i, a in enumerate(ordinal):
+            for b in ordinal[i + 1:]:
+                if a.kind == KIND_SLOW and b.kind == KIND_SLOW:
+                    continue
+                if self._OP_DOMAINS[a.op].isdisjoint(self._OP_DOMAINS[b.op]):
+                    continue
+                if not (
+                    a.path_prefix.startswith(b.path_prefix)
+                    or b.path_prefix.startswith(a.path_prefix)
+                ):
+                    continue
+                if a.on_io < b.on_io + b.times and b.on_io < a.on_io + a.times:
+                    raise ValueError(
+                        f"duplicate I/O ordinals: {a.kind} fault at "
+                        f"on_io={a.on_io} (times={a.times}, op={a.op!r}) "
+                        f"overlaps {b.kind} fault at on_io={b.on_io} "
+                        f"(times={b.times}, op={b.op!r}); give each fault "
+                        f"a disjoint ordinal range"
+                    )
 
 
 class FaultInjector:
@@ -418,23 +488,35 @@ def with_retries(
     attempts: int = 4,
     base_backoff: float = 0.002,
     max_backoff: float = 0.050,
+    max_total_backoff: float = 0.250,
 ):
     """Run ``fn()``, retrying transient :class:`DiskIOError` faults.
 
-    Backoff is deterministic (exponential, capped) and *charged to the
-    simulated clock* under ``category`` — a retried checkpoint costs
-    recovery time, it doesn't hide it.  The last error propagates once
-    the attempt budget is exhausted (escalating a persistent fault to
-    the caller's crash handling).  Only idempotent operations may be
+    Backoff is deterministic (exponential, per-step capped at
+    ``max_backoff`` and cumulatively at ``max_total_backoff``) and
+    *charged to the simulated clock* under ``category`` — a retried
+    checkpoint costs recovery time, it doesn't hide it.  Each retry also
+    bumps the ``retries`` ledger counter.  Once the attempt budget is
+    spent, a typed :class:`~repro.errors.RetriesExhaustedError` carrying
+    the per-attempt history propagates (still a :class:`DiskIOError`,
+    so crash handling is unchanged).  Only idempotent operations may be
     wrapped: checkpoint file puts/reads and migration transfer charges
     qualify; destructive store calls (export/import) do not.
     """
     delay = base_backoff
+    charged = 0.0
+    history: list[str] = []
     for attempt in range(attempts):
         try:
             return fn()
-        except DiskIOError:
+        except RetriesExhaustedError:
+            raise  # a nested retry loop already spent its budget: don't re-wrap
+        except DiskIOError as exc:
+            history.append(f"attempt {attempt + 1}: {exc}")
             if attempt == attempts - 1:
-                raise
-            env.charge_cpu(category, min(delay, max_backoff))
+                raise RetriesExhaustedError(attempts, history) from exc
+            env.bump("retries")
+            step = min(delay, max_backoff, max(0.0, max_total_backoff - charged))
+            env.charge_cpu(category, step)
+            charged += step
             delay *= 2.0

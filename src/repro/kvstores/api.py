@@ -101,6 +101,15 @@ class StateExport:
 KeyGroupFn = Callable[[bytes], int]
 
 
+# Changelog operation tags.  Defined here (not in repro.changelog) so the
+# dirty tracker can emit records without importing the changelog package.
+LOG_APPEND = "append"  # extend the cell's value list
+LOG_PUT = "put"  # replace the cell's value list (aggregate upsert)
+LOG_REMOVE = "remove"  # drop the cell (fetch-and-remove read, export)
+LOG_TRIM = "trim"  # join expiry: drop the key's pairs below a cut timestamp
+LOG_MERGE = "merge"  # import merge: extend list/join cells, replace agg cells
+
+
 class KeyGroupDirtyTracker:
     """Per-key-group dirty bookkeeping shared by incremental backends.
 
@@ -109,19 +118,70 @@ class KeyGroupDirtyTracker:
     aggregate writes, fetch-and-remove reads, imports).  Cost-only
     internal movement — compaction, prefetch promotion, spills — does
     not change what a checkpoint would capture and must not mark.
+
+    The same semantic-vs-internal rule feeds changelog replication:
+    when a :class:`repro.changelog.ChangelogWriter` is attached
+    (``changelog`` attribute), the ``log_*`` variants additionally
+    append an op record for the standby to tail.  With no writer
+    attached they degrade to exactly the matching ``mark_*`` call, so
+    single-node runs with replication off are charge-identical.
     """
 
-    __slots__ = ("max_key_groups", "_dirty")
+    __slots__ = ("max_key_groups", "_dirty", "changelog")
 
     def __init__(self, max_key_groups: int = DEFAULT_MAX_KEY_GROUPS) -> None:
         self.max_key_groups = max_key_groups
         self._dirty: set[int] = set()
+        self.changelog = None  # optional repro.changelog.ChangelogWriter
+
+    @property
+    def logging(self) -> bool:
+        """True when a changelog writer is attached (payloads needed)."""
+        return self.changelog is not None
 
     def mark_key(self, key: bytes) -> None:
         self._dirty.add(key_group_of(key, self.max_key_groups))
 
     def mark_group(self, group: int) -> None:
         self._dirty.add(group)
+
+    def log_append(self, key: bytes, window, kind: str, values) -> None:
+        """A value was appended to (key, window); ``values`` are the
+        serialized payload(s) appended."""
+        group = key_group_of(key, self.max_key_groups)
+        self._dirty.add(group)
+        if self.changelog is not None:
+            self.changelog.record(group, LOG_APPEND, key, window, kind, values)
+
+    def log_put(self, key: bytes, window, kind: str, values) -> None:
+        """The cell at (key, window) was replaced wholesale."""
+        group = key_group_of(key, self.max_key_groups)
+        self._dirty.add(group)
+        if self.changelog is not None:
+            self.changelog.record(group, LOG_PUT, key, window, kind, values)
+
+    def log_remove(self, key: bytes, window, kind: str) -> None:
+        """The cell at (key, window) was consumed (fetch-and-remove,
+        rmw_remove hit, or a destructive export vacated it)."""
+        group = key_group_of(key, self.max_key_groups)
+        self._dirty.add(group)
+        if self.changelog is not None:
+            self.changelog.record(group, LOG_REMOVE, key, window, kind, ())
+
+    def log_trim(self, key: bytes, kind: str, cut: float) -> None:
+        """Join expiry dropped (key, side) pairs with timestamp < cut."""
+        group = key_group_of(key, self.max_key_groups)
+        self._dirty.add(group)
+        if self.changelog is not None:
+            self.changelog.record(group, LOG_TRIM, key, None, kind, (cut,))
+
+    def log_merge(self, key: bytes, window, kind: str, values) -> None:
+        """An import landed at (key, window): merge into any existing
+        cell (extend for list/join kinds, replace for aggregates)."""
+        group = key_group_of(key, self.max_key_groups)
+        self._dirty.add(group)
+        if self.changelog is not None:
+            self.changelog.record(group, LOG_MERGE, key, window, kind, values)
 
     def groups(self) -> frozenset[int]:
         return frozenset(self._dirty)

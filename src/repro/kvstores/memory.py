@@ -35,6 +35,7 @@ from repro.kvstores.api import (
 )
 from repro.model import PickleSerde, Window
 from repro.simenv import (
+    CAT_CHANGELOG,
     CAT_GC,
     CAT_MIGRATION,
     CAT_RECOVERY,
@@ -99,6 +100,18 @@ class HeapWindowBackend(WindowStateBackend):
         self._live_bytes = 0
         self._closed = False
         self._dirty = KeyGroupDirtyTracker()
+        self._log_serde = PickleSerde()
+
+    def attach_changelog(self, writer) -> None:
+        """Route semantic mutations into a changelog writer (replication)."""
+        self._dirty.changelog = writer
+
+    def _log_payload(self, value: Any) -> bytes:
+        """Serialize a heap object for the changelog — an extra cost the
+        heap backend pays only while replication is on (objects live raw)."""
+        data = self._log_serde.serialize(value)
+        self._env.charge_cpu(CAT_CHANGELOG, self._env.cpu.serde(len(data)))
+        return data
 
     @property
     def checkpoint_key_groups(self) -> int:
@@ -150,7 +163,10 @@ class HeapWindowBackend(WindowStateBackend):
         self._env.charge_cpu(CAT_STORE_WRITE, 2 * self._env.cpu.hash_probe)
         per_key = self._lists.setdefault(window, {})
         per_key.setdefault(key, []).append((value, self._sizer(value)))
-        self._dirty.mark_key(key)
+        if self._dirty.logging:
+            self._dirty.log_append(key, window, KIND_LIST, (self._log_payload(value),))
+        else:
+            self._dirty.mark_key(key)
         self._allocate(per_key[key][-1][1])
 
     def read_window(self, window: Window) -> Iterator[tuple[bytes, list[Any]]]:
@@ -162,7 +178,7 @@ class HeapWindowBackend(WindowStateBackend):
         for key, sized_values in per_key.items():
             self._env.charge_cpu(CAT_STORE_READ, self._env.cpu.hash_probe)
             values = [v for v, _size in sized_values]
-            self._dirty.mark_key(key)
+            self._dirty.log_remove(key, window, KIND_LIST)
             self._release(sum(size for _v, size in sized_values), count=len(sized_values))
             yield key, values
 
@@ -176,7 +192,7 @@ class HeapWindowBackend(WindowStateBackend):
         if not per_key:
             self._lists.pop(window, None)
         if sized_values:
-            self._dirty.mark_key(key)
+            self._dirty.log_remove(key, window, KIND_LIST)
         self._release(sum(size for _v, size in sized_values), count=len(sized_values))
         return [v for v, _size in sized_values]
 
@@ -201,7 +217,10 @@ class HeapWindowBackend(WindowStateBackend):
         if old is not None:
             self._release(old[1])
         per_key[key] = (aggregate, new_size)
-        self._dirty.mark_key(key)
+        if self._dirty.logging:
+            self._dirty.log_put(key, window, KIND_AGG, (self._log_payload(aggregate),))
+        else:
+            self._dirty.mark_key(key)
         self._allocate(new_size)
 
     def rmw_remove(self, key: bytes, window: Window) -> Any | None:
@@ -215,7 +234,7 @@ class HeapWindowBackend(WindowStateBackend):
             self._aggs.pop(window, None)
         if entry is None:
             return None
-        self._dirty.mark_key(key)
+        self._dirty.log_remove(key, window, KIND_AGG)
         self._release(entry[1])
         return entry[0]
 
@@ -269,7 +288,7 @@ class HeapWindowBackend(WindowStateBackend):
                     data = serde.serialize(value)
                     self._env.charge_cpu(CAT_MIGRATION, self._env.cpu.serde(len(data)))
                     values.append(data)
-                self._dirty.mark_key(key)
+                self._dirty.log_remove(key, window, KIND_LIST)
                 self._release(
                     sum(size for _v, size in sized_values), count=len(sized_values)
                 )
@@ -282,7 +301,7 @@ class HeapWindowBackend(WindowStateBackend):
                 agg, size = per_key.pop(key)
                 data = serde.serialize(agg)
                 self._env.charge_cpu(CAT_MIGRATION, self._env.cpu.serde(len(data)))
-                self._dirty.mark_key(key)
+                self._dirty.log_remove(key, window, KIND_AGG)
                 self._release(size)
                 export.entries.append(ExportedEntry(key, window, KIND_AGG, [data]))
             if not per_key:
@@ -326,7 +345,7 @@ class HeapWindowBackend(WindowStateBackend):
         self._check_open()
         serde = PickleSerde()
         for entry in export.entries:
-            self._dirty.mark_key(entry.key)
+            self._dirty.log_merge(entry.key, entry.window, entry.kind, entry.values)
             if entry.kind == KIND_LIST:
                 bucket = self._lists.setdefault(entry.window, {}).setdefault(entry.key, [])
                 for data in entry.values:

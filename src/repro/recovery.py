@@ -71,7 +71,9 @@ def _epoch_dir(epoch: int) -> str:
 class RecoveryEvent:
     """One recovery-relevant incident on a job's timeline."""
 
-    kind: str  # "crash" | "restore" | "corrupt_checkpoint" | "fresh_restart"
+    # "crash" | "restore" | "corrupt_checkpoint" | "fresh_restart"
+    # | "node_failure" | "promote" | "degraded"
+    kind: str
     at_record: int
     epoch: int | None = None
     site: str = ""
@@ -321,6 +323,10 @@ class Checkpointer:
         self._shard_maps: dict[str, dict[int, ShardRef]] = {}
         self._shard_groupspace: dict[str, int] = {}
         self._shard_full_epoch: dict[str, int] = {}
+        # Optional repro.changelog.ChangelogReplication, set by a
+        # RecoveryManager running in standby mode: every committed epoch
+        # cut also seals and ships the changelog to the standbys.
+        self.replication: Any = None
 
     def start_from(self, epoch: int, count: int) -> None:
         """Resume epoch numbering after a restore (or fresh restart)."""
@@ -473,6 +479,10 @@ class Checkpointer:
             )
         )
         self._collect_garbage()
+        if self.replication is not None:
+            # Seal the epoch's changelog after the commit point: sealed
+            # segment sets are exact deltas between consistent cuts.
+            self.replication.seal_epoch(epoch, executor)
         return epoch
 
     def _checkpoint_sharded(
@@ -609,8 +619,12 @@ class RecoveryManager:
         incremental: bool | str = True,
         full_snapshot_interval: int = 4,
         retained_epochs: int | None = None,
+        mode: str = "restore",
     ) -> None:
+        if mode not in ("restore", "standby"):
+            raise PlanError(f"unknown recovery mode {mode!r}")
         self.plan = plan_env
+        self.mode = mode
         if storage is None:
             env = SimEnv(cpu=plan_env.cpu, ssd=plan_env.ssd, faults=plan_env.faults)
             cluster = getattr(plan_env, "cluster", None)
@@ -634,6 +648,19 @@ class RecoveryManager:
         )
         self.max_restarts = max_restarts
         self.recoveries: list[RecoveryEvent] = []
+        # Hot-standby lane: changelog replication only exists in standby
+        # mode on a real multi-node cluster — otherwise the default
+        # restore behaviour (and its charges) are byte-identical.
+        self.replication: Any = None
+        if mode == "standby":
+            cluster = getattr(plan_env, "cluster", None)
+            if cluster is not None and cluster.n_nodes > 1:
+                from repro.changelog import ChangelogReplication
+
+                self.replication = ChangelogReplication(
+                    self.storage.env, cluster, self.storage.env.faults
+                )
+                self.checkpointer.replication = self.replication
 
     def run(self, rescale_policy: Any = None, **run_kwargs: Any) -> JobResult:
         """Execute the plan with checkpointing and automatic recovery."""
@@ -656,6 +683,8 @@ class RecoveryManager:
         at_record = 0
         max_ts = float("-inf")
         restarts = 0
+        if self.replication is not None:
+            self.replication.bind(executor)
         while True:
             try:
                 result = executor.run(
@@ -698,8 +727,21 @@ class RecoveryManager:
                 restarts += 1
                 if restarts > self.max_restarts:
                     raise
+                crash_time = self._crash_time(executor)
                 executor = Executor(self.plan)
-                at_record, max_ts, policy = self._restore(executor, pristine_policy)
+                promoted = None
+                if self.replication is not None and failed_node is not None:
+                    self.replication.fail_node(failed_node)
+                    promoted = self._promote(executor, failed_node, crash_time)
+                if promoted is not None:
+                    at_record, max_ts, policy = promoted
+                else:
+                    at_record, max_ts, policy = self._restore(executor, pristine_policy)
+                if self.replication is not None:
+                    # The crashed topology's writers and warm replicas are
+                    # stale; re-bootstrap everything at the next epoch cut.
+                    self.replication.reset()
+                    self.replication.bind(executor)
         # Checkpoint/recovery device work belongs on the job's ledger.
         total = MetricsLedger()
         total.merge(result.metrics)
@@ -711,6 +753,147 @@ class RecoveryManager:
         return result
 
     # ------------------------------------------------------------------
+    def _crash_time(self, executor: Executor) -> float:
+        """When the failure happened: the busiest instance's clock.
+
+        Compared against the standbys' ``ready_at`` stamps (storage
+        clock) — the clock domains are independent approximations of
+        wall time since job start, so the comparison is meaningful in
+        the two regimes that matter: a healthy link finishes tailing
+        orders of magnitude before processing reaches the kill point,
+        and a slowed link pushes ``ready_at`` orders of magnitude past
+        it (the lagging standby).
+        """
+        times = [
+            instance.env.clock.now
+            for node in executor._stateful_nodes  # noqa: SLF001
+            for instance in executor._instances[node.node_id]  # noqa: SLF001
+        ]
+        return max(times, default=self.storage.env.clock.now)
+
+    def _promote(
+        self, executor: Executor, failed_node: int, crash_time: float
+    ) -> tuple[int, float, Any] | None:
+        """Fail over onto the dead node's standbys (the hot lane).
+
+        Picks the newest epoch that is both restorable from the manifest
+        (survivors still load their checkpoint shards) and reproducible
+        by *every* dead instance's standby — already tailed by the time
+        the node died (``ready_at <= crash_time``), at a usable offset,
+        and not invalidated.  Dead instances import the warm state plus
+        a replayed changelog tail and are repointed at the peer node via
+        ``node_override``; surviving groups restore exactly as in the
+        restore lane.  Returns None to degrade to checkpoint-restore —
+        lagging, invalid, or absent standbys and any failure mid-way all
+        land there.
+        """
+        from repro.faults import CRASH_STANDBY_PROMOTE
+
+        storage = self.storage
+        replication = self.replication
+        cluster = self.plan.cluster
+        faults = storage.env.faults
+        started = storage.env.clock.now
+        standby_node = replication.standby_of(failed_node)
+        degrade_reason = "no usable checkpoint epoch"
+        for epoch in reversed(storage.epochs()):
+            try:
+                manifest = storage.read_manifest(epoch)
+                job = pickle.loads(
+                    storage.read_file(manifest, f"{_epoch_dir(epoch)}/job")
+                )
+            except SnapshotCorruptError:
+                continue
+            parallelism = job["parallelism"]
+            dead_idxs = {
+                idx for idx in range(parallelism)
+                if cluster.place(idx) == failed_node
+            }
+            dead_keys = [
+                f"op{node.node_id}/p{idx}"
+                for node in executor._stateful_nodes  # noqa: SLF001
+                for idx in sorted(dead_idxs)
+            ]
+            if not dead_keys:
+                degrade_reason = f"node {failed_node} hosted no state"
+                break
+            lagging = [
+                key for key in dead_keys
+                if epoch not in replication.promotable_epochs(key, crash_time)
+            ]
+            if lagging:
+                degrade_reason = (
+                    f"standby not ready at epoch {epoch} for {lagging[0]}"
+                )
+                continue
+            try:
+                for idx in sorted(dead_idxs):
+                    executor.node_override[idx] = standby_node
+                executor.rebuild_for_restore(parallelism)
+                owner_table = job.get("group_owner")
+                if owner_table is not None:
+                    executor.group_owner[:] = owner_table
+                sharded = manifest.get("sharded", {})
+                tail_replayed = 0
+                for node in executor._stateful_nodes:  # noqa: SLF001
+                    for idx, instance in enumerate(
+                        executor._instances[node.node_id]  # noqa: SLF001
+                    ):
+                        key = f"op{node.node_id}/p{idx}"
+                        backend = instance.operator.backend
+                        if idx in dead_idxs:
+                            if faults is not None:
+                                faults.crash_point(
+                                    CRASH_STANDBY_PROMOTE, now=storage.env.now
+                                )
+                            entries, tail = replication.promote_entries(key, epoch)
+                            backend.import_state(StateExport(entries=entries))
+                            backend.clear_dirty()
+                            tail_replayed += tail
+                        elif key in sharded:
+                            self._restore_sharded(
+                                sharded[key], backend,
+                                reader=executor.cluster_node_of(idx),
+                            )
+                        else:
+                            snap = storage.load_snapshot(epoch, manifest, key)
+                            backend.restore(snap)
+                        instance.operator.restore_checkpoint_state(
+                            job["operators"][key]
+                        )
+            except (SnapshotCorruptError, InjectedCrashError) as exc:
+                # Torn standby state, a crash injected mid-promotion, or
+                # a corrupt survivor shard: abandon the hot lane whole.
+                executor.node_override.clear()
+                degrade_reason = str(exc)
+                break
+            executor._sinks = {name: list(vals) for name, vals in job["sinks"].items()}  # noqa: SLF001
+            executor._latencies = list(job["latencies"])  # noqa: SLF001
+            executor._rescales = list(job["rescales"])  # noqa: SLF001
+            self.checkpointer.adopt_manifest(epoch, manifest, job["at_record"])
+            self.recoveries.append(
+                RecoveryEvent(
+                    kind="promote",
+                    at_record=job["at_record"],
+                    epoch=epoch,
+                    detail=(
+                        f"node {failed_node} -> standby {standby_node}; "
+                        f"replayed {tail_replayed} changelog records"
+                    ),
+                    sim_seconds=storage.env.clock.now - started,
+                )
+            )
+            return job["at_record"], job["max_timestamp"], job["policy"]
+        self.recoveries.append(
+            RecoveryEvent(
+                kind="degraded",
+                at_record=0,
+                detail=degrade_reason,
+                sim_seconds=storage.env.clock.now - started,
+            )
+        )
+        return None
+
     def _restore(
         self, executor: Executor, pristine_policy: bytes
     ) -> tuple[int, float, Any]:

@@ -258,14 +258,25 @@ class LiveMigration:
                     self._pieces[(node.node_id, group)] = piece
                 seed_key = f"op{node.node_id}/p{src}"
                 seed_entries: dict[int, list[Any]] = {}
+                deliver = getattr(self._seed, "charge_delivery", None)
                 for group in sorted(candidates):
                     ref = self._seed.shard_ref(seed_key, group, self._G)
                     if ref is None:
                         continue
                     try:
-                        seed_entries[group] = self._seed.read_entries(ref)
-                    except SnapshotCorruptError:
+                        entries = self._seed.read_entries(ref)
+                        if deliver is not None:
+                            # Standby-held seeds travel over the priced
+                            # network to the destination's node.
+                            deliver(
+                                ref,
+                                self._exec.cluster_node_of(self._group_dst[group]),
+                                sum(e.payload_bytes for e in entries),
+                            )
+                    except (SnapshotCorruptError, DiskIOError):
+                        # Demote this group to the live streaming path.
                         continue
+                    seed_entries[group] = entries
                     stream.skip_transfer(group)
                 for group in groups:
                     entries = stream.entries_of(group)

@@ -28,6 +28,7 @@ from repro.simenv.clock import SimClock
 from repro.simenv.cpu import CpuCostModel
 from repro.simenv.disk import SsdCostModel
 from repro.simenv.metrics import (
+    CAT_CHANGELOG,
     CAT_COMPACTION,
     CAT_ENGINE,
     CAT_GC,
@@ -64,5 +65,6 @@ __all__ = [
     "CAT_MIGRATION",
     "CAT_RECOVERY",
     "CAT_NETWORK",
+    "CAT_CHANGELOG",
     "CPU_CATEGORIES",
 ]

@@ -22,6 +22,7 @@ CAT_GC = "gc"  # JVM garbage collection (heap backend model)
 CAT_MIGRATION = "migration"  # key-group export/transfer/import during rescaling
 CAT_RECOVERY = "recovery"  # checksums, checkpoint verify/replay reads, rollback, retry backoff
 CAT_NETWORK = "network"  # cross-node link time: shuffles, chunk transfers, shard up/downloads
+CAT_CHANGELOG = "changelog"  # changelog record framing, standby apply/replay work
 
 CPU_CATEGORIES = (
     CAT_QUERY,
@@ -35,6 +36,7 @@ CPU_CATEGORIES = (
     CAT_MIGRATION,
     CAT_RECOVERY,
     CAT_NETWORK,
+    CAT_CHANGELOG,
 )
 
 # Charge-time validation set: a typo'd category must fail loudly instead

@@ -1,0 +1,297 @@
+"""Unit coverage for the changelog-replication building blocks.
+
+Three layers, bottom-up: segment framing (CRC catches torn/flipped
+wire bytes), the per-instance :class:`ChangelogWriter` (per-group
+sequence numbers contiguous across epoch seals), and the
+:class:`StandbyReplica` apply machine (exact cell semantics per op,
+gap detection, warm/pending epoch bookkeeping).  The satellite
+hardening of :func:`repro.faults.with_retries` and
+:meth:`repro.faults.FaultPlan.validate` is pinned here too — both are
+on the replication failure paths.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.changelog import ChangelogWriter, StandbyReplica, pack_segment, unpack_segment
+from repro.errors import DiskIOError, RetriesExhaustedError, SnapshotCorruptError
+from repro.faults import CRASH_POINTS, FaultPlan, with_retries
+from repro.kvstores.api import (
+    KIND_AGG,
+    KIND_JOIN_LEFT,
+    KIND_LIST,
+    LOG_APPEND,
+    LOG_MERGE,
+    LOG_PUT,
+    LOG_REMOVE,
+    LOG_TRIM,
+    KeyGroupDirtyTracker,
+    key_group_of,
+)
+from repro.model import Window
+from repro.simenv import SimEnv
+
+W = Window(0.0, 10.0)
+
+
+class TestSegmentFraming:
+    def test_roundtrip(self):
+        rows = [(1, LOG_APPEND, b"k", W, KIND_LIST, (b"v1", b"v2"))]
+        assert unpack_segment(pack_segment(rows)) == rows
+
+    def test_truncated_segment_rejected(self):
+        with pytest.raises(SnapshotCorruptError):
+            unpack_segment(pack_segment([])[:3])
+
+    def test_flipped_bit_fails_crc(self):
+        data = bytearray(pack_segment([(1, LOG_PUT, b"k", W, KIND_AGG, (b"v",))]))
+        data[len(data) // 2] ^= 0x40
+        with pytest.raises(SnapshotCorruptError):
+            unpack_segment(bytes(data))
+
+    def test_torn_tail_fails_crc(self):
+        data = pack_segment([(1, LOG_PUT, b"k", W, KIND_AGG, (b"v" * 64,))])
+        with pytest.raises(SnapshotCorruptError):
+            unpack_segment(data[: len(data) - 10])
+
+
+class TestChangelogWriter:
+    def test_sequences_are_per_group_and_survive_seals(self):
+        writer = ChangelogWriter("op1/p0", groupspace=8)
+        writer.record(3, LOG_APPEND, b"a", W, KIND_LIST, (b"x",))
+        writer.record(3, LOG_APPEND, b"a", W, KIND_LIST, (b"y",))
+        writer.record(5, LOG_PUT, b"b", W, KIND_AGG, (b"z",))
+        first = writer.seal()
+        assert [row[0] for row in first[3]] == [1, 2]
+        assert [row[0] for row in first[5]] == [1]
+        assert not writer.has_records
+        writer.record(3, LOG_REMOVE, b"a", W, KIND_LIST, ())
+        second = writer.seal()
+        assert [row[0] for row in second[3]] == [3]
+        assert writer.sequences() == {3: 3, 5: 1}
+
+    def test_clear_drops_rows_but_keeps_sequences(self):
+        writer = ChangelogWriter("op1/p0", groupspace=8)
+        writer.record(0, LOG_APPEND, b"a", W, KIND_LIST, (b"x",))
+        writer.clear()
+        assert not writer.has_records
+        assert writer.sequences() == {0: 1}
+
+    def test_byte_and_record_counters(self):
+        writer = ChangelogWriter("op1/p0", groupspace=8)
+        writer.record(0, LOG_APPEND, b"a", W, KIND_LIST, (b"1234", b"56"))
+        writer.record(0, LOG_TRIM, b"a", None, KIND_JOIN_LEFT, (3.0,))
+        assert writer.records_logged == 2
+        assert writer.bytes_logged == 6  # the trim cut is not a payload
+
+
+class TestDirtyTrackerLogging:
+    def test_unattached_tracker_only_marks(self):
+        tracker = KeyGroupDirtyTracker(max_key_groups=8)
+        assert not tracker.logging
+        tracker.log_append(b"k", W, KIND_LIST, (b"v",))
+        tracker.log_remove(b"k", W, KIND_LIST)
+        assert tracker.groups() == frozenset({key_group_of(b"k", 8)})
+
+    def test_attached_tracker_records_ops(self):
+        tracker = KeyGroupDirtyTracker(max_key_groups=8)
+        tracker.changelog = ChangelogWriter("op1/p0", groupspace=8)
+        assert tracker.logging
+        tracker.log_append(b"k", W, KIND_LIST, (b"v",))
+        tracker.log_put(b"k", W, KIND_AGG, (b"v",))
+        tracker.log_remove(b"k", W, KIND_LIST)
+        tracker.log_trim(b"k", KIND_JOIN_LEFT, 4.0)
+        tracker.log_merge(b"k", W, KIND_LIST, (b"v",))
+        group = key_group_of(b"k", 8)
+        ops = [row[1] for row in tracker.changelog.seal()[group]]
+        assert ops == [LOG_APPEND, LOG_PUT, LOG_REMOVE, LOG_TRIM, LOG_MERGE]
+        assert tracker.groups() == frozenset({group})
+
+
+def make_replica(groupspace: int = 8) -> tuple[StandbyReplica, SimEnv, int]:
+    env = SimEnv()
+    replica = StandbyReplica("op1/p0", owner_node=0, standby_node=1, groupspace=groupspace)
+    group = key_group_of(b"k", groupspace)
+    replica.finish_base(1, {}, 0.0)  # empty state at epoch 1's cut
+    return replica, env, group
+
+
+def segment(rows: list[tuple]) -> bytes:
+    return pack_segment(rows)
+
+
+class TestStandbyReplica:
+    def test_promote_replays_only_the_pending_tail(self):
+        replica, env, g = make_replica()
+        replica.receive_segment(2, g, segment([
+            (1, LOG_APPEND, b"k", W, KIND_LIST, (b"a",)),
+            (2, LOG_APPEND, b"k", W, KIND_LIST, (b"b",)),
+        ]), env)
+        replica.commit_epoch(2, 1.0, env)
+        assert replica.applied_epoch == 1
+        assert replica.usable_epochs() == frozenset({1, 2})
+        entries, tail = replica.promote(2, env)
+        assert tail == 2
+        assert [(e.key, e.values) for e in entries] == [(b"k", [b"a", b"b"])]
+        assert replica.persisted_offset[g] == 2
+
+    def test_commit_folds_older_epochs_into_warm(self):
+        replica, env, g = make_replica()
+        replica.receive_segment(2, g, segment([
+            (1, LOG_PUT, b"k", W, KIND_AGG, (b"old",)),
+        ]), env)
+        replica.commit_epoch(2, 1.0, env)
+        replica.receive_segment(3, g, segment([
+            (2, LOG_PUT, b"k", W, KIND_AGG, (b"new",)),
+        ]), env)
+        replica.commit_epoch(3, 2.0, env)
+        # Epoch 2 was folded; promoting the warm epoch replays nothing.
+        entries, tail = replica.promote(2, env)
+        assert tail == 0
+        assert entries[0].values == [b"old"]
+
+    def test_remove_and_trim_semantics(self):
+        replica, env, g = make_replica()
+        pairs = [(1.0, "early"), (5.0, "late")]
+        replica.receive_segment(2, g, segment([
+            (1, LOG_APPEND, b"k", W, KIND_LIST, (b"gone",)),
+            (2, LOG_REMOVE, b"k", W, KIND_LIST, ()),
+            (3, LOG_APPEND, b"k", None, KIND_JOIN_LEFT,
+             tuple(pickle.dumps(p) for p in pairs)),
+            (4, LOG_TRIM, b"k", None, KIND_JOIN_LEFT, (2.0,)),
+        ]), env)
+        replica.commit_epoch(2, 1.0, env)
+        entries, tail = replica.promote(2, env)
+        assert tail == 4
+        assert len(entries) == 1  # the removed list cell is gone
+        assert entries[0].kind == KIND_JOIN_LEFT
+        assert pickle.loads(entries[0].values[0]) == [(5.0, "late")]
+
+    def test_sequence_gap_is_corruption(self):
+        replica, env, g = make_replica()
+        replica.receive_segment(2, g, segment([
+            (2, LOG_APPEND, b"k", W, KIND_LIST, (b"a",)),  # seq 1 missing
+        ]), env)
+        replica.commit_epoch(2, 1.0, env)
+        with pytest.raises(SnapshotCorruptError):
+            replica.promote(2, env)
+
+    def test_invalidate_requires_rebootstrap(self):
+        replica, env, g = make_replica()
+        replica.invalidate("host died")
+        assert not replica.bootstrapped
+        assert replica.usable_epochs() == frozenset()
+        assert replica.invalid_reason == "host died"
+
+    def test_ready_by_compares_arrival_to_failure_time(self):
+        replica, env, g = make_replica()
+        replica.receive_segment(2, g, segment([]), env)
+        replica.commit_epoch(2, now=5.0, env=env)
+        assert replica.ready_by(2, at_time=5.0)
+        assert not replica.ready_by(2, at_time=4.999)
+        assert not replica.ready_by(3, at_time=100.0)
+
+
+class TestWithRetriesHardening:
+    def test_exhaustion_raises_typed_error_with_history(self):
+        env = SimEnv()
+
+        def always_fail():
+            raise DiskIOError("device on fire")
+
+        with pytest.raises(RetriesExhaustedError) as exc_info:
+            with_retries(env, always_fail, attempts=3)
+        err = exc_info.value
+        assert isinstance(err, DiskIOError)  # existing crash paths unchanged
+        assert err.attempts == 3
+        assert len(err.history) == 3
+        assert all("device on fire" in line for line in err.history)
+        assert env.ledger.counters.get("retries") == 2  # retries, not attempts
+
+    def test_total_backoff_is_capped(self):
+        env = SimEnv()
+
+        def always_fail():
+            raise DiskIOError("still down")
+
+        with pytest.raises(RetriesExhaustedError):
+            with_retries(
+                env, always_fail, attempts=50,
+                base_backoff=0.010, max_backoff=0.010, max_total_backoff=0.025,
+            )
+        charged = env.ledger.cpu_seconds.get("recovery", 0.0)
+        assert charged == pytest.approx(0.025)
+
+    def test_nested_exhaustion_is_not_rewrapped(self):
+        env = SimEnv()
+
+        def inner():
+            raise RetriesExhaustedError(4, ["attempt 1: x"])
+
+        with pytest.raises(RetriesExhaustedError) as exc_info:
+            with_retries(env, inner, attempts=5)
+        assert exc_info.value.attempts == 4  # the inner loop's budget
+        assert env.ledger.counters.get("retries") is None
+
+    def test_success_after_transients(self):
+        env = SimEnv()
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise DiskIOError("transient")
+            return "ok"
+
+        assert with_retries(env, flaky) == "ok"
+        assert env.ledger.counters.get("retries") == 2
+
+
+class TestFaultPlanValidation:
+    def test_unknown_crash_site_rejected_at_build(self):
+        from repro.faults import CrashFault
+
+        # Appending directly bypasses the fluent builder's early check;
+        # build() must still refuse the plan.
+        plan = FaultPlan(seed=1)
+        plan.crashes.append(CrashFault("no.such.site", 1, None))
+        with pytest.raises(ValueError, match="unknown crash point"):
+            plan.build()
+
+    def test_error_lists_valid_crash_points(self):
+        from repro.faults import CrashFault
+
+        plan = FaultPlan(seed=1)
+        plan.crashes.append(CrashFault("bogus", 1, None))
+        with pytest.raises(ValueError) as exc_info:
+            plan.build()
+        for site in CRASH_POINTS:
+            assert site in str(exc_info.value)
+
+    def test_duplicate_io_ordinals_rejected(self):
+        plan = (FaultPlan(seed=1)
+                .torn_write(on_io=5, times=3)
+                .bit_flip(on_io=6))
+        with pytest.raises(ValueError, match="duplicate I/O ordinals"):
+            plan.build()
+
+    def test_disjoint_ordinals_accepted(self):
+        plan = (FaultPlan(seed=1)
+                .torn_write(on_io=5, times=3)
+                .bit_flip(on_io=9))
+        assert plan.build() is not None
+
+    def test_overlapping_slow_links_compound_by_design(self):
+        plan = (FaultPlan(seed=1)
+                .slow_link(2.0, on_io=1, times=5)
+                .slow_link(3.0, on_io=2, times=5))
+        assert plan.build() is not None
+
+    def test_disjoint_prefixes_do_not_conflict(self):
+        plan = (FaultPlan(seed=1)
+                .torn_write(on_io=5, path_prefix="clog/")
+                .bit_flip(on_io=5, path_prefix="ckpt/"))
+        assert plan.build() is not None

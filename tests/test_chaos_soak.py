@@ -1,0 +1,152 @@
+"""Chaos soak: randomized fault schedules against the failover lane.
+
+Every scenario kills a node — sometimes mid-changelog-tailing, sometimes
+mid-promotion — while links to the standbys drop, slow, or tear, across
+the CI fault-seed sweep plus Hypothesis-chosen schedules.  Two
+invariants must survive every schedule:
+
+* the job always recovers (a ``promote`` or ``restore`` event exists;
+  degradation never strands the run), and
+* the recovered output digest equals an uninterrupted run's
+  (exactly-once, no matter which lane carried the recovery).
+
+``FAULT_SEED`` (env var) shifts the seeded sweep per CI matrix leg.
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.harness import run_query
+from repro.bench.profiles import TINY_PROFILE
+from repro.cluster import ClusterTopology
+from repro.faults import (
+    CRASH_CHANGELOG_SEAL,
+    CRASH_RUNTIME_RECORD,
+    CRASH_STANDBY_PROMOTE,
+    FaultPlan,
+)
+
+FAULT_SEED = int(os.environ.get("FAULT_SEED", "7"))
+
+WINDOW = TINY_PROFILE.window_sizes[0]
+QUERY = "q11-median"
+N_NODES = 4
+
+_BASELINE = None
+
+
+def baseline():
+    global _BASELINE
+    if _BASELINE is None:
+        _BASELINE = run_query(
+            TINY_PROFILE, QUERY, "flowkv", WINDOW, parallelism=N_NODES,
+            workers=1, cluster=ClusterTopology.uniform(N_NODES),
+        )
+    return _BASELINE
+
+
+def run_chaos(plan):
+    base = baseline()
+    record = run_query(
+        TINY_PROFILE, QUERY, "flowkv", WINDOW, parallelism=N_NODES,
+        workers=1, cluster=ClusterTopology.uniform(N_NODES),
+        fault_plan=plan, checkpoint_interval=max(1, base.input_records // 4),
+        recovery_mode="standby",
+    )
+    kinds = [e.kind for e in record.recoveries]
+    assert record.failure is None, f"job did not survive: {record.failure}"
+    # Some lane always carries the job: standby promotion, checkpoint
+    # restore, or (death before the first epoch) a from-scratch replay.
+    assert {"promote", "restore", "fresh_restart"} & set(kinds), (
+        f"no recovery lane fired: {kinds}"
+    )
+    assert record.output_hash == base.output_hash, (
+        f"digest diverged after {kinds}"
+    )
+    return record
+
+
+class TestSeededSweep:
+    """The fixed schedules every CI seed leg must hold exactly-once on."""
+
+    def kill_at(self, fraction_tenths):
+        return max(2, (fraction_tenths * baseline().input_records) // 10)
+
+    def test_kill_mid_tailing(self):
+        # The node dies between two changelog-segment ships: the epoch
+        # being sealed never commits anywhere, yet recovery still lands
+        # on the digest (from an older usable epoch or by degrading).
+        plan = FaultPlan(seed=FAULT_SEED).kill_node(
+            2, site=CRASH_CHANGELOG_SEAL, on_hit=3)
+        run_chaos(plan)
+
+    def test_kill_mid_promotion(self):
+        # First kill triggers promotion; a second node dies while the
+        # promotion replays the tail.  The attempt aborts and recovery
+        # degrades — still exactly-once.
+        plan = (FaultPlan(seed=FAULT_SEED)
+                .kill_node(2, on_hit=self.kill_at(7))
+                .kill_node(3, site=CRASH_STANDBY_PROMOTE, on_hit=1))
+        record = run_chaos(plan)
+        assert "degraded" in [e.kind for e in record.recoveries]
+
+    def test_kill_with_dropped_links(self):
+        plan = (FaultPlan(seed=FAULT_SEED)
+                .kill_node(2, on_hit=self.kill_at(7))
+                .drop_link(at_time=0.0, path_prefix="net/clog/", times=10**6))
+        run_chaos(plan)
+
+    def test_kill_with_slow_links_and_torn_segments(self):
+        plan = (FaultPlan(seed=FAULT_SEED)
+                .kill_node(2, on_hit=self.kill_at(5))
+                .slow_link(1e6, at_time=0.0, path_prefix="net/clog/",
+                           times=10**6)
+                .torn_write(at_time=0.0, path_prefix="clog/", times=10**6))
+        run_chaos(plan)
+
+    def test_early_kill_before_first_epoch(self):
+        # Death before any checkpoint or base ship: recovery restarts
+        # from scratch — the standby lane must degrade cleanly, not
+        # promote an unbootstrapped replica.
+        plan = FaultPlan(seed=FAULT_SEED).kill_node(1, on_hit=3)
+        run_chaos(plan)
+
+
+class TestHypothesisSchedules:
+    """Model-chosen schedules: node, kill site, kill fraction, link chaos."""
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        node=st.integers(0, N_NODES - 1),
+        site=st.sampled_from(
+            [CRASH_RUNTIME_RECORD, CRASH_CHANGELOG_SEAL, CRASH_STANDBY_PROMOTE]
+        ),
+        tenths=st.integers(2, 9),
+        link_fault=st.sampled_from(["none", "drop", "slow", "torn"]),
+        seed=st.integers(0, 2**16),
+    )
+    def test_any_schedule_recovers_exactly_once(
+        self, node, site, tenths, link_fault, seed
+    ):
+        kill_at = max(1, (tenths * baseline().input_records) // 10)
+        plan = FaultPlan(seed=seed)
+        if site == CRASH_STANDBY_PROMOTE:
+            # Promotion only runs after a node failure: pair the crash
+            # with a plain kill that triggers the attempt.
+            plan.kill_node(node, on_hit=kill_at)
+            plan.kill_node((node + 2) % N_NODES, site=site, on_hit=1)
+        else:
+            plan.kill_node(node, site=site,
+                           on_hit=kill_at if site == CRASH_RUNTIME_RECORD else 2)
+        if link_fault == "drop":
+            plan.drop_link(at_time=0.0, path_prefix="net/clog/", times=10**6)
+        elif link_fault == "slow":
+            plan.slow_link(1e6, at_time=0.0, path_prefix="net/clog/",
+                           times=10**6)
+        elif link_fault == "torn":
+            plan.torn_write(at_time=0.0, path_prefix="clog/", times=10**6)
+        run_chaos(plan)

@@ -1,0 +1,171 @@
+"""Hot-standby failover: promotion, degradation, and charge identity.
+
+End-to-end invariants of the changelog-replication lane
+(:mod:`repro.changelog` driven by ``RecoveryManager(mode="standby")``):
+
+* promoting a warm standby after a node kill lands on the exact digest
+  of an uninterrupted run (exactly-once) and takes strictly less
+  downtime than restoring the same failure from checkpoints;
+* every way the standby can be unusable — lagging tail (slow link),
+  torn segment, dropped link, a crash during promotion itself —
+  degrades to checkpoint restore, which still lands on the digest;
+* single-node jobs never construct the replication machinery: a
+  standby-mode run is charge- and digest-identical to restore mode;
+* rescale ``promote`` mode seeds moved key-groups from warm replicas.
+
+``FAULT_SEED`` (env var) varies the fault plans exactly as in
+``test_recovery.py`` so the CI fault matrix covers this file too.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.bench.harness import run_query
+from repro.bench.profiles import TINY_PROFILE
+from repro.cluster import ClusterTopology
+from repro.faults import CRASH_STANDBY_PROMOTE, FaultPlan
+
+FAULT_SEED = int(os.environ.get("FAULT_SEED", "7"))
+
+WINDOW = TINY_PROFILE.window_sizes[0]
+QUERY = "q11-median"
+N_NODES = 4
+DEAD_NODE = 2
+
+
+def run(cluster_nodes=N_NODES, **kwargs):
+    cluster = ClusterTopology.uniform(cluster_nodes) if cluster_nodes else None
+    return run_query(TINY_PROFILE, QUERY, "flowkv", WINDOW,
+                     parallelism=N_NODES, workers=1, cluster=cluster, **kwargs)
+
+
+def baseline():
+    return run()
+
+
+def cut_points(base):
+    interval = max(1, base.input_records // 4)
+    kill_at = max(2, (7 * base.input_records) // 10)
+    return interval, kill_at
+
+
+def kill_plan(kill_at, **extra):
+    plan = FaultPlan(seed=FAULT_SEED).kill_node(DEAD_NODE, on_hit=kill_at)
+    for method, kwargs in extra.items():
+        getattr(plan, method)(**kwargs)
+    return plan
+
+
+class TestPromotion:
+    def test_promotion_is_exactly_once(self):
+        base = baseline()
+        interval, kill_at = cut_points(base)
+        promoted = run(fault_plan=kill_plan(kill_at),
+                       checkpoint_interval=interval, recovery_mode="standby")
+        assert promoted.output_hash == base.output_hash
+        kinds = [e.kind for e in promoted.recoveries]
+        assert "node_failure" in kinds
+        assert "promote" in kinds
+        assert "degraded" not in kinds
+        assert "restore" not in kinds
+
+    def test_promotion_beats_checkpoint_restore(self):
+        base = baseline()
+        interval, kill_at = cut_points(base)
+        restored = run(fault_plan=kill_plan(kill_at),
+                       checkpoint_interval=interval)
+        promoted = run(fault_plan=kill_plan(kill_at),
+                       checkpoint_interval=interval, recovery_mode="standby")
+        assert restored.output_hash == base.output_hash
+        assert promoted.output_hash == base.output_hash
+        assert promoted.recovery_downtime < restored.recovery_downtime
+
+    def test_promotion_repoints_the_dead_nodes_instances(self):
+        base = baseline()
+        interval, kill_at = cut_points(base)
+        promoted = run(fault_plan=kill_plan(kill_at),
+                       checkpoint_interval=interval, recovery_mode="standby")
+        promote = next(e for e in promoted.recoveries if e.kind == "promote")
+        # Consecutive-peer placement: node 2's standby lives on node 3.
+        assert f"node {DEAD_NODE} -> standby {(DEAD_NODE + 1) % N_NODES}" \
+            in promote.detail
+
+    def test_replication_pays_the_network(self):
+        base = baseline()
+        interval, kill_at = cut_points(base)
+        restored = run(fault_plan=kill_plan(kill_at),
+                       checkpoint_interval=interval)
+        promoted = run(fault_plan=kill_plan(kill_at),
+                       checkpoint_interval=interval, recovery_mode="standby")
+        # Tailing segments to standbys is extra traffic over plain
+        # checkpoint replication — the cost of the faster failover.
+        assert promoted.network_bytes > restored.network_bytes
+
+
+class TestDegradation:
+    def degraded_run(self, **extra):
+        base = baseline()
+        interval, kill_at = cut_points(base)
+        record = run(fault_plan=kill_plan(kill_at, **extra),
+                     checkpoint_interval=interval, recovery_mode="standby")
+        return base, record
+
+    def assert_degraded_but_exact(self, base, record):
+        kinds = [e.kind for e in record.recoveries]
+        assert "degraded" in kinds
+        assert "restore" in kinds  # the fallback lane recovered the job
+        assert "promote" not in kinds
+        assert record.output_hash == base.output_hash
+
+    def test_lagging_standby_slow_link(self):
+        base, record = self.degraded_run(
+            slow_link=dict(factor=1e9, at_time=0.0,
+                           path_prefix="net/clog/", times=10**6))
+        self.assert_degraded_but_exact(base, record)
+
+    def test_torn_changelog_segment(self):
+        base, record = self.degraded_run(
+            torn_write=dict(at_time=0.0, path_prefix="clog/", times=10**6))
+        self.assert_degraded_but_exact(base, record)
+
+    def test_dropped_replication_link(self):
+        base, record = self.degraded_run(
+            drop_link=dict(at_time=0.0, path_prefix="net/clog/", times=10**6))
+        self.assert_degraded_but_exact(base, record)
+
+    def test_crash_during_promotion(self):
+        base, record = self.degraded_run(
+            crash=dict(site=CRASH_STANDBY_PROMOTE, on_hit=1))
+        self.assert_degraded_but_exact(base, record)
+
+
+class TestSingleNodeIdentity:
+    def test_standby_mode_is_inert_without_a_cluster(self):
+        base = run(cluster_nodes=None)
+        interval = max(1, base.input_records // 4)
+        restore = run(cluster_nodes=None, checkpoint_interval=interval)
+        standby = run(cluster_nodes=None, checkpoint_interval=interval,
+                      recovery_mode="standby")
+        assert standby.output_hash == restore.output_hash == base.output_hash
+        # Charge identity: no replication machinery means not one extra
+        # simulated nanosecond or byte in any ledger category.
+        assert standby.metrics.cpu_seconds == restore.metrics.cpu_seconds
+        assert standby.network_bytes == restore.network_bytes
+        assert standby.job_seconds == restore.job_seconds
+
+
+class TestPromoteModeRescale:
+    def test_rescale_seeds_from_warm_replicas(self):
+        base = baseline()
+        interval = max(1, base.input_records // 4)
+        rescale_at = max(2, base.input_records // 2)
+        rescaled = run(checkpoint_interval=interval, recovery_mode="standby",
+                       rescale_schedule={rescale_at: 2},
+                       rescale_mode="promote")
+        assert rescaled.failure is None
+        assert rescaled.rescales and rescaled.rescales[0].new_parallelism == 2
+        assert not rescaled.rescales[0].aborted
+        # Warm replicas, not live streaming, carried most moved groups.
+        assert rescaled.rescales[0].seeded_groups > 0
+        assert rescaled.output_hash == base.output_hash
