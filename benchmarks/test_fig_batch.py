@@ -1,0 +1,49 @@
+"""Batch sweep figure: wall-clock and charged ops vs batch size.
+
+Shape asserted: every cell finishes, every batch size is digest-equal
+with the batch-1 run of its cell, and the simulated columns (per-run
+CPU total, charged device ops) are bit-identical across batch sizes —
+batching may only move real wall-clock time.  At batch 64, at least
+one cell per query shows a measurable real-time reduction.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench.figures import fig_batch
+
+
+def test_fig_batch(benchmark, profile, save_report):
+    records = run_once(benchmark, lambda: fig_batch.run(profile))
+    save_report("fig_batch", fig_batch.render(records))
+
+    cells: dict[tuple[str, str], dict[int, object]] = {}
+    for record in records:
+        sweep = record.operator_stats["_sweep"]
+        cells.setdefault((record.query, record.backend), {})[sweep["batch"]] = record
+
+    for (query, backend), by_batch in cells.items():
+        assert set(by_batch) == set(fig_batch.BATCH_SIZES), (query, backend)
+        base = by_batch[1]
+        assert base.ok, (query, backend)
+        for batch, record in by_batch.items():
+            cell = (query, backend, batch)
+            assert record.ok, cell
+            sweep = record.operator_stats["_sweep"]
+            # Correctness: outputs and the simulated ledger are
+            # batch-size-invariant.
+            assert record.output_hash == base.output_hash, cell
+            assert sweep["digest_ok"], cell
+            assert sweep["sim_cpu_ok"], cell
+            assert sweep["charged_ops"] == \
+                base.operator_stats["_sweep"]["charged_ops"], cell
+            assert record.results == base.results, cell
+
+    # The point of the batch path: real time drops somewhere at batch 64.
+    for query in fig_batch.QUERIES:
+        speedups = [
+            by_batch[64].operator_stats["_sweep"]["speedup"]
+            for (q, _), by_batch in cells.items() if q == query
+        ]
+        assert max(speedups) > 1.1, (query, speedups)

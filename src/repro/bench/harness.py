@@ -138,6 +138,8 @@ def run_query(
     generator_overrides: dict[str, Any] | None = None,
     cluster: Any = None,
     recovery_mode: str = "restore",
+    batch_records: int = 1,
+    batch_bytes: int | None = None,
 ) -> RunRecord:
     """Execute one cell of the evaluation matrix.
 
@@ -190,6 +192,8 @@ def run_query(
         cost_scale=profile.latency_cost_scale if arrival_rate else 1.0,
         faults=fault_plan.build() if fault_plan is not None else None,
         cluster=cluster,
+        batch_records=batch_records,
+        batch_bytes=batch_bytes,
     )
     record = RunRecord(query=query, backend=backend, window_size=window_size,
                        arrival_rate=arrival_rate,

@@ -105,6 +105,52 @@ class WindowOperator:
         else:
             self._process_aligned(record)
 
+    def process_batch(self, records: list[StreamRecord]) -> None:
+        """Batch entry point for the runtime's record batches.
+
+        Only the non-incremental, non-merging append path defers state
+        writes into one ``multi_append`` — count windows fire mid-tuple,
+        sessions merge state they may re-read, and incremental RMW reads
+        its own writes, so those stay strict per-record loops.  Charges
+        regroup by category (all engine, then all serde + store) but
+        per-category order matches the per-tuple loop exactly; no reads
+        happen between the deferred writes because triggers only run at
+        watermarks, and the runtime flushes batches before broadcasting.
+        """
+        if (
+            self.incremental
+            or self.assigner.merging
+            or isinstance(self.assigner, CountWindowAssigner)
+        ):
+            process = self.process
+            for record in records:
+                process(record)
+            return
+        charge = self.env.charge_cpu
+        function_call = self.env.cpu.function_call
+        branch_step = self.env.cpu.branch_step
+        assign = self.assigner.assign
+        aligned_reads = self.aligned_reads
+        pending = self._pending_aligned
+        entries: list[tuple[bytes, Window, Any, float]] = []
+        for record in records:
+            charge(CAT_ENGINE, function_call)
+            if record.timestamp > self._max_timestamp:
+                self._max_timestamp = record.timestamp
+            for window in assign(record.timestamp):
+                charge(CAT_ENGINE, branch_step)
+                entries.append(
+                    (record.key, window, record.value, record.timestamp)
+                )
+                if aligned_reads:
+                    if window not in pending:
+                        pending.add(window)
+                        self._arm_aligned_window(window)
+                else:
+                    self._track_window_key(window, record.key)
+        if entries:
+            self.backend.multi_append(entries)
+
     def _process_aligned(self, record: StreamRecord) -> None:
         windows = self.assigner.assign(record.timestamp)
         for window in windows:
@@ -113,7 +159,11 @@ class WindowOperator:
                 self._rmw_add(record.key, window, record.value)
                 self._track_window_key(window, record.key)
             else:
-                self.backend.append(record.key, window, record.value, record.timestamp)
+                # State mutation goes through the batch API even on the
+                # per-record path (size-1 batch is charge-identical).
+                self.backend.multi_append(
+                    [(record.key, window, record.value, record.timestamp)]
+                )
                 if self.aligned_reads:
                     if window not in self._pending_aligned:
                         self._pending_aligned.add(window)
@@ -156,7 +206,9 @@ class WindowOperator:
         if self.incremental:
             self._rmw_add(record.key, target.initials[0], record.value)
         else:
-            self.backend.append(record.key, target.initials[0], record.value, record.timestamp)
+            self.backend.multi_append(
+                [(record.key, target.initials[0], record.value, record.timestamp)]
+            )
         self._register_timer(target.current.end, ("session", record.key, target))
 
     def _process_count(self, record: StreamRecord) -> None:
@@ -166,7 +218,9 @@ class WindowOperator:
         if self.incremental:
             self._rmw_add(record.key, window, record.value)
         else:
-            self.backend.append(record.key, window, record.value, record.timestamp)
+            self.backend.multi_append(
+                [(record.key, window, record.value, record.timestamp)]
+            )
         count += 1
         if count >= assigner.count:
             self._fire_key_window(record.key, window, window)
@@ -175,12 +229,15 @@ class WindowOperator:
             self._count_state[record.key] = (ordinal, count)
 
     def _rmw_add(self, key: bytes, window: Window, value: Any) -> None:
-        accumulator = self.backend.rmw_get(key, window)
+        # Read-modify-write is irreducibly per-record (each update reads
+        # its own previous write) — size-1 batch calls keep the hot path
+        # on the batch API without changing any charge.
+        accumulator = self.backend.multi_get([(key, window)])[0]
         if accumulator is None:
             accumulator = self.function.create_accumulator()
         self.env.charge_cpu(CAT_QUERY, self.env.cpu.function_call)
         accumulator = self.function.add(value, accumulator)
-        self.backend.rmw_put(key, window, accumulator)
+        self.backend.apply_write_batch([("rmw_put", key, window, accumulator)])
 
     # ------------------------------------------------------------------
     # trigger path

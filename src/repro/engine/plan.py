@@ -172,6 +172,16 @@ class StreamEnvironment:
             migration chunk, checkpoint shard — is charged to the
             ``network`` ledger category.  ``None`` (the default) keeps
             the legacy single-machine model, charge-for-charge.
+        max_batch_records: records per columnar
+            :class:`~repro.engine.batch.RecordBatch` pushed through the
+            hot path in throughput mode.  ``1`` (the default) runs the
+            exact per-tuple code path; larger batches amortize real
+            Python overhead while charging the simulated ledger
+            identically per record.  Latency mode (``arrival_rate``)
+            always runs per-tuple.
+        max_batch_bytes: optional byte budget per batch (estimated
+            payload bytes); a batch flushes early when either limit is
+            reached.  ``None`` means records-only batching.
     """
 
     def __init__(
@@ -184,9 +194,17 @@ class StreamEnvironment:
         max_key_groups: int = DEFAULT_MAX_KEY_GROUPS,
         faults: Any = None,
         cluster: Any = None,
+        max_batch_records: int = 1,
+        max_batch_bytes: int | None = None,
     ) -> None:
         if parallelism < 1 or workers < 1:
             raise PlanError("parallelism and workers must be >= 1")
+        if max_batch_records < 1:
+            raise PlanError("max_batch_records must be >= 1")
+        if max_batch_bytes is not None and max_batch_bytes < 1:
+            raise PlanError("max_batch_bytes must be >= 1 or None")
+        self.max_batch_records = max_batch_records
+        self.max_batch_bytes = max_batch_bytes
         self.max_key_groups = max_key_groups
         validate_parallelism(parallelism * workers, max_key_groups)
         self.parallelism = parallelism

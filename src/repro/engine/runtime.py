@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.cluster.topology import charge_link
+from repro.engine.batch import RecordBatch, record_bytes
 from repro.engine.joins import IntervalJoinOperator, JoinStateBackend
 from repro.engine.operators import WindowOperator
 from repro.engine.plan import LogicalNode, StreamEnvironment
@@ -277,70 +278,186 @@ class Executor:
         max_ts = start_max_ts
         arrival = 0.0
         failure: str | None = None
-        last_busy = self._busy_sum()
-        last_arrival = 0.0
+        self._last_busy = self._busy_sum()
+        self._last_arrival = 0.0
         cluster = self._plan.cluster
+        # Latency mode needs the per-record arrival axis, so batching is
+        # a throughput-mode-only optimization; batch size 1 takes the
+        # exact legacy per-tuple path.
+        batch_limit = 1 if arrival_rate else max(1, self._plan.max_batch_records)
+        boundary_args = (
+            arrival_rate, watermark_delay, sim_timeout, overload_backlog,
+            rescale_policy, checkpointer, faults,
+        )
         try:
-            for source_node, value, timestamp in merged:
-                if faults is not None:
-                    faults.crash_point(
-                        CRASH_RUNTIME_RECORD, now_fn=self._busiest_clock
-                    )
-                if arrival_rate:
-                    arrival = count / arrival_rate
-                record = StreamRecord(b"", value, timestamp)
-                if self._first_ts is None:
-                    self._first_ts = timestamp
-                # Source tasks are sharded round-robin over cluster nodes;
-                # the record's first shuffle hop starts from its ingest node.
-                origin = 0 if cluster is None else cluster.ingest_node(count)
-                self._push(source_node, record, arrival, origin)
-                count += 1
-                self.records_ingested = count
-                if timestamp > max_ts:
-                    max_ts = timestamp
-                if self._live is not None:
-                    # One chunk per transfer channel per ingested record:
-                    # the migration interleaves with processing.
-                    self._live.advance(arrival)
-                    if self._live.done:
-                        self._live = None
-                if count % watermark_interval == 0:
-                    self._broadcast_watermark(max_ts - watermark_delay, arrival)
+            if batch_limit > 1:
+                count = self._run_batched(
+                    merged, count, max_ts, watermark_interval, batch_limit,
+                    faults, cluster, boundary_args,
+                )
+            else:
+                for source_node, value, timestamp in merged:
                     if faults is not None:
                         faults.crash_point(
-                            CRASH_RUNTIME_WATERMARK, now_fn=self._busiest_clock
+                            CRASH_RUNTIME_RECORD, now_fn=self._busiest_clock
                         )
-                    self._check_limits(sim_timeout, arrival_rate, arrival, overload_backlog)
-                    # Policy and checkpoints wait for an in-flight
-                    # migration to settle: decide() is not even consulted,
-                    # so scheduled thresholds are not consumed mid-flight.
-                    if rescale_policy is not None and self._live is None:
-                        busy = self._busy_sum()
-                        utilization = None
-                        if arrival_rate and arrival > last_arrival:
-                            n = max(1, self.current_parallelism)
-                            utilization = (busy - last_busy) / n / (arrival - last_arrival)
-                        observation = LoadObservation(
-                            record_count=count,
-                            parallelism=self.current_parallelism,
-                            utilization=utilization,
-                            backlog_seconds=self._backlog_signal(
-                                arrival, arrival_rate, max_ts
-                            ),
-                        )
-                        last_busy, last_arrival = busy, arrival
-                        target = rescale_policy.decide(observation)
-                        if target is not None and target != self.current_parallelism:
-                            self.rescale_to(target, arrival=arrival, at_record=count)
-                    if checkpointer is not None and self._live is None:
-                        checkpointer.maybe_checkpoint(self, count, max_ts, rescale_policy)
+                    if arrival_rate:
+                        arrival = count / arrival_rate
+                    record = StreamRecord(b"", value, timestamp)
+                    if self._first_ts is None:
+                        self._first_ts = timestamp
+                    # Source tasks are sharded round-robin over cluster
+                    # nodes; the record's first shuffle hop starts from
+                    # its ingest node.
+                    origin = 0 if cluster is None else cluster.ingest_node(count)
+                    self._push(source_node, record, arrival, origin)
+                    count += 1
+                    self.records_ingested = count
+                    if timestamp > max_ts:
+                        max_ts = timestamp
+                    if self._live is not None:
+                        # One chunk per transfer channel per ingested
+                        # record: the migration interleaves with processing.
+                        self._live.advance(arrival)
+                        if self._live.done:
+                            self._live = None
+                    if count % watermark_interval == 0:
+                        self._watermark_boundary(count, max_ts, arrival, *boundary_args)
             self._finish(arrival)
         except SimTimeoutError:
             failure = "timeout"
         except EngineOverloadError:
             failure = "overload"
         return self._result(count, failure)
+
+    def _run_batched(
+        self,
+        merged,
+        count: int,
+        max_ts: float,
+        watermark_interval: int,
+        batch_limit: int,
+        faults,
+        cluster,
+        boundary_args: tuple,
+    ) -> int:
+        """Throughput-mode ingest loop over columnar record batches.
+
+        Per-record bookkeeping (crash points, ingest counting, watermark
+        tracking, live-migration advance) is unchanged; only delivery is
+        buffered.  Three invariants keep the simulated run equivalent to
+        per-tuple execution:
+
+        * a watermark due mid-batch flushes the partial batch *before*
+          broadcasting, so timer firing order is identical;
+        * while a live migration is in flight, records bypass the buffer
+          and take the per-record path (the migration's intercept and
+          advance hooks are per-record by contract);
+        * batches split at key-group boundaries on delivery, so each
+          instance still sees exactly its own records, in arrival order.
+        """
+        arrival = 0.0
+        byte_limit = self._plan.max_batch_bytes
+        pending: list[tuple[LogicalNode, Any, float, int]] = []
+        pending_bytes = 0
+        for source_node, value, timestamp in merged:
+            if faults is not None:
+                faults.crash_point(CRASH_RUNTIME_RECORD, now_fn=self._busiest_clock)
+            if self._first_ts is None:
+                self._first_ts = timestamp
+            origin = 0 if cluster is None else cluster.ingest_node(count)
+            if self._live is not None:
+                self._push(
+                    source_node, StreamRecord(b"", value, timestamp), arrival, origin
+                )
+            else:
+                pending.append((source_node, value, timestamp, origin))
+                if byte_limit is not None:
+                    pending_bytes += record_bytes(value)
+            count += 1
+            self.records_ingested = count
+            if timestamp > max_ts:
+                max_ts = timestamp
+            if self._live is not None:
+                self._live.advance(arrival)
+                if self._live.done:
+                    self._live = None
+            if len(pending) >= batch_limit or (
+                byte_limit is not None and pending_bytes >= byte_limit
+            ):
+                self._flush_pending(pending, arrival)
+                pending_bytes = 0
+            if count % watermark_interval == 0:
+                # Watermark-split invariant: deliver the partial batch
+                # first so triggers see every record before the watermark.
+                if pending:
+                    self._flush_pending(pending, arrival)
+                    pending_bytes = 0
+                self._watermark_boundary(count, max_ts, arrival, *boundary_args)
+        if pending:
+            self._flush_pending(pending, arrival)
+        return count
+
+    def _flush_pending(
+        self, pending: list[tuple[LogicalNode, Any, float, int]], arrival: float
+    ) -> None:
+        """Deliver buffered source rows as per-source-node record runs."""
+        start = 0
+        n = len(pending)
+        while start < n:
+            node = pending[start][0]
+            end = start + 1
+            while end < n and pending[end][0] is node:
+                end += 1
+            rows = pending[start:end]
+            batch = RecordBatch(
+                [b""] * len(rows),
+                [row[1] for row in rows],
+                [row[2] for row in rows],
+                [row[3] for row in rows],
+            )
+            self._push_batch(node, batch, arrival)
+            start = end
+        pending.clear()
+
+    def _watermark_boundary(
+        self,
+        count: int,
+        max_ts: float,
+        arrival: float,
+        arrival_rate: float | None,
+        watermark_delay: float,
+        sim_timeout: float | None,
+        overload_backlog: float,
+        rescale_policy,
+        checkpointer,
+        faults,
+    ) -> None:
+        self._broadcast_watermark(max_ts - watermark_delay, arrival)
+        if faults is not None:
+            faults.crash_point(CRASH_RUNTIME_WATERMARK, now_fn=self._busiest_clock)
+        self._check_limits(sim_timeout, arrival_rate, arrival, overload_backlog)
+        # Policy and checkpoints wait for an in-flight migration to
+        # settle: decide() is not even consulted, so scheduled thresholds
+        # are not consumed mid-flight.
+        if rescale_policy is not None and self._live is None:
+            busy = self._busy_sum()
+            utilization = None
+            if arrival_rate and arrival > self._last_arrival:
+                n = max(1, self.current_parallelism)
+                utilization = (busy - self._last_busy) / n / (arrival - self._last_arrival)
+            observation = LoadObservation(
+                record_count=count,
+                parallelism=self.current_parallelism,
+                utilization=utilization,
+                backlog_seconds=self._backlog_signal(arrival, arrival_rate, max_ts),
+            )
+            self._last_busy, self._last_arrival = busy, arrival
+            target = rescale_policy.decide(observation)
+            if target is not None and target != self.current_parallelism:
+                self.rescale_to(target, arrival=arrival, at_record=count)
+        if checkpointer is not None and self._live is None:
+            checkpointer.maybe_checkpoint(self, count, max_ts, rescale_policy)
 
     # ------------------------------------------------------------------
     def rescale_to(
@@ -535,6 +652,131 @@ class Executor:
             self._latencies.append(max(0.0, arrival - record.timestamp))
         else:  # pragma: no cover - source has no inbound records
             raise PlanError(f"cannot handle node kind {kind}")
+
+    # ------------------------------------------------------------------
+    # batched hot path: columnar batches flow through stateless
+    # transforms without boxing records; rows materialize only at the
+    # keyed hand-off to a stateful instance (split per key-group there)
+    # or at a sink.
+    # ------------------------------------------------------------------
+    def _push_batch(self, node: LogicalNode, batch: RecordBatch, arrival: float) -> None:
+        for child in self._children.get(node.node_id, []):
+            self._handle_batch(child, batch, arrival)
+
+    def _handle_batch(self, node: LogicalNode, batch: RecordBatch, arrival: float) -> None:
+        kind = node.kind
+        if kind == "map":
+            fn = node.params["fn"]
+            self._push_batch(
+                node, batch.with_values([fn(v) for v in batch.values]), arrival
+            )
+        elif kind == "filter":
+            fn = node.params["fn"]
+            kept = [i for i, v in enumerate(batch.values) if fn(v)]
+            if kept:
+                if len(kept) == len(batch):
+                    self._push_batch(node, batch, arrival)
+                else:
+                    self._push_batch(node, batch.take(kept), arrival)
+        elif kind == "flat_map":
+            fn = node.params["fn"]
+            keys: list[bytes] = []
+            values: list[Any] = []
+            timestamps: list[float] = []
+            origins: list[int] = []
+            in_keys = batch.keys
+            in_ts = batch.timestamps
+            in_origins = batch.origins
+            for i, v in enumerate(batch.values):
+                for out in fn(v):
+                    keys.append(in_keys[i])
+                    values.append(out)
+                    timestamps.append(in_ts[i])
+                    origins.append(in_origins[i])
+            if values:
+                self._push_batch(
+                    node, RecordBatch(keys, values, timestamps, origins), arrival
+                )
+        elif kind == "key_by":
+            fn = node.params["fn"]
+            keys = []
+            for v in batch.values:
+                key = fn(v)
+                if not isinstance(key, bytes):
+                    raise PlanError(
+                        f"key_by {node.name} must return bytes, got {type(key)}"
+                    )
+                keys.append(key)
+            self._push_batch(node, batch.with_keys(keys), arrival)
+        elif kind == "union":
+            self._push_batch(node, batch, arrival)
+        elif kind in ("window", "interval_join"):
+            if self._live is not None:
+                # Per-record fallback while a migration is in flight: the
+                # intercept hook buffers moved-group records one by one.
+                for record, origin in batch.iter_rows():
+                    self._handle(node, record, arrival, origin)
+                return
+            self._deliver_batch(node, batch, arrival)
+        elif kind == "sink":
+            self._sinks[node.name].extend(batch.values)
+            latencies = self._latencies
+            for ts in batch.timestamps:
+                latencies.append(max(0.0, arrival - ts))
+        else:  # pragma: no cover - source has no inbound records
+            raise PlanError(f"cannot handle node kind {kind}")
+
+    def _deliver_batch(self, node: LogicalNode, batch: RecordBatch, arrival: float) -> None:
+        """Split a batch at key-group boundaries and hand each routed
+        instance its rows (arrival order preserved within an instance).
+
+        One work unit per (batch, instance): remote rows pay their wire
+        charge first — all charges land on the instance's own env, so
+        per-category charge order matches per-tuple delivery.
+        """
+        instances = self._instances[node.node_id]
+        owner = self.group_owner
+        max_groups = self._plan.max_key_groups
+        keys = batch.keys
+        order: list[int] = []
+        grouped: dict[int, list[int]] = {}
+        for i, key in enumerate(keys):
+            inst_index = owner[key_group_of(key, max_groups)]
+            rows = grouped.get(inst_index)
+            if rows is None:
+                grouped[inst_index] = rows = []
+                order.append(inst_index)
+            rows.append(i)
+        values = batch.values
+        timestamps = batch.timestamps
+        origins = batch.origins
+        cluster = self._plan.cluster
+        for inst_index in order:
+            instance = instances[inst_index]
+            rows = grouped[inst_index]
+            records = [
+                StreamRecord(keys[i], values[i], timestamps[i]) for i in rows
+            ]
+            if cluster is not None:
+                overhead = cluster.network.record_overhead_bytes
+                remote = [
+                    (origins[i], overhead + len(keys[i]))
+                    for i in rows
+                    if origins[i] != instance.cluster_node
+                ]
+            else:
+                remote = ()
+
+            def thunk(inst=instance, recs=records, hops=remote):
+                for org, wire in hops:
+                    charge_link(
+                        inst.env, cluster.network, org, inst.cluster_node, wire,
+                        f"net/shuffle/{node.name}", self._plan.faults,
+                        n_requests=0,
+                    )
+                inst.operator.process_batch(recs)
+
+            self._run_unit(node, instance, arrival, thunk)
 
     def _route(self, node: LogicalNode, key: bytes) -> PhysicalInstance:
         """Key-group routing: hash to a key-group once, then look the

@@ -49,16 +49,29 @@ class UnsupportedOperationError(StoreError):
     ``NotImplementedError`` halfway through a migration.
     """
 
-    def __init__(self, backend: str, capability: str, operation: str = "") -> None:
+    def __init__(
+        self,
+        backend: str,
+        capability: str,
+        operation: str = "",
+        advertised=None,
+    ) -> None:
         wanted = operation or capability
+        if advertised is None:
+            have = ""
+        elif advertised:
+            have = f"; it advertises: {', '.join(sorted(advertised))}"
+        else:
+            have = "; it advertises no optional capabilities"
         super().__init__(
             f"{backend} does not support {wanted!r}: the backend does not "
-            f"advertise the {capability!r} capability (see "
+            f"advertise the {capability!r} capability{have} (see "
             f"WindowStateBackend.capabilities)"
         )
         self.backend = backend
         self.capability = capability
         self.operation = wanted
+        self.advertised = frozenset(advertised) if advertised is not None else None
 
 
 class StoreRestoreError(StoreError):

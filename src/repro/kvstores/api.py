@@ -15,6 +15,7 @@ Two layers:
 
 from __future__ import annotations
 
+import warnings
 import zlib
 from abc import ABC, abstractmethod
 from collections.abc import Callable, Iterator
@@ -31,9 +32,26 @@ KIND_JOIN_LEFT = "joinL"  # interval-join left side buffer (MapState analogue)
 KIND_JOIN_RIGHT = "joinR"  # interval-join right side buffer
 
 # Optional-capability names a backend may advertise (``capabilities``).
+#
+# * ``CAP_SNAPSHOT`` — the backend implements ``snapshot()``/``restore()``
+#   and can be checkpointed.
+# * ``CAP_RESCALE`` — the backend implements ``export_state()``/
+#   ``import_state()`` and its key-groups can migrate between instances.
+# * ``CAP_INCREMENTAL`` — the backend tracks per-key-group dirtiness
+#   (``dirty_groups()``/``export_group_state()``) so checkpoints can write
+#   deltas and changelog replication can tail its mutations.
+# * ``CAP_BATCH`` — the backend *natively* implements the batched hot-path
+#   surface (``multi_get``/``multi_append``/``write_batch``) with one
+#   amortized call per batch.  Every backend still accepts the batch API —
+#   the base classes provide loop-over-per-tuple defaults — so CAP_BATCH
+#   is a performance statement, not a correctness gate: callers may use
+#   it to pick batch sizes, never to refuse service.  Batched calls must
+#   charge the simulated ledger identically to the per-tuple loop they
+#   replace (charge parity is what keeps batch size a pure real-time knob).
 CAP_SNAPSHOT = "snapshot"  # snapshot() / restore() — checkpointing
 CAP_RESCALE = "rescale"  # export_state() / import_state() — key-group migration
 CAP_INCREMENTAL = "incremental"  # dirty_groups() / export_group_state() — delta checkpoints
+CAP_BATCH = "batch"  # native multi_get() / multi_append() / write_batch()
 
 # Default per-chunk byte budget of a live state transfer.
 DEFAULT_CHUNK_BYTES = 64 << 10
@@ -57,8 +75,11 @@ def require_capability(backend: Any, capability: str, operation: str = "") -> No
     typed :class:`~repro.errors.UnsupportedOperationError` up front
     rather than a mid-migration surprise.
     """
-    if capability not in getattr(backend, "capabilities", frozenset()):
-        raise UnsupportedOperationError(type(backend).__name__, capability, operation)
+    advertised = getattr(backend, "capabilities", frozenset())
+    if capability not in advertised:
+        raise UnsupportedOperationError(
+            type(backend).__name__, capability, operation, advertised=advertised
+        )
 
 
 @dataclass
@@ -306,6 +327,161 @@ class StateExportStream:
         return entries
 
 
+class WriteBatch:
+    """Accumulate-then-commit mutation batch for a :class:`KVStore`.
+
+    The plyvel/RocksDB ``WriteBatch`` idiom: ops are buffered in this
+    object and *nothing* reaches the store until :meth:`commit` hands the
+    whole ordered op list to the store's ``apply_write_batch`` in one
+    call.  That gives the batch its atomicity story: no device write can
+    land mid-batch (a torn write cannot leave a prefix of the batch on
+    disk), and a batch abandoned before commit — including via an
+    exception inside the ``with`` block — applies nothing at all.
+
+    Usable as a context manager; a clean exit commits, an exception
+    discards the buffered ops and re-raises.
+    """
+
+    __slots__ = ("_target", "_ops", "_committed")
+
+    def __init__(self, target: Any) -> None:
+        self._target = target
+        self._ops: list[tuple[str, bytes, bytes | None]] = []
+        self._committed = False
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self._ops.append(("put", key, value))
+
+    def append(self, key: bytes, value: bytes) -> None:
+        self._ops.append(("append", key, value))
+
+    def delete(self, key: bytes) -> None:
+        self._ops.append(("delete", key, None))
+
+    def commit(self) -> None:
+        """Apply every buffered op, in order, in one store call."""
+        if self._committed:
+            return
+        self._committed = True
+        ops, self._ops = self._ops, []
+        if ops:
+            self._target.apply_write_batch(ops)
+
+    def discard(self) -> None:
+        """Drop the buffered ops without applying them."""
+        self._committed = True
+        self._ops = []
+
+    def __enter__(self) -> "WriteBatch":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.commit()
+        else:
+            self.discard()
+
+
+class WindowWriteBatch:
+    """Accumulate-then-commit batch for a :class:`WindowStateBackend`.
+
+    Same contract as :class:`WriteBatch`, with window-state ops:
+    ``append(key, window, value, timestamp)``, ``rmw_put`` and
+    ``rmw_remove``.  Commit hands the ordered op list to the backend's
+    ``apply_write_batch``; the default implementation funnels append runs
+    through :meth:`WindowStateBackend.multi_append` so even non-CAP_BATCH
+    backends take the batched path.
+    """
+
+    __slots__ = ("_target", "_ops", "_committed")
+
+    def __init__(self, target: "WindowStateBackend") -> None:
+        self._target = target
+        self._ops: list[tuple] = []
+        self._committed = False
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def append(self, key: bytes, window: Window, value: Any, timestamp: float) -> None:
+        self._ops.append(("append", key, window, value, timestamp))
+
+    def rmw_put(self, key: bytes, window: Window, aggregate: Any) -> None:
+        self._ops.append(("rmw_put", key, window, aggregate))
+
+    def rmw_remove(self, key: bytes, window: Window) -> None:
+        self._ops.append(("rmw_remove", key, window))
+
+    def commit(self) -> None:
+        if self._committed:
+            return
+        self._committed = True
+        ops, self._ops = self._ops, []
+        if ops:
+            self._target.apply_write_batch(ops)
+
+    def discard(self) -> None:
+        self._committed = True
+        self._ops = []
+
+    def __enter__(self) -> "WindowWriteBatch":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.commit()
+        else:
+            self.discard()
+
+
+def warn_per_tuple(operation: str) -> None:
+    """Emit the hot-path per-tuple deprecation warning.
+
+    Engine-side call sites must route state mutation through the batch
+    API (``multi_append`` / ``write_batch``), at batch size 1 where a
+    pattern genuinely needs per-record ordering.  Direct ``put``/
+    ``append`` calls outside backends and tests go through this shim so
+    stragglers surface as :class:`DeprecationWarning` without behavior
+    change.
+    """
+    warnings.warn(
+        f"direct per-tuple {operation}() on the hot path is deprecated; "
+        f"use multi_{operation}() or write_batch() (batch size 1 is "
+        f"charge-identical)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+class PerTupleShim:
+    """Proxy that deprecation-warns on direct per-tuple mutation.
+
+    Wrap a store or backend whose callers have not migrated yet: every
+    attribute is forwarded unchanged, but ``put``/``append``/``delete``/
+    ``rmw_put`` first emit a :class:`DeprecationWarning` through
+    :func:`warn_per_tuple`.  The batched surface (``multi_*``,
+    ``write_batch``) passes through silently.
+    """
+
+    _WARNED = frozenset({"put", "append", "delete", "rmw_put"})
+
+    def __init__(self, target: Any) -> None:
+        object.__setattr__(self, "_target", target)
+
+    def __getattr__(self, name: str):
+        attr = getattr(object.__getattribute__(self, "_target"), name)
+        if name in self._WARNED and callable(attr):
+            def shimmed(*args, _attr=attr, _name=name, **kwargs):
+                warn_per_tuple(_name)
+                return _attr(*args, **kwargs)
+
+            return shimmed
+        return attr
+
+
 class KVStore(ABC):
     """Generic persistent KV store interface (byte keys, byte values)."""
 
@@ -357,6 +533,43 @@ class KVStore(ABC):
     def capabilities(self) -> frozenset[str]:
         """Optional features this store implements (``CAP_*`` names)."""
         return frozenset()
+
+    # --- batched hot path -----------------------------------------------
+    # Default implementations loop over the per-tuple methods, so every
+    # store accepts the batch API unchanged; stores advertising
+    # :data:`CAP_BATCH` override with one amortized internal pass.  Both
+    # shapes must charge the ledger identically to the per-tuple loop.
+    def multi_get(self, keys: list[bytes]) -> list[bytes | None]:
+        """Batched :meth:`get`: one merged value (or None) per key, in
+        key order."""
+        return [self.get(key) for key in keys]
+
+    def multi_append(self, entries: list[tuple[bytes, bytes]]) -> None:
+        """Batched :meth:`append` of ``(key, value)`` entries, in order."""
+        for key, value in entries:
+            self.append(key, value)
+
+    def write_batch(self) -> WriteBatch:
+        """An accumulate-then-commit :class:`WriteBatch` bound to this
+        store.  No device write happens until the batch commits."""
+        return WriteBatch(self)
+
+    def apply_write_batch(self, ops: list[tuple[str, bytes, bytes | None]]) -> None:
+        """Apply a committed :class:`WriteBatch`'s ordered op list.
+
+        The default dispatches per op; CAP_BATCH stores override to stage
+        every op in memory before any flush-threshold check runs, so the
+        batch reaches the device as a unit (never a torn prefix).
+        """
+        for op, key, value in ops:
+            if op == "put":
+                self.put(key, value)
+            elif op == "append":
+                self.append(key, value)
+            elif op == "delete":
+                self.delete(key)
+            else:
+                raise ValueError(f"unknown write-batch op {op!r}")
 
     # --- incremental checkpointing (optional) ---------------------------
     def dirty_groups(self) -> frozenset[int]:
@@ -414,6 +627,55 @@ class WindowStateBackend(ABC):
     @abstractmethod
     def rmw_remove(self, key: bytes, window: Window) -> Any | None:
         """Fetch & remove the aggregate of ``(key, window)`` (trigger)."""
+
+    # --- batched hot path -----------------------------------------------
+    # The engine's only mutation surface: operators hand the backend
+    # per-batch entry lists (size 1 where a pattern needs per-record
+    # ordering).  Defaults loop over the per-tuple methods; CAP_BATCH
+    # backends override with one amortized pass that must stay
+    # charge-identical to the loop.
+    def multi_append(
+        self, entries: list[tuple[bytes, Window, Any, float]]
+    ) -> None:
+        """Batched :meth:`append` of ``(key, window, value, timestamp)``
+        entries, in order."""
+        for key, window, value, timestamp in entries:
+            self.append(key, window, value, timestamp)
+
+    def multi_get(self, cells: list[tuple[bytes, Window]]) -> list[Any | None]:
+        """Batched non-destructive point read: the current aggregate of
+        each ``(key, window)`` cell (:meth:`rmw_get`), in cell order."""
+        return [self.rmw_get(key, window) for key, window in cells]
+
+    def write_batch(self) -> WindowWriteBatch:
+        """An accumulate-then-commit :class:`WindowWriteBatch` bound to
+        this backend."""
+        return WindowWriteBatch(self)
+
+    def apply_write_batch(self, ops: list[tuple]) -> None:
+        """Apply a committed :class:`WindowWriteBatch`'s ordered op list.
+
+        Consecutive append runs are funneled through :meth:`multi_append`
+        so even the default implementation takes the batched path; RMW
+        ops dispatch singly (their read-modify-write ordering is the
+        semantics).
+        """
+        run: list[tuple[bytes, Window, Any, float]] = []
+        for op in ops:
+            if op[0] == "append":
+                run.append((op[1], op[2], op[3], op[4]))
+                continue
+            if run:
+                self.multi_append(run)
+                run = []
+            if op[0] == "rmw_put":
+                self.rmw_put(op[1], op[2], op[3])
+            elif op[0] == "rmw_remove":
+                self.rmw_remove(op[1], op[2])
+            else:
+                raise ValueError(f"unknown write-batch op {op[0]!r}")
+        if run:
+            self.multi_append(run)
 
     # --- lifecycle ------------------------------------------------------
     @abstractmethod

@@ -317,6 +317,8 @@ def build_query(
     cost_scale: float = 1.0,
     faults: Any = None,
     cluster: Any = None,
+    batch_records: int = 1,
+    batch_bytes: int | None = None,
 ) -> StreamEnvironment:
     """Construct a ready-to-execute environment for one query.
 
@@ -326,6 +328,9 @@ def build_query(
     ``window_size * SESSION_GAP_FRACTION``.  ``cluster`` (a
     :class:`repro.cluster.ClusterTopology`) spreads the physical
     instances over simulated machines with a network between them.
+    ``batch_records`` / ``batch_bytes`` size the columnar record batches
+    on the hot path (1 = exact per-tuple execution; simulated charges
+    are per-record identical at any size).
     """
     key = name.lower()
     spec = QUERIES.get(key) or EXTRA_QUERIES.get(key)
@@ -337,6 +342,7 @@ def build_query(
     env = StreamEnvironment(
         parallelism=parallelism, backend_factory=backend_factory, workers=workers,
         cpu=cpu, ssd=ssd, faults=faults, cluster=cluster,
+        max_batch_records=batch_records, max_batch_bytes=batch_bytes,
     )
     source = env.from_source(generate_events(generator_config), name="nexmark")
     gap = session_gap if session_gap is not None else window_size * SESSION_GAP_FRACTION

@@ -20,6 +20,7 @@ from repro.core.patterns import StorePattern, WindowKind
 from repro.engine.state import GenericKVBackend, OperatorInfo
 from repro.errors import StoreError, UnsupportedOperationError
 from repro.kvstores.api import (
+    CAP_BATCH,
     CAP_INCREMENTAL,
     CAP_RESCALE,
     CAP_SNAPSHOT,
@@ -27,6 +28,7 @@ from repro.kvstores.api import (
     WindowStateBackend,
     require_capability,
 )
+from repro.model import GLOBAL_WINDOW
 from repro.kvstores.hashkv import FasterStore
 from repro.kvstores.lsm import LsmStore
 from repro.kvstores.memory import HeapWindowBackend
@@ -102,30 +104,34 @@ def heap_backend():
 class TestAdvertisedCapabilities:
     def test_heap_backend_supports_everything(self):
         assert heap_backend().capabilities == {
-            CAP_SNAPSHOT, CAP_RESCALE, CAP_INCREMENTAL,
+            CAP_SNAPSHOT, CAP_RESCALE, CAP_INCREMENTAL, CAP_BATCH,
         }
 
     def test_flowkv_supports_everything(self):
         env = SimEnv()
         backend = FlowKVComposite(env, SimFileSystem(env), StorePattern.AAR)
-        assert backend.capabilities == {CAP_SNAPSHOT, CAP_RESCALE, CAP_INCREMENTAL}
+        assert backend.capabilities == {
+            CAP_SNAPSHOT, CAP_RESCALE, CAP_INCREMENTAL, CAP_BATCH,
+        }
 
     def test_generic_kv_inherits_snapshot_from_store(self):
         env = SimEnv()
         for store_cls in (LsmStore, FasterStore):
             store = store_cls(env, SimFileSystem(env), "s")
-            assert store.capabilities == {CAP_SNAPSHOT}
+            assert store.capabilities == {CAP_SNAPSHOT, CAP_BATCH}
             backend = GenericKVBackend(env, store)
             assert backend.capabilities == {
-                CAP_SNAPSHOT, CAP_RESCALE, CAP_INCREMENTAL,
+                CAP_SNAPSHOT, CAP_RESCALE, CAP_INCREMENTAL, CAP_BATCH,
             }
 
     def test_generic_kv_over_bare_store_can_rescale_not_snapshot(self):
         # export/import (and the dirty-group bookkeeping riding on it) is
         # implemented generically on top of scan/put, but snapshotting
-        # needs the store's own support.
+        # needs the store's own support.  The glue's batch surface only
+        # needs the base-class loop fallback underneath, so CAP_BATCH is
+        # advertised regardless of the wrapped store.
         backend = GenericKVBackend(SimEnv(), BareStore())
-        assert backend.capabilities == {CAP_RESCALE, CAP_INCREMENTAL}
+        assert backend.capabilities == {CAP_RESCALE, CAP_INCREMENTAL, CAP_BATCH}
 
     def test_base_classes_advertise_nothing(self):
         assert BareBackend().capabilities == frozenset()
@@ -159,6 +165,94 @@ class TestTypedErrors:
     def test_message_is_actionable(self):
         with pytest.raises(UnsupportedOperationError, match="capabilities"):
             require_capability(BareBackend(), CAP_SNAPSHOT)
+
+    def test_message_lists_advertised_capabilities(self):
+        # The error names what the store *does* advertise, so the caller
+        # can see at a glance whether they hold the wrong backend or just
+        # asked for the wrong feature.
+        with pytest.raises(UnsupportedOperationError) as exc_info:
+            require_capability(BareBackend(), CAP_BATCH, "multi_append")
+        assert "advertises no optional capabilities" in str(exc_info.value)
+        backend = GenericKVBackend(SimEnv(), BareStore())
+        with pytest.raises(UnsupportedOperationError) as exc_info:
+            require_capability(backend, CAP_SNAPSHOT, "snapshot")
+        message = str(exc_info.value)
+        assert "it advertises:" in message
+        for cap in sorted(backend.capabilities):
+            assert cap in message
+        assert exc_info.value.advertised == backend.capabilities
+
+
+class TestBatchCapability:
+    """CAP_BATCH is a performance statement: every backend — advertised
+    or not — answers batch calls correctly through the base-class loop."""
+
+    def test_bare_backend_falls_back_to_per_tuple_loop(self):
+        calls = []
+
+        class RecordingBackend(BareBackend):
+            def append(self, key, window, value, timestamp):
+                calls.append(("append", key, value))
+
+            def rmw_get(self, key, window):
+                calls.append(("get", key))
+                return None
+
+        backend = RecordingBackend()
+        assert CAP_BATCH not in backend.capabilities
+        backend.multi_append([
+            (b"a", GLOBAL_WINDOW, 1, 0.0), (b"b", GLOBAL_WINDOW, 2, 1.0),
+        ])
+        assert backend.multi_get([(b"a", GLOBAL_WINDOW)]) == [None]
+        assert calls == [
+            ("append", b"a", 1), ("append", b"b", 2), ("get", b"a"),
+        ]
+
+    def test_bare_store_write_batch_applies_on_commit(self):
+        class RecordingStore(BareStore):
+            def __init__(self):
+                self.ops = []
+
+            def put(self, key, value):
+                self.ops.append(("put", key, value))
+
+            def append(self, key, value):
+                self.ops.append(("append", key, value))
+
+        store = RecordingStore()
+        assert CAP_BATCH not in store.capabilities
+        with store.write_batch() as batch:
+            batch.put(b"k", b"v")
+            batch.append(b"k", b"w")
+            assert store.ops == []  # nothing reaches the store pre-commit
+        assert store.ops == [("put", b"k", b"v"), ("append", b"k", b"w")]
+
+    def test_abandoned_write_batch_applies_nothing(self):
+        class RecordingStore(BareStore):
+            def __init__(self):
+                self.ops = []
+
+            def put(self, key, value):
+                self.ops.append(("put", key, value))
+
+        store = RecordingStore()
+        with pytest.raises(RuntimeError):
+            with store.write_batch() as batch:
+                batch.put(b"k", b"v")
+                raise RuntimeError("operator failed mid-batch")
+        assert store.ops == []
+
+    def test_requiring_batch_degrades_gracefully(self):
+        # A caller that *wants* the amortized path checks up front and
+        # falls back to the identical-semantics loop when refused.
+        backend = BareBackend()
+        try:
+            require_capability(backend, CAP_BATCH, "multi_append")
+            used_native = True
+        except UnsupportedOperationError:
+            used_native = False
+        assert not used_native
+        backend.multi_append([(b"k", GLOBAL_WINDOW, 1, 0.0)])  # still works
 
 
 class TestCallersCheckUpFront:
@@ -236,5 +330,5 @@ class TestCallersCheckUpFront:
                             window_kind=WindowKind.FIXED)
         assert info.pattern is not None
         assert heap_backend().capabilities == {
-            CAP_SNAPSHOT, CAP_RESCALE, CAP_INCREMENTAL,
+            CAP_SNAPSHOT, CAP_RESCALE, CAP_INCREMENTAL, CAP_BATCH,
         }
