@@ -24,6 +24,7 @@ from repro.kvstores.hashkv import FasterConfig, FasterStore
 from repro.kvstores.lsm import LsmConfig, LsmStore
 from repro.kvstores.memory import GcModel, HeapWindowBackend
 from repro.model import Serde
+from repro.prefetch import PrefetchExecutor
 from repro.simenv import SimEnv
 from repro.storage.filesystem import SimFileSystem
 
@@ -74,7 +75,10 @@ def rocksdb_backend(
     def factory(
         env: SimEnv, fs: SimFileSystem, name: str, info: OperatorInfo
     ) -> WindowStateBackend:
-        return GenericKVBackend(env, LsmStore(env, fs, name, config), serde, info.pattern)
+        store = LsmStore(env, fs, name, config)
+        if info.prefetch_depth > 0:
+            store.enable_prefetch(PrefetchExecutor(env, info.prefetch_depth))
+        return GenericKVBackend(env, store, serde, info.pattern)
 
     return factory
 
@@ -87,7 +91,10 @@ def faster_backend(
     def factory(
         env: SimEnv, fs: SimFileSystem, name: str, info: OperatorInfo
     ) -> WindowStateBackend:
-        return GenericKVBackend(env, FasterStore(env, fs, name, config), serde, info.pattern)
+        store = FasterStore(env, fs, name, config)
+        if info.prefetch_depth > 0:
+            store.enable_prefetch(PrefetchExecutor(env, info.prefetch_depth))
+        return GenericKVBackend(env, store, serde, info.pattern)
 
     return factory
 

@@ -18,6 +18,7 @@ from repro.bench.figures import (  # noqa: F401 - imported for registration
     fig_checkpoint,
     fig_cluster_recovery,
     fig_failover,
+    fig_prefetch,
     fig_recovery,
     fig_rescale,
 )

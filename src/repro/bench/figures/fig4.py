@@ -10,7 +10,12 @@ from __future__ import annotations
 
 from repro.bench.harness import RunRecord, run_query
 from repro.bench.profiles import ScaleProfile, active_profile
-from repro.bench.report import breakdown_rows, format_table, lsm_counter_columns
+from repro.bench.report import (
+    breakdown_rows,
+    format_table,
+    lsm_counter_columns,
+    prefetch_counter_columns,
+)
 
 QUERIES = ("q7", "q11-median", "q11")
 BACKENDS = ("rocksdb", "faster")
@@ -33,10 +38,14 @@ def run(profile: ScaleProfile, window_size: float | None = None) -> list[RunReco
 
 def render(records: list[RunRecord]) -> str:
     headers = ["query", "backend", "total_s", "computation", "store_write",
-               "store_read", "compaction", "io_wait", "cache_hit", "bloom_neg"]
+               "store_read", "compaction", "io_wait", "cache_hit", "bloom_neg",
+               "pf_hit", "pf_late", "pf_waste"]
     rows = breakdown_rows(records)
     for row, record in zip(rows, records):
         row.extend(lsm_counter_columns(record))
+        # Fig4 runs prefetch-off (depth 0): these render "-" here and
+        # light up in figures that sweep the depth (fig_prefetch).
+        row.extend(prefetch_counter_columns(record))
     return format_table(headers, rows)
 
 

@@ -140,6 +140,7 @@ def run_query(
     recovery_mode: str = "restore",
     batch_records: int = 1,
     batch_bytes: int | None = None,
+    prefetch_depth: int = 0,
 ) -> RunRecord:
     """Execute one cell of the evaluation matrix.
 
@@ -194,6 +195,7 @@ def run_query(
         cluster=cluster,
         batch_records=batch_records,
         batch_bytes=batch_bytes,
+        prefetch_depth=prefetch_depth,
     )
     record = RunRecord(query=query, backend=backend, window_size=window_size,
                        arrival_rate=arrival_rate,

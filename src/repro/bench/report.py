@@ -184,12 +184,53 @@ def record_summary(record: Any) -> dict[str, Any]:
     node_stats = getattr(record, "node_stats", {})
     if node_stats:
         row["nodes"] = node_stats
+    # Semantic prefetching: counters plus the io_wait split.  Only
+    # present when the run issued any prefetches — the schema stays
+    # append-only and depth-0 rows are byte-identical to older builds.
+    metrics = getattr(record, "metrics", None)
+    if metrics is not None:
+        counters = metrics.counters
+        issued = sum(
+            counters.get(k, 0)
+            for k in ("prefetch_hits", "prefetch_late", "prefetch_wasted",
+                      "prefetch_dropped")
+        )
+        if issued:
+            residual = metrics.prefetch_wait_seconds
+            row["prefetch"] = {
+                "hits": counters.get("prefetch_hits", 0),
+                "late": counters.get("prefetch_late", 0),
+                "wasted": counters.get("prefetch_wasted", 0),
+                "dropped": counters.get("prefetch_dropped", 0),
+                "throttled": counters.get("prefetch_throttled", 0),
+                "io_seconds": metrics.cpu_seconds.get("prefetch", 0.0),
+                "residual_wait_seconds": residual,
+                "demand_wait_seconds": metrics.io_wait_seconds - residual,
+            }
     sweep = getattr(record, "operator_stats", {}).get("_sweep")
     if sweep:
         row["sweep"] = {
             k: v for k, v in sweep.items() if isinstance(v, (int, float, str, bool))
         }
     return row
+
+
+def prefetch_counter_columns(record: Any) -> tuple[str, str, str]:
+    """Prefetch effectiveness: ``(hits, late, wasted)`` counter columns.
+
+    Runs that never issued a prefetch (depth 0, or a backend without the
+    subsystem) render as ``-``.
+    """
+    metrics = getattr(record, "metrics", None)
+    if metrics is None:
+        return ("-", "-", "-")
+    counters = metrics.counters
+    hits = counters.get("prefetch_hits", 0)
+    late = counters.get("prefetch_late", 0)
+    wasted = counters.get("prefetch_wasted", 0)
+    if not (hits or late or wasted or counters.get("prefetch_dropped", 0)):
+        return ("-", "-", "-")
+    return (str(hits), str(late), str(wasted))
 
 
 def summary_payload(

@@ -146,6 +146,19 @@ class JoinStateBackend:
         """The side buffer of ``key`` (a probe — does not dirty)."""
         return self._sides[side].get(key)
 
+    # --- semantic prefetching ------------------------------------------
+    @property
+    def prefetch_enabled(self) -> bool:
+        """Join buffers are memory-resident: nothing to prefetch (yet).
+
+        The hint surface exists so a spilling join backend can overlap
+        buffer loads with probe compute the way window state does.
+        """
+        return False
+
+    def prefetch_probe_keys(self, side: str, keys: list[bytes]) -> None:
+        """Advisory hint: ``keys`` on ``side`` are about to be probed."""
+
     def insert(self, side: str, key: bytes, timestamp: float, value: Any) -> None:
         self._check_open()
         self._sides[side].setdefault(key, _SideBuffer()).add(timestamp, value)
@@ -428,7 +441,23 @@ class IntervalJoinOperator:
         not see same-batch partners before they are inserted in arrival
         order), so the interval join takes no intra-batch shortcuts; the
         batch path only saves the engine's per-record dispatch above.
+
+        With a prefetch-capable backend the batch's probe keys are
+        hinted up front (each record probes the *opposite* side buffer of
+        its key), overlapping buffer loads with the per-record compute.
         """
+        if getattr(self.backend, "prefetch_enabled", False):
+            probes: dict[str, list[bytes]] = {LEFT: [], RIGHT: []}
+            seen: set[tuple[str, bytes]] = set()
+            for record in records:
+                side = record.value[0]
+                other = RIGHT if side == LEFT else LEFT
+                if (other, record.key) not in seen:
+                    seen.add((other, record.key))
+                    probes[other].append(record.key)
+            for side, keys in probes.items():
+                if keys:
+                    self.backend.prefetch_probe_keys(side, keys)
         process = self.process
         for record in records:
             process(record)

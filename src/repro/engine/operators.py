@@ -80,12 +80,19 @@ class WindowOperator:
         self._count_state: dict[bytes, tuple[int, int]] = {}  # key -> (ordinal, count)
         self._max_timestamp = float("-inf")
         self.results_emitted = 0
+        # Semantic prefetching: windows/sessions already hinted to the
+        # backend, and the max-timestamp up to which timers were scanned.
+        self._prefetch_on = False
+        self._hinted: set = set()
+        self._hint_scan_ts = float("-inf")
+        self._hint_boundary: float | None = None  # next grid trigger, if known
 
     # ------------------------------------------------------------------
     def open(self, env: SimEnv, backend: WindowStateBackend, collector: Collector) -> None:
         self.env = env
         self.backend = backend
         self.collector = collector
+        self._prefetch_on = bool(getattr(backend, "prefetch_enabled", False))
 
     def _register_timer(self, timestamp: float, payload: tuple) -> None:
         self._timer_seq += 1
@@ -104,6 +111,53 @@ class WindowOperator:
             self._process_session(record)
         else:
             self._process_aligned(record)
+        if self._prefetch_on:
+            self._hint_due_triggers()
+
+    # ------------------------------------------------------------------
+    # semantic prefetch hints
+    # ------------------------------------------------------------------
+    def _hint_due_triggers(self) -> None:
+        """Hint the backend about windows whose trigger is now inevitable.
+
+        A timer with ``ts <= max event timestamp`` fires at the next
+        watermark at the latest, so its window's state is about to be
+        read; telling the backend lets it overlap that read with the
+        compute still ahead of the watermark.  Hints are advisory — they
+        never mutate state and cannot change output.
+        """
+        if self._hint_boundary is not None and self._max_timestamp < self._hint_boundary:
+            return  # watermark grid: next boundary not reached yet
+        if not self._timers or self._timers[0][0] > self._max_timestamp:
+            return  # heap root is the earliest timer: nothing due yet
+        if self._max_timestamp <= self._hint_scan_ts:
+            return  # no new timers can have become due since last scan
+        self._hint_scan_ts = self._max_timestamp
+        self._hint_boundary = self.assigner.next_trigger(self._max_timestamp)
+        for ts, _seq, payload in self._timers:
+            if ts > self._max_timestamp:
+                continue
+            if payload[0] == "aligned":
+                window = payload[1]
+                if window in self._hinted:
+                    continue
+                self._hinted.add(window)
+                if self.incremental or not self.aligned_reads:
+                    keys = self._window_keys.get(window)
+                    if keys:
+                        self.backend.prefetch_keys(window, sorted(keys))
+                else:
+                    self.backend.prefetch_window(window)
+            else:
+                _kind, key, session = payload
+                if session.current.end > ts:
+                    continue  # stale timer: session was extended
+                marker = (key, session.current)
+                if marker in self._hinted:
+                    continue
+                self._hinted.add(marker)
+                for initial in session.initials:
+                    self.backend.prefetch_keys(initial, [key])
 
     def process_batch(self, records: list[StreamRecord]) -> None:
         """Batch entry point for the runtime's record batches.
@@ -149,7 +203,29 @@ class WindowOperator:
                 else:
                     self._track_window_key(window, record.key)
         if entries:
+            if self._prefetch_on:
+                self._hint_write_keys(entries)
             self.backend.multi_append(entries)
+        if self._prefetch_on:
+            self._hint_due_triggers()
+
+    def _hint_write_keys(
+        self, entries: list[tuple[bytes, Window, Any, float]]
+    ) -> None:
+        """Hint the cells a batch of appends is about to touch.
+
+        Only stores whose append path reads old state (the hash store's
+        RCU) act on this; issuing the whole batch up front lets later
+        records' reads overlap earlier records' append compute.
+        """
+        seen: set[tuple[bytes, Window]] = set()
+        hints: list[tuple[bytes, Window]] = []
+        for key, window, _value, _timestamp in entries:
+            marker = (key, window)
+            if marker not in seen:
+                seen.add(marker)
+                hints.append(marker)
+        self.backend.prefetch_write_keys(hints)
 
     def _process_aligned(self, record: StreamRecord) -> None:
         windows = self.assigner.assign(record.timestamp)
@@ -161,6 +237,8 @@ class WindowOperator:
             else:
                 # State mutation goes through the batch API even on the
                 # per-record path (size-1 batch is charge-identical).
+                if self._prefetch_on:
+                    self.backend.prefetch_write_keys([(record.key, window)])
                 self.backend.multi_append(
                     [(record.key, window, record.value, record.timestamp)]
                 )
@@ -259,6 +337,7 @@ class WindowOperator:
         self.backend.flush()
 
     def _fire_aligned(self, window: Window) -> None:
+        self._hinted.discard(window)
         if self.incremental:
             keys = self._window_keys.pop(window, None)
             if keys is None:
@@ -297,6 +376,7 @@ class WindowOperator:
         sessions[:] = [s for s in sessions if s is not session]
         if not sessions:
             self._sessions.pop(key, None)
+        self._hinted.discard((key, session.current))
         self._fire_key_window(key, session.initials, session.current)
 
     def _fire_key_window(

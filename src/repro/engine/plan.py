@@ -140,6 +140,7 @@ class WindowedStream:
             session_gap=gap,
             aligned_hint=getattr(self._assigner, "aligned_hint", None),
             ett_predictor=self._assigner.make_predictor(),
+            prefetch_depth=self._env.prefetch_depth,
         )
         node = self._env._add_node(
             "window", name, parents=[self._node],
@@ -182,6 +183,14 @@ class StreamEnvironment:
         max_batch_bytes: optional byte budget per batch (estimated
             payload bytes); a batch flushes early when either limit is
             reached.  ``None`` means records-only batching.
+        prefetch_depth: per-instance budget of in-flight background
+            state prefetches.  Window operators hint upcoming trigger
+            reads (and, on stores whose appends read old state, upcoming
+            write cells) so the disk backends overlap state I/O with
+            compute.  ``0`` (the default) disables prefetching entirely
+            — no hints are computed and charges are bit-identical to a
+            build without the subsystem.  Hints are advisory and can
+            never change job output.
     """
 
     def __init__(
@@ -196,6 +205,7 @@ class StreamEnvironment:
         cluster: Any = None,
         max_batch_records: int = 1,
         max_batch_bytes: int | None = None,
+        prefetch_depth: int = 0,
     ) -> None:
         if parallelism < 1 or workers < 1:
             raise PlanError("parallelism and workers must be >= 1")
@@ -203,8 +213,11 @@ class StreamEnvironment:
             raise PlanError("max_batch_records must be >= 1")
         if max_batch_bytes is not None and max_batch_bytes < 1:
             raise PlanError("max_batch_bytes must be >= 1 or None")
+        if prefetch_depth < 0:
+            raise PlanError("prefetch_depth must be >= 0")
         self.max_batch_records = max_batch_records
         self.max_batch_bytes = max_batch_bytes
+        self.prefetch_depth = prefetch_depth
         self.max_key_groups = max_key_groups
         validate_parallelism(parallelism * workers, max_key_groups)
         self.parallelism = parallelism

@@ -54,6 +54,9 @@ class OperatorInfo:
     session_gap: float | None = None
     aligned_hint: bool | None = None
     ett_predictor: Any = None  # EttPredictor from the window assigner
+    # Per-instance budget of in-flight background prefetches; 0 disables
+    # prefetching entirely (no hints computed, no charges issued).
+    prefetch_depth: int = 0
 
     @property
     def effective_aligned(self) -> bool:
@@ -207,6 +210,33 @@ class GenericKVBackend(WindowStateBackend):
         self._dirty.log_remove(key, window, self._kind)
         self._store.delete(ck)
         return self._decode(data)
+
+    # ------------------------------------------------------------------
+    # semantic prefetching: translate operator hints into store reads
+    # according to the operator's FlowKV access class — AAR triggers scan
+    # a whole window prefix, RMW/AUR triggers touch single cells.
+    # ------------------------------------------------------------------
+    @property
+    def prefetch_enabled(self) -> bool:
+        return self._store.prefetch_active
+
+    def prefetch_window(self, window: Window) -> None:
+        self._store.prefetch_scan(window.key_bytes())
+
+    def prefetch_keys(self, window: Window, keys: list[bytes]) -> None:
+        self._store.prefetch_get(
+            [composite_key(window, key) for key in keys]
+        )
+
+    def prefetch_write_keys(
+        self, entries: list[tuple[bytes, Window]]
+    ) -> None:
+        # Only worthwhile when the store's append path reads old state
+        # (the hash store's RCU); LSM appends are blind merge operands.
+        if self._store.append_reads:
+            self._store.prefetch_get(
+                [composite_key(window, key) for key, window in entries]
+            )
 
     # ------------------------------------------------------------------
     # elastic rescaling: the generic glue can only find moved state by a

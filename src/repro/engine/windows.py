@@ -45,6 +45,18 @@ class WindowAssigner(ABC):
         """How many windows one tuple can be replicated into."""
         return 1
 
+    def next_trigger(self, timestamp: float) -> float | None:
+        """The earliest window-end boundary strictly after ``timestamp``.
+
+        Aligned assigners derive this from their watermark grid;
+        assigners whose triggers depend on data (sessions, counts,
+        custom) return ``None``.  The operator uses it as a cheap
+        prefetch-hint gate: until the max event timestamp crosses this
+        boundary, no new trigger can have become inevitable, so the
+        timer scan is skipped entirely.
+        """
+        return None
+
 
 class TumblingWindowAssigner(WindowAssigner):
     """Fixed windows of ``size`` seconds (aligned)."""
@@ -65,6 +77,12 @@ class TumblingWindowAssigner(WindowAssigner):
         elif timestamp < start:
             start -= self.size
         return [Window(max(0.0, start), start + self.size)]
+
+    def next_trigger(self, timestamp: float) -> float | None:
+        end = ((timestamp // self.size) + 1.0) * self.size
+        while end <= timestamp:
+            end += self.size
+        return end
 
 
 class SlidingWindowAssigner(WindowAssigner):
@@ -103,6 +121,13 @@ class SlidingWindowAssigner(WindowAssigner):
 
     def max_windows_per_tuple(self) -> int:
         return int(-(-self.size // self.slide))
+
+    def next_trigger(self, timestamp: float) -> float | None:
+        # Window ends sit on the slide grid shifted by the size.
+        end = ((timestamp - self.size) // self.slide + 1.0) * self.slide + self.size
+        while end <= timestamp:
+            end += self.slide
+        return end
 
 
 class SessionWindowAssigner(WindowAssigner):

@@ -534,6 +534,30 @@ class KVStore(ABC):
         """Optional features this store implements (``CAP_*`` names)."""
         return frozenset()
 
+    # --- semantic prefetching (optional) --------------------------------
+    # True when appends internally *read* existing state (the hash store's
+    # RCU read of the old value list); such stores benefit from prefetching
+    # the keys a batch is about to append to.  LSM appends are blind merge
+    # operands, so the default is False.
+    append_reads = False
+
+    @property
+    def prefetch_active(self) -> bool:
+        """True when a prefetch executor is attached to this store."""
+        return False
+
+    def prefetch_scan(self, prefix: bytes) -> None:
+        """Hint: a prefix scan over ``prefix`` is imminent (AAR trigger).
+
+        Disk stores with an attached :class:`repro.prefetch.
+        PrefetchExecutor` override this to pre-read the blocks the scan
+        will touch; the default is a no-op.  Hints are advisory — they
+        may not change store contents or job output in any way.
+        """
+
+    def prefetch_get(self, keys: list[bytes]) -> None:
+        """Hint: point reads of ``keys`` are imminent (RMW/AUR trigger)."""
+
     # --- batched hot path -----------------------------------------------
     # Default implementations loop over the per-tuple methods, so every
     # store accepts the batch API unchanged; stores advertising
@@ -690,6 +714,27 @@ class WindowStateBackend(ABC):
 
     def on_watermark(self, timestamp: float) -> None:
         """Advance the backend's notion of time (enables prefetching)."""
+
+    # --- semantic prefetching (optional) --------------------------------
+    # Operators emit advisory hints about imminent state accesses; a
+    # backend whose store has a prefetch executor attached translates
+    # them into background block reads.  Defaults: disabled, no-ops.
+    @property
+    def prefetch_enabled(self) -> bool:
+        """True when hints reach an attached prefetch executor."""
+        return False
+
+    def prefetch_window(self, window: Window) -> None:
+        """Hint: an aligned trigger will scan all keys of ``window``."""
+
+    def prefetch_keys(self, window: Window, keys: list[bytes]) -> None:
+        """Hint: per-key reads of ``(key, window)`` cells are imminent."""
+
+    def prefetch_write_keys(
+        self, entries: list[tuple[bytes, Window]]
+    ) -> None:
+        """Hint: appends to these ``(key, window)`` cells are imminent
+        (useful only for stores whose appends read old state)."""
 
     # --- optional capabilities ------------------------------------------
     @property

@@ -64,6 +64,9 @@ class FasterStore(KVStore):
     """
 
     capabilities = frozenset({CAP_SNAPSHOT, CAP_BATCH})
+    # Appends are read-copy-update: they read the old value list first,
+    # so write-key hints let the prefetcher hide that read's I/O.
+    append_reads = True
 
     def __init__(
         self,
@@ -86,6 +89,12 @@ class FasterStore(KVStore):
         self._disk_generation = 0
         self._closed = False
         self.compaction_count = 0
+        # Semantic prefetching: raw spilled-record bytes keyed by
+        # (disk_generation, address) -> (raw, completion_time).  The
+        # generation key makes compaction invalidation trivial — a new
+        # generation renumbers every address.
+        self._prefetcher = None
+        self._prefetched: dict[tuple[int, int], tuple[bytes, float]] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -150,10 +159,83 @@ class FasterStore(KVStore):
         if record.address >= self._head:
             self._env.charge_cpu(category, len(record.value) * self._env.cpu.copy_per_byte)
             return record.value
+        if self._prefetched:
+            hit = self._prefetched.pop(
+                (self._disk_generation, record.address), None
+            )
+            if hit is not None:
+                raw, completion = hit
+                if self._prefetcher is not None:
+                    self._prefetcher.consume(completion)
+                _key, pos = decode_bytes(raw, 0)
+                value, _pos = decode_bytes(raw, pos)
+                return value
         raw = self._fs.read(self._log_file, record.address, record.length, category=category)
         key, pos = decode_bytes(raw, 0)
         value, _pos = decode_bytes(raw, pos)
         return value
+
+    # ------------------------------------------------------------------
+    # semantic prefetching
+    # ------------------------------------------------------------------
+    def enable_prefetch(self, executor) -> None:
+        """Attach a :class:`repro.prefetch.PrefetchExecutor`."""
+        self._prefetcher = executor
+
+    @property
+    def prefetch_active(self) -> bool:
+        return self._prefetcher is not None
+
+    def prefetch_get(self, keys: list[bytes]) -> None:
+        """Pre-read the spilled log records point accesses will fetch.
+
+        Only records below ``head`` (the on-disk read region) are worth
+        prefetching; resident records are free.  Applies equally to
+        imminent gets and to RCU appends, which read the old value.
+        """
+        ex = self._prefetcher
+        if ex is None or self._closed:
+            return
+        for key in keys:
+            record = self._index.get(key)
+            if record is None or record.address >= self._head:
+                continue
+            pkey = (self._disk_generation, record.address)
+            if pkey in self._prefetched:
+                continue
+            if not ex.has_budget():
+                return
+            issued = ex.capture(
+                lambda r=record: self._fs.read(
+                    self._log_file, r.address, r.length, category=CAT_STORE_READ
+                )
+            )
+            if issued is None:
+                continue
+            ex.register()
+            self._prefetched[pkey] = issued
+
+    def prefetch_scan(self, prefix: bytes) -> None:
+        """A prefix scan probes every matching key; pre-read the spilled ones."""
+        if self._prefetcher is None or self._closed:
+            return
+        spilled = [
+            key
+            for key, record in self._index.items()
+            if record.address < self._head and key.startswith(prefix)
+        ]
+        spilled.sort()
+        self.prefetch_get(spilled)
+
+    def _drop_prefetched(self, record: _Record) -> None:
+        """A record was superseded/deleted before its prefetch was used."""
+        if not self._prefetched:
+            return
+        entry = self._prefetched.pop(
+            (self._disk_generation, record.address), None
+        )
+        if entry is not None and self._prefetcher is not None:
+            self._prefetcher.waste()
 
     # ------------------------------------------------------------------
     # KVStore API
@@ -184,6 +266,8 @@ class FasterStore(KVStore):
             return
         new_length = self._record_length(key, value)
         self._live_bytes += new_length - (record.length if record is not None else 0)
+        if record is not None:
+            self._drop_prefetched(record)
         self._index[key] = self._append_record(key, value, CAT_STORE_WRITE)
         self._maybe_compact()
 
@@ -263,6 +347,7 @@ class FasterStore(KVStore):
         record = self._index.pop(key, None)
         if record is not None:
             self._live_bytes -= record.length
+            self._drop_prefetched(record)
             if record.address >= self._head:
                 self._dead_resident.add(record.address)
 
@@ -299,6 +384,12 @@ class FasterStore(KVStore):
         """Rewrite the log with only live records into a new generation."""
         self.compaction_count += 1
         self._env.bump("faster_compactions")
+        if self._prefetched:
+            # The generation bump renumbers every address: all in-flight
+            # prefetches are stale.
+            if self._prefetcher is not None:
+                self._prefetcher.waste(len(self._prefetched))
+            self._prefetched.clear()
         live = sorted(self._index.items(), key=lambda kv: kv[1].address)
         old_file = self._log_file
         old_head = self._head
@@ -373,6 +464,7 @@ class FasterStore(KVStore):
         self._closed = True
         self._index.clear()
         self._resident.clear()
+        self._prefetched.clear()
 
     @property
     def memory_bytes(self) -> int:

@@ -7,21 +7,40 @@ from collections import OrderedDict
 from repro.kvstores.lsm.format import Entry
 from repro.simenv import CAT_STORE_READ, SimEnv
 
+# Upper bound on simultaneously pinned blocks.  Pins protect blocks a
+# demand read is about to touch from being evicted by prefetch inserts;
+# the bound keeps the worst-case cache overflow (all-but-pinned evicted,
+# pinned blocks retained past capacity) small and predictable.
+DEFAULT_MAX_PINS = 32
+
 
 class BlockCache:
     """Caches decoded data blocks keyed by ``(file, offset)``.
 
     A hit costs one hash probe; a miss is paid by the caller (device read
     plus block decode) and inserted with :meth:`insert`.
+
+    Prefetch integration: blocks inserted with ``prefetched=True`` carry
+    their background completion time; the first demand :meth:`get` settles
+    them with the attached executor (residual wait), and eviction or file
+    drop before any demand read counts them wasted.  :meth:`pin` marks
+    blocks an imminent demand read will touch so prefetch inserts can
+    never evict them first (bounded by ``max_pins``).
     """
 
-    def __init__(self, env: SimEnv, capacity_bytes: int) -> None:
+    def __init__(
+        self, env: SimEnv, capacity_bytes: int, max_pins: int = DEFAULT_MAX_PINS
+    ) -> None:
         self._env = env
         self._capacity = capacity_bytes
         self._blocks: OrderedDict[tuple[str, int], tuple[list[Entry], int]] = OrderedDict()
         self._used = 0
         self.hits = 0
         self.misses = 0
+        self.prefetcher = None  # optional repro.prefetch.PrefetchExecutor
+        self._prefetched: dict[tuple[str, int], float] = {}  # key -> completion
+        self._pinned: set[tuple[str, int]] = set()
+        self._max_pins = max_pins
 
     @property
     def used_bytes(self) -> int:
@@ -29,26 +48,68 @@ class BlockCache:
 
     def get(self, file_name: str, offset: int) -> list[Entry] | None:
         self._env.charge_cpu(CAT_STORE_READ, self._env.cpu.hash_probe)
-        cached = self._blocks.get((file_name, offset))
+        key = (file_name, offset)
+        cached = self._blocks.get(key)
         if cached is None:
             self.misses += 1
             self._env.bump("lsm_cache_misses")
             return None
         self.hits += 1
         self._env.bump("lsm_cache_hits")
-        self._blocks.move_to_end((file_name, offset))
+        self._blocks.move_to_end(key)
+        self._pinned.discard(key)
+        completion = self._prefetched.pop(key, None)
+        if completion is not None and self.prefetcher is not None:
+            # First demand read of a prefetched block: pay the residual.
+            self.prefetcher.consume(completion)
         return cached[0]
 
-    def insert(self, file_name: str, offset: int, entries: list[Entry], size: int) -> None:
+    def peek(self, file_name: str, offset: int) -> bool:
+        """Presence test that leaves LRU order and hit/miss stats alone."""
+        self._env.charge_cpu(CAT_STORE_READ, self._env.cpu.hash_probe)
+        return (file_name, offset) in self._blocks
+
+    def pin(self, file_name: str, offset: int) -> bool:
+        """Protect a cached block from eviction until its demand read.
+
+        Returns False when the block is absent or the pin budget is
+        exhausted (the hint is then simply not protected).
+        """
+        key = (file_name, offset)
+        if key not in self._blocks or len(self._pinned) >= self._max_pins:
+            return False
+        self._pinned.add(key)
+        return True
+
+    def insert(
+        self,
+        file_name: str,
+        offset: int,
+        entries: list[Entry],
+        size: int,
+        prefetched: bool = False,
+        completion: float = 0.0,
+    ) -> None:
         key = (file_name, offset)
         if key in self._blocks:
             _, old_size = self._blocks.pop(key)
             self._used -= old_size
+            self._settle_wasted(key)
         self._blocks[key] = (entries, size)
         self._used += size
+        if prefetched:
+            self._prefetched[key] = completion
         while self._used > self._capacity and self._blocks:
-            _, (_, evicted_size) = self._blocks.popitem(last=False)
+            victim = None
+            for candidate in self._blocks:  # oldest first
+                if candidate not in self._pinned:
+                    victim = candidate
+                    break
+            if victim is None:
+                break  # everything left is pinned: bounded overflow
+            _, evicted_size = self._blocks.pop(victim)
             self._used -= evicted_size
+            self._settle_wasted(victim)
 
     def drop_file(self, file_name: str) -> None:
         """Remove all blocks of a deleted SSTable."""
@@ -56,3 +117,11 @@ class BlockCache:
         for key in stale:
             _, size = self._blocks.pop(key)
             self._used -= size
+            self._pinned.discard(key)
+            self._settle_wasted(key)
+
+    def _settle_wasted(self, key: tuple[str, int]) -> None:
+        """A prefetched block left the cache without any demand read."""
+        completion = self._prefetched.pop(key, None)
+        if completion is not None and self.prefetcher is not None:
+            self.prefetcher.waste()

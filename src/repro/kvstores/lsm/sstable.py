@@ -201,6 +201,25 @@ class SSTableReader:
             cache.insert(self.name, block_off, entries, block_len)
         return entries
 
+    def locate_block(self, key: bytes) -> int | None:
+        """Index of the data block a point read of ``key`` would load.
+
+        Charges the same bloom check and index search as the lookup path
+        of :meth:`get_versions`; the prefetcher calls this under capture
+        so the cost books as background work.
+        """
+        if not self._block_offsets or not self.may_contain(key):
+            return None
+        self._env.charge_cpu(
+            CAT_STORE_READ, self._env.cpu.sorted_search(len(self._block_offsets))
+        )
+        block_idx = bisect_right(self._block_first_keys, key) - 1
+        return block_idx if block_idx >= 0 else None
+
+    def block_span(self, block_idx: int) -> tuple[int, int]:
+        """``(offset, length)`` of a data block."""
+        return self._block_offsets[block_idx]
+
     def get_versions(self, key: bytes, cache: BlockCache | None = None) -> list[Entry]:
         """All versions of ``key`` in this table, newest first."""
         if not self._block_offsets or not self.may_contain(key):
@@ -227,17 +246,57 @@ class SSTableReader:
             lo += 1
         return versions
 
+    def plan_slabs(
+        self,
+        start_key: bytes | None = None,
+        stop_prefix: bytes | None = None,
+        readahead_bytes: int = 1 << 20,
+    ) -> list[tuple[int, int]]:
+        """The ``(offset, length)`` slab sequence :meth:`iter_entries`
+        would read for a scan from ``start_key``.
+
+        Pure index arithmetic — no device access, no charges — so a
+        prefetcher can issue exactly the reads the demand scan will make.
+        With ``stop_prefix`` the plan ends at the slab covering the first
+        block whose keys left the prefix (where a prefix scan stops).
+        """
+        if not self._block_offsets:
+            return []
+        first = 0
+        if start_key is not None:
+            first = max(0, bisect_right(self._block_first_keys, start_key) - 1)
+        slabs: list[tuple[int, int]] = []
+        slab_start = 0
+        slab_len = 0
+        for block_idx in range(first, len(self._block_offsets)):
+            block_off, block_len = self._block_offsets[block_idx]
+            if block_off + block_len > slab_start + slab_len:
+                slab_start = block_off
+                slab_len = min(
+                    max(readahead_bytes, block_len), self._data_len - slab_start
+                )
+                slabs.append((slab_start, slab_len))
+            if stop_prefix is not None and block_idx > first:
+                first_key = self._block_first_keys[block_idx]
+                if not first_key.startswith(stop_prefix) and first_key > stop_prefix:
+                    break
+        return slabs
+
     def iter_entries(
         self,
         start_key: bytes | None = None,
         category: str = CAT_STORE_READ,
         readahead_bytes: int = 1 << 20,
+        prefetcher=None,
     ) -> Iterator[Entry]:
         """Sequential scan of all entries with key >= ``start_key``.
 
         Bypasses the block cache and reads the data region in
         ``readahead_bytes`` slabs — compaction and range scans are
-        sequential with readahead, as in RocksDB.
+        sequential with readahead, as in RocksDB.  When a ``prefetcher``
+        (an object with ``take_slab(name, offset, length)``) is supplied,
+        slabs it has already read in the background are consumed instead
+        of re-read, paying only the residual wait.
         """
         if not self._block_offsets:
             return
@@ -250,12 +309,16 @@ class SSTableReader:
             block_off, block_len = self._block_offsets[block_idx]
             if block_off + block_len > slab_start + len(slab):
                 slab_start = block_off
-                slab = self._fs.read(
-                    self.name,
-                    slab_start,
-                    min(max(readahead_bytes, block_len), self._data_len - slab_start),
-                    category=category,
+                length = min(
+                    max(readahead_bytes, block_len), self._data_len - slab_start
                 )
+                slab = None
+                if prefetcher is not None:
+                    slab = prefetcher.take_slab(self.name, slab_start, length)
+                if slab is None:
+                    slab = self._fs.read(
+                        self.name, slab_start, length, category=category
+                    )
             raw = slab[block_off - slab_start : block_off - slab_start + block_len]
             self._env.charge_cpu(category, block_len * self._env.cpu.block_decode_per_byte)
             pos = 0

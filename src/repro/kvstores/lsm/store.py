@@ -88,6 +88,12 @@ class LsmStore(KVStore):
         self._file_counter = 0
         self._closed = False
         self.compaction_count = 0
+        # Semantic prefetching (attached via enable_prefetch): background
+        # readahead slabs for scans, keyed (file, slab_offset) ->
+        # (raw_bytes, completion_time); point-read blocks go straight
+        # into the block cache as prefetched inserts.
+        self._prefetcher = None
+        self._slabs: dict[tuple[str, int], tuple[bytes, float]] = {}
 
     # ------------------------------------------------------------------
     # helpers
@@ -217,11 +223,12 @@ class LsmStore(KVStore):
     def scan_prefix(self, prefix: bytes) -> Iterator[tuple[bytes, bytes]]:
         """Merged, key-ordered iteration over all live keys with ``prefix``."""
         self._check_open()
+        pf = self if self._prefetcher is not None else None
         sources: list = [
             [e for e in self._memtable.iter_sorted() if e.key.startswith(prefix) or e.key > prefix]
         ]
         for table in self._levels[0]:
-            sources.append(table.iter_entries(start_key=prefix))
+            sources.append(table.iter_entries(start_key=prefix, prefetcher=pf))
         for level in self._levels[1:]:
             if not level:
                 continue
@@ -231,7 +238,7 @@ class LsmStore(KVStore):
                 for table in tables[start:]:
                     if table.largest_key < prefix:
                         continue
-                    yield from table.iter_entries(start_key=prefix)
+                    yield from table.iter_entries(start_key=prefix, prefetcher=pf)
 
             sources.append(level_iter())
         merged = merge_sorted_entries(self._env, sources, CAT_STORE_READ)
@@ -374,8 +381,145 @@ class LsmStore(KVStore):
     def _drop_tables(self, tables: list[SSTableReader]) -> None:
         for table in tables:
             self._cache.drop_file(table.name)
+            if self._slabs:
+                stale = [k for k in self._slabs if k[0] == table.name]
+                for k in stale:
+                    del self._slabs[k]
+                if stale and self._prefetcher is not None:
+                    self._prefetcher.waste(len(stale))
             if self._fs.exists(table.name):
                 self._fs.delete(table.name)
+
+    # ------------------------------------------------------------------
+    # semantic prefetching
+    # ------------------------------------------------------------------
+    def enable_prefetch(self, executor) -> None:
+        """Attach a :class:`repro.prefetch.PrefetchExecutor`."""
+        self._prefetcher = executor
+        self._cache.prefetcher = executor
+
+    @property
+    def prefetch_active(self) -> bool:
+        return self._prefetcher is not None
+
+    def prefetch_scan(self, prefix: bytes) -> None:
+        """Pre-read the readahead slabs a prefix scan will stream through.
+
+        Issues exactly the ``(offset, length)`` reads
+        :meth:`~repro.kvstores.lsm.sstable.SSTableReader.iter_entries`
+        would make (via ``plan_slabs``) for every table the scan touches;
+        the demand scan later consumes them through :meth:`take_slab`,
+        paying only residual wait.  Tables compacted away before the scan
+        invalidate their slabs (counted wasted in ``_drop_tables``).
+        """
+        ex = self._prefetcher
+        if ex is None or self._closed:
+            return
+        for table in self._scan_tables(prefix):
+            for slab_start, length in table.plan_slabs(
+                start_key=prefix, stop_prefix=prefix
+            ):
+                if (table.name, slab_start) in self._slabs:
+                    continue
+                if not ex.has_budget():
+                    return
+                issued = ex.capture(
+                    lambda t=table, s=slab_start, n=length: self._fs.read(
+                        t.name, s, n, category=CAT_STORE_READ
+                    )
+                )
+                if issued is None:
+                    continue
+                ex.register()
+                self._slabs[(table.name, slab_start)] = issued
+
+    def _scan_tables(self, prefix: bytes) -> Iterator[SSTableReader]:
+        """The tables :meth:`scan_prefix` would open for ``prefix``."""
+        yield from self._levels[0]
+        for level in self._levels[1:]:
+            if not level:
+                continue
+            start = max(0, bisect_right([t.smallest_key for t in level], prefix) - 1)
+            for table in level[start:]:
+                if table.largest_key < prefix:
+                    continue
+                yield table
+
+    def take_slab(self, name: str, slab_start: int, length: int) -> bytes | None:
+        """Hand a prefetched slab to the demand scan, settling accounting."""
+        entry = self._slabs.pop((name, slab_start), None)
+        if entry is None:
+            return None
+        data, completion = entry
+        ex = self._prefetcher
+        if len(data) != length:
+            if ex is not None:
+                ex.waste()
+            return None
+        if ex is not None:
+            ex.consume(completion)
+        return data
+
+    def prefetch_get(self, keys: list[bytes]) -> None:
+        """Pre-load the data blocks point reads of ``keys`` would touch.
+
+        Blocks land in the block cache as prefetched inserts; candidate
+        blocks already cached are pinned instead, so prefetch inserts
+        cannot evict a block the imminent demand read needs.
+        """
+        ex = self._prefetcher
+        if ex is None or self._closed:
+            return
+        for key in keys:
+            if not ex.has_budget():
+                return
+            issued = ex.capture(lambda k=key: self._prefetch_point(k))
+            if issued is None:
+                continue
+            blocks, completion = issued
+            for table_name, block_off, entries, block_len in blocks:
+                if not ex.has_budget():
+                    break
+                ex.register()
+                self._cache.insert(
+                    table_name, block_off, entries, block_len,
+                    prefetched=True, completion=completion,
+                )
+
+    def _prefetch_point(self, key: bytes) -> list[tuple[str, int, list[Entry], int]]:
+        """Locate and read the blocks a point :meth:`get` of ``key`` would
+        load.  Runs under prefetch capture; mirrors the demand walk —
+        memtable, L0 newest-first, then one candidate file per level —
+        and stops where the demand read would (first non-merge version).
+        """
+        for entry in self._memtable.get_versions(key):
+            if entry.kind != KIND_MERGE:
+                return []  # resolves in memory; no disk read coming
+        blocks: list[tuple[str, int, list[Entry], int]] = []
+
+        def visit(table: SSTableReader) -> bool:
+            """Load/pin the candidate block; True if the walk stops here."""
+            idx = table.locate_block(key)
+            if idx is None:
+                return False
+            block_off, block_len = table.block_span(idx)
+            if self._cache.peek(table.name, block_off):
+                self._cache.pin(table.name, block_off)
+                return False  # contents unknown without a demand get
+            entries = table._decode_block_raw(idx)
+            blocks.append((table.name, block_off, entries, block_len))
+            return any(
+                e.key == key and e.kind != KIND_MERGE for e in entries
+            )
+
+        for table in self._levels[0]:
+            if visit(table):
+                return blocks
+        for level in self._levels[1:]:
+            table = self._find_level_file(level, key)
+            if table is not None and visit(table):
+                return blocks
+        return blocks
 
     # ------------------------------------------------------------------
     # checkpointing (§8): Flink forces the memtable to disk before the
@@ -452,6 +596,7 @@ class LsmStore(KVStore):
         if self._closed:
             return
         self._closed = True
+        self._slabs.clear()
         for level in self._levels:
             level.clear()
 

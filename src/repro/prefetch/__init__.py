@@ -1,0 +1,126 @@
+"""Semantic asynchronous prefetching: overlap state I/O with operator CPU.
+
+The engine knows what it will read next — watermarks say which windows
+trigger at the next boundary, the plan says whether an operator's access
+class is AAR (whole-range scans at trigger), AUR (per-key reads) or RMW
+(point updates) — so stateful backends can issue the corresponding block
+reads *before* the operator demands them (Zapridou & Ailamaki's timely
+and accurate prefetching, applied to FlowKV's semantic patterns).
+
+The simulated-time model keeps per-category charges exact:
+
+* a prefetch runs inside :meth:`repro.simenv.SimEnv.prefetch_capture`,
+  which books its CPU and device seconds to the ``prefetch`` ledger
+  category *without advancing the clock* (it is background work);
+* the executor serializes captures on a per-instance device queue:
+  ``completion = max(now, device_free) + captured_seconds``;
+* when a demand access consumes the prefetched artifact it pays only the
+  *residual* ``max(0, completion - now)`` as io_wait
+  (:meth:`~repro.simenv.SimEnv.charge_prefetch_wait`) — the rest was
+  hidden under the operator CPU that ran between issue and consume.
+
+Accuracy is tracked per executor (one per store instance): ``hit`` means
+fully hidden, ``late`` means a residual was paid, ``wasted`` means the
+artifact was invalidated (compaction, eviction) before any demand read.
+A sliding-window throttle halves the depth budget when the wasted ratio
+exceeds :data:`WASTE_THRESHOLD` and recovers one slot per clean window.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable
+
+from repro.simenv import SimEnv
+
+# Adaptive throttle: outcomes per decision window, and the wasted ratio
+# above which the depth budget is halved.
+WINDOW = 32
+WASTE_THRESHOLD = 0.5
+
+
+class PrefetchExecutor:
+    """Bounded background-I/O issuer for one store instance.
+
+    ``depth`` bounds the number of in-flight prefetched artifacts
+    (slabs, blocks, log records); issues beyond the budget are dropped
+    and counted.  All outcome counters go through ``env.bump`` so they
+    merge into the job's metrics like any other ledger counter:
+    ``prefetch_hits`` / ``prefetch_late`` / ``prefetch_wasted`` /
+    ``prefetch_dropped`` / ``prefetch_throttled``.
+    """
+
+    def __init__(self, env: SimEnv, depth: int) -> None:
+        if depth < 1:
+            raise ValueError(f"prefetch depth must be >= 1, got {depth}")
+        self.env = env
+        self.configured_depth = depth
+        self.budget = depth
+        self._in_flight = 0
+        self._device_free = 0.0
+        self._outcomes: deque[bool] = deque(maxlen=WINDOW)  # True = wasted
+
+    # -- issue side ----------------------------------------------------
+    def has_budget(self) -> bool:
+        return self._in_flight < self.budget
+
+    def capture(self, fn: Callable[[], Any]) -> tuple[Any, float] | None:
+        """Run ``fn`` as background I/O; return ``(result, completion)``.
+
+        Any failure during the capture — an injected :class:`DiskIOError`,
+        a decode error on a corrupted block — drops the prefetch: the
+        demand path will retry the access synchronously and surface
+        whatever the device really holds, so a faulted prefetch can never
+        change job output.  Partial charges stay in the ``prefetch``
+        category (no clock was advanced), which is exactly the cost of
+        the aborted background attempt.
+        """
+        if self._in_flight >= self.budget:
+            self.env.bump("prefetch_dropped")
+            return None
+        try:
+            with self.env.prefetch_capture() as box:
+                result = fn()
+        except Exception:
+            self.env.bump("prefetch_dropped")
+            return None
+        completion = max(self.env.now, self._device_free) + box[0]
+        self._device_free = completion
+        return result, completion
+
+    def register(self) -> None:
+        """Count one prefetched artifact against the in-flight budget."""
+        self._in_flight += 1
+
+    # -- resolution side ----------------------------------------------
+    def consume(self, completion: float) -> None:
+        """A demand access absorbed a prefetched artifact."""
+        self._in_flight = max(0, self._in_flight - 1)
+        residual = completion - self.env.now
+        if residual > 0.0:
+            self.env.charge_prefetch_wait(residual)
+            self.env.bump("prefetch_late")
+        else:
+            self.env.bump("prefetch_hits")
+        self._record(wasted=False)
+
+    def waste(self, n: int = 1) -> None:
+        """``n`` prefetched artifacts were invalidated before any use."""
+        for _ in range(n):
+            self._in_flight = max(0, self._in_flight - 1)
+            self.env.bump("prefetch_wasted")
+            self._record(wasted=True)
+
+    # -- adaptive throttle --------------------------------------------
+    def _record(self, wasted: bool) -> None:
+        self._outcomes.append(wasted)
+        if len(self._outcomes) < WINDOW:
+            return
+        ratio = sum(self._outcomes) / len(self._outcomes)
+        if ratio > WASTE_THRESHOLD:
+            self.budget = max(1, self.budget // 2)
+            self.env.bump("prefetch_throttled")
+            self._outcomes.clear()
+        elif ratio == 0.0 and self.budget < self.configured_depth:
+            self.budget += 1
+            self._outcomes.clear()

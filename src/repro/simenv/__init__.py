@@ -34,6 +34,7 @@ from repro.simenv.metrics import (
     CAT_GC,
     CAT_MIGRATION,
     CAT_NETWORK,
+    CAT_PREFETCH,
     CAT_QUERY,
     CAT_RECOVERY,
     CAT_SERDE,
@@ -66,5 +67,6 @@ __all__ = [
     "CAT_RECOVERY",
     "CAT_NETWORK",
     "CAT_CHANGELOG",
+    "CAT_PREFETCH",
     "CPU_CATEGORIES",
 ]

@@ -9,12 +9,13 @@ writes — advance the instance's clock and are recorded in its ledger.
 from __future__ import annotations
 
 import dataclasses
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.simenv.clock import SimClock
 from repro.simenv.cpu import CpuCostModel
 from repro.simenv.disk import SsdCostModel
-from repro.simenv.metrics import CAT_NETWORK, MetricsLedger
+from repro.simenv.metrics import CAT_NETWORK, CAT_PREFETCH, MetricsLedger
 
 
 def scaled_cost_models(
@@ -68,6 +69,11 @@ class SimEnv:
     ssd: SsdCostModel = field(default_factory=SsdCostModel)
     ledger: MetricsLedger = field(default_factory=MetricsLedger)
     faults: object | None = None
+    # Active prefetch capture box (``[accumulated_seconds]``) or None.
+    # While set, charges book to the ``prefetch`` category without
+    # advancing the clock — they model background work whose cost is
+    # overlapped with foreground CPU (see ``prefetch_capture``).
+    _prefetch_capture: list | None = field(default=None, repr=False, compare=False)
 
     @property
     def now(self) -> float:
@@ -77,14 +83,54 @@ class SimEnv:
         """Charge CPU time: advances the clock and books the category."""
         if seconds == 0.0:
             return
+        if self._prefetch_capture is not None:
+            self._prefetch_capture[0] += seconds
+            self.ledger.add_cpu(CAT_PREFETCH, seconds)
+            return
         self.clock.advance(seconds)
         self.ledger.add_cpu(category, seconds)
 
     def charge_read(self, n_bytes: int, n_requests: int = 1) -> None:
         """Charge a device read: clock advances by the device time."""
         seconds = self.ssd.read_time(n_bytes, n_requests)
+        if self._prefetch_capture is not None:
+            # Background read: bytes/requests still hit the device, but
+            # the device time accumulates in the capture box instead of
+            # io_wait — the consumer later pays only the residual.
+            self._prefetch_capture[0] += seconds
+            self.ledger.add_cpu(CAT_PREFETCH, seconds)
+            self.ledger.add_read(n_bytes, 0.0, n_requests)
+            return
         self.clock.advance(seconds)
         self.ledger.add_read(n_bytes, seconds, n_requests)
+
+    @contextmanager
+    def prefetch_capture(self):
+        """Divert charges into a background-prefetch accounting box.
+
+        Inside the context, ``charge_cpu``/``charge_read`` book to the
+        ``prefetch`` ledger category and accumulate their seconds into
+        the yielded one-element list without advancing the clock.  The
+        prefetch executor turns the accumulated seconds into a completion
+        time on a serial per-instance device queue; a later demand access
+        pays only ``max(0, completion - now)`` via
+        :meth:`charge_prefetch_wait`.
+        """
+        if self._prefetch_capture is not None:
+            raise RuntimeError("nested prefetch capture")
+        box = [0.0]
+        self._prefetch_capture = box
+        try:
+            yield box
+        finally:
+            self._prefetch_capture = None
+
+    def charge_prefetch_wait(self, seconds: float) -> None:
+        """Charge residual wait for a prefetch that had not completed."""
+        if seconds <= 0.0:
+            return
+        self.clock.advance(seconds)
+        self.ledger.add_prefetch_wait(seconds)
 
     def charge_write(self, n_bytes: int, n_requests: int = 1) -> None:
         """Charge a device write: clock advances by the device time."""

@@ -23,6 +23,7 @@ CAT_MIGRATION = "migration"  # key-group export/transfer/import during rescaling
 CAT_RECOVERY = "recovery"  # checksums, checkpoint verify/replay reads, rollback, retry backoff
 CAT_NETWORK = "network"  # cross-node link time: shuffles, chunk transfers, shard up/downloads
 CAT_CHANGELOG = "changelog"  # changelog record framing, standby apply/replay work
+CAT_PREFETCH = "prefetch"  # background prefetch I/O, overlapped with operator CPU
 
 CPU_CATEGORIES = (
     CAT_QUERY,
@@ -37,6 +38,7 @@ CPU_CATEGORIES = (
     CAT_RECOVERY,
     CAT_NETWORK,
     CAT_CHANGELOG,
+    CAT_PREFETCH,
 )
 
 # Charge-time validation set: a typo'd category must fail loudly instead
@@ -55,6 +57,10 @@ class MetricsSnapshot:
     read_requests: int
     write_requests: int
     counters: dict[str, int]
+    # Portion of io_wait_seconds that is *residual* prefetch wait: the
+    # part of a prefetched read's device time that operator CPU did not
+    # cover.  io_wait_seconds - prefetch_wait_seconds is demand I/O.
+    prefetch_wait_seconds: float = 0.0
 
     @property
     def total_cpu_seconds(self) -> float:
@@ -98,6 +104,7 @@ class MetricsLedger:
     read_requests: int = 0
     write_requests: int = 0
     counters: dict[str, int] = field(default_factory=dict)
+    prefetch_wait_seconds: float = 0.0
 
     def add_cpu(self, category: str, seconds: float) -> None:
         if seconds < 0:
@@ -118,6 +125,13 @@ class MetricsLedger:
         self.write_requests += n_requests
         self.io_wait_seconds += seconds
 
+    def add_prefetch_wait(self, seconds: float) -> None:
+        """Book residual prefetch wait: io_wait that overlap could not hide."""
+        if seconds < 0:
+            raise ValueError(f"negative prefetch wait: {seconds}")
+        self.io_wait_seconds += seconds
+        self.prefetch_wait_seconds += seconds
+
     def bump(self, counter: str, delta: int = 1) -> None:
         """Increment a named event counter (prefetch hits, compactions...)."""
         self.counters[counter] = self.counters.get(counter, 0) + delta
@@ -131,6 +145,7 @@ class MetricsLedger:
             read_requests=self.read_requests,
             write_requests=self.write_requests,
             counters=dict(self.counters),
+            prefetch_wait_seconds=self.prefetch_wait_seconds,
         )
 
     def merge(self, other: "MetricsLedger | MetricsSnapshot") -> None:
@@ -142,6 +157,7 @@ class MetricsLedger:
         self.bytes_written += other.bytes_written
         self.read_requests += other.read_requests
         self.write_requests += other.write_requests
+        self.prefetch_wait_seconds += getattr(other, "prefetch_wait_seconds", 0.0)
         for name, value in other.counters.items():
             self.counters[name] = self.counters.get(name, 0) + value
 
@@ -153,3 +169,4 @@ class MetricsLedger:
         self.read_requests = 0
         self.write_requests = 0
         self.counters = {}
+        self.prefetch_wait_seconds = 0.0
