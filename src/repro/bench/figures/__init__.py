@@ -21,4 +21,5 @@ from repro.bench.figures import (  # noqa: F401 - imported for registration
     fig_prefetch,
     fig_recovery,
     fig_rescale,
+    fig_skew,
 )

@@ -41,6 +41,7 @@ class RunRecord:
     checkpoints: int = 0
     checkpoint_stats: list[Any] = field(default_factory=list)  # CheckpointStat
     node_stats: dict[str, dict[str, Any]] = field(default_factory=dict)
+    group_load: dict[str, Any] = field(default_factory=dict)
 
     @property
     def checkpoint_bytes(self) -> int:
@@ -126,6 +127,7 @@ def run_query(
     session_gap: float | None = None,
     parallelism: int | None = None,
     rescale_schedule: dict[int, int] | None = None,
+    rescale_policy: Any = None,
     fault_plan: Any = None,
     checkpoint_interval: int | None = None,
     rescale_mode: str = "live",
@@ -147,10 +149,13 @@ def run_query(
     ``rescale_schedule`` maps record counts to target parallelisms; each
     entry triggers a mid-stream rescale (see :mod:`repro.rescale`) —
     asynchronous per-key-group by default (``rescale_mode="live"``), or
-    stop-the-world with ``rescale_mode="stw"``.  ``parallelism``
-    overrides the profile's starting parallelism (the rescale sweep
-    needs both ends); ``transfer_chunk_bytes`` and
-    ``transfer_queue_limit`` tune the live transfer.
+    stop-the-world with ``rescale_mode="stw"``.  ``rescale_policy``
+    passes an arbitrary policy object (e.g. a
+    :class:`~repro.rescale.skew.SkewController`) instead and takes
+    precedence over ``rescale_schedule``.  ``parallelism`` overrides the
+    profile's starting parallelism (the rescale sweep needs both ends);
+    ``transfer_chunk_bytes`` and ``transfer_queue_limit`` tune the live
+    transfer.
 
     ``fault_plan`` (a :class:`repro.faults.FaultPlan`) injects scheduled
     faults; ``checkpoint_interval`` (records) enables checkpointing and
@@ -210,7 +215,9 @@ def run_query(
         sim_timeout=sim_timeout,
         overload_backlog=profile.overload_backlog,
         rescale_policy=(
-            ScheduledRescale(dict(rescale_schedule)) if rescale_schedule else None
+            rescale_policy
+            if rescale_policy is not None
+            else ScheduledRescale(dict(rescale_schedule)) if rescale_schedule else None
         ),
         rescale_mode=rescale_mode,
         transfer_chunk_bytes=transfer_chunk_bytes,
@@ -254,6 +261,7 @@ def run_query(
     record.checkpoints = result.checkpoints
     record.checkpoint_stats = result.checkpoint_stats
     record.node_stats = result.node_stats
+    record.group_load = result.group_load
     record.output_hash = output_digest(result.sink_outputs)
     if arrival_rate:
         record.p95_latency = result.p95_latency()

@@ -159,6 +159,7 @@ def record_summary(record: Any) -> dict[str, Any]:
             {
                 "at_record": e.at_record,
                 "mode": e.mode,
+                "reason": getattr(e, "reason", "scale"),
                 "old_parallelism": e.old_parallelism,
                 "new_parallelism": e.new_parallelism,
                 "moved_groups": e.moved_groups,
@@ -166,6 +167,11 @@ def record_summary(record: Any) -> dict[str, Any]:
                 "seeded_groups": e.seeded_groups,
                 "seeded_bytes": e.seeded_bytes,
                 "aborted": e.aborted,
+                **(
+                    {"hot_groups": list(e.hot_groups)}
+                    if getattr(e, "hot_groups", None)
+                    else {}
+                ),
             }
             for e in rescales
         ]

@@ -40,6 +40,7 @@ from repro.rescale.controller import LoadObservation
 from repro.rescale.keygroups import contiguous_owner_table, key_group_of
 from repro.rescale.live import LiveMigration
 from repro.rescale.migration import RescaleEvent, migrate
+from repro.rescale.skew import GroupLoadTracker, SplitDecision
 from repro.simenv import MetricsLedger, MetricsSnapshot, SimEnv
 from repro.storage.filesystem import SimFileSystem
 
@@ -79,6 +80,9 @@ class JobResult:
     # Cluster runs only: per-node utilization/traffic breakdown, keyed by
     # node name (empty for legacy single-machine runs).
     node_stats: dict[str, dict[str, Any]] = field(default_factory=dict)
+    # Always-on keyed-work accounting (GroupLoadTracker.summary()):
+    # records/bytes/busy seconds per key-group, per instance, per node.
+    group_load: dict[str, Any] = field(default_factory=dict)
 
     @property
     def throughput(self) -> float:
@@ -120,6 +124,13 @@ class Executor:
         self.group_owner: list[int] = contiguous_owner_table(
             plan_env.max_key_groups, self.current_parallelism
         )
+        # Always-on per-key-group load accounting (records / state bytes
+        # / busy seconds).  Pure-Python bookkeeping on the keyed routing
+        # path: no simulated charges, so runs stay charge-identical.
+        # Counters are global per group — they travel with the group
+        # across live migrations; recovery builds a fresh executor (and
+        # a fresh tracker) per restore.
+        self.load_tracker = GroupLoadTracker(plan_env.max_key_groups)
         self._live: LiveMigration | None = None
         self._rescale_mode = "live"
         self._transfer_chunk_bytes: int | None = None
@@ -446,15 +457,29 @@ class Executor:
             if arrival_rate and arrival > self._last_arrival:
                 n = max(1, self.current_parallelism)
                 utilization = (busy - self._last_busy) / n / (arrival - self._last_arrival)
+            # One signal path: the per-instance backlog breakdown feeds
+            # the SkewController, its max is the aggregate the
+            # RescaleController has always seen.
+            backlogs = self._instance_backlogs(arrival, arrival_rate, max_ts)
             observation = LoadObservation(
                 record_count=count,
                 parallelism=self.current_parallelism,
                 utilization=utilization,
-                backlog_seconds=self._backlog_signal(arrival, arrival_rate, max_ts),
+                backlog_seconds=max(backlogs) if backlogs else 0.0,
+                per_instance_backlog=tuple(backlogs),
+                owner_table=tuple(self.group_owner),
+                group_busy=tuple(self.load_tracker.group_busy),
             )
             self._last_busy, self._last_arrival = busy, arrival
             target = rescale_policy.decide(observation)
-            if target is not None and target != self.current_parallelism:
+            if isinstance(target, SplitDecision):
+                table = list(target.table)
+                if table != self.group_owner:
+                    self.rebalance_to(
+                        table, arrival=arrival, at_record=count,
+                        hot_groups=list(target.hot_groups),
+                    )
+            elif target is not None and target != self.current_parallelism:
                 self.rescale_to(target, arrival=arrival, at_record=count)
         if checkpointer is not None and self._live is None:
             checkpointer.maybe_checkpoint(self, count, max_ts, rescale_policy)
@@ -473,22 +498,11 @@ class Executor:
         (:mod:`repro.rescale.migration`).
         """
         if self._rescale_mode in ("live", "promote"):
-            seed_source = None
-            if self._rescale_mode == "promote":
-                # Rescale-by-replica-promotion: clean moved groups land
-                # from the peer's warm standby copy instead of the
-                # checkpoint store or the owner's hot path.
-                if self._replication is not None:
-                    seed_source = self._replication.seed_source()
-            elif self._seed_rescale and self._checkpointer is not None:
-                seed_fn = getattr(self._checkpointer, "seed_source", None)
-                if seed_fn is not None:
-                    seed_source = seed_fn()
             live = LiveMigration(
                 self, new_parallelism, arrival=arrival, at_record=at_record,
                 chunk_bytes=self._transfer_chunk_bytes,
                 queue_limit=self._transfer_queue_limit,
-                seed_source=seed_source,
+                seed_source=self._live_seed_source(),
             )
             self._rescales.append(live.event)
             if not live.done:
@@ -497,6 +511,56 @@ class Executor:
         event = migrate(self, new_parallelism, arrival=arrival, at_record=at_record)
         self._rescales.append(event)
         return event
+
+    def rebalance_to(
+        self,
+        table: list[int],
+        arrival: float = 0.0,
+        at_record: int = 0,
+        hot_groups: list[int] | None = None,
+    ) -> RescaleEvent:
+        """Re-place key-groups onto an explicit owner table (skew split).
+
+        Parallelism is unchanged; only key-groups whose owner differs
+        between the current routing table and ``table`` move, via the
+        same live per-group machinery as a rescale (drain once, bounded
+        buffer-and-replay, per-group cutover, partial rollback on
+        faults).  Used by the
+        :class:`~repro.rescale.skew.SkewController`; works under any
+        ``rescale_mode`` (a split is inherently per-group, so there is
+        no stop-the-world variant)."""
+        live = LiveMigration(
+            self, self.current_parallelism, arrival=arrival, at_record=at_record,
+            chunk_bytes=self._transfer_chunk_bytes,
+            queue_limit=self._transfer_queue_limit,
+            seed_source=(
+                self._live_seed_source()
+                if self._rescale_mode in ("live", "promote")
+                else None
+            ),
+            target_table=table,
+            reason="skew-split",
+            hot_groups=hot_groups,
+        )
+        self._rescales.append(live.event)
+        if not live.done:
+            self._live = live
+        return live.event
+
+    def _live_seed_source(self) -> Any:
+        """Where a live migration may seed clean moved groups from."""
+        if self._rescale_mode == "promote":
+            # Rescale-by-replica-promotion: clean moved groups land
+            # from the peer's warm standby copy instead of the
+            # checkpoint store or the owner's hot path.
+            if self._replication is not None:
+                return self._replication.seed_source()
+            return None
+        if self._seed_rescale and self._checkpointer is not None:
+            seed_fn = getattr(self._checkpointer, "seed_source", None)
+            if seed_fn is not None:
+                return seed_fn()
+        return None
 
     def rebuild_for_restore(self, parallelism: int) -> None:
         """Redeploy all stateful nodes at ``parallelism`` with fresh state.
@@ -536,31 +600,49 @@ class Executor:
         )
         return live + retired
 
-    def _max_backlog(self, arrival: float) -> float:
-        return max(
-            (inst.wall_available - arrival
-             for insts in self._instances.values() for inst in insts),
-            default=0.0,
-        )
-
     def _backlog_signal(
         self, arrival: float, arrival_rate: float | None, max_ts: float
     ) -> float:
-        """Source-queue backlog estimate for the rescale controller.
+        """Aggregate backlog: the worst entry of the per-instance signal."""
+        backlogs = self._instance_backlogs(arrival, arrival_rate, max_ts)
+        return max(backlogs) if backlogs else 0.0
 
-        Latency mode has a real arrival axis: backlog is how far the
-        busiest queue's completion horizon trails the current arrival.
-        Throughput mode has no arrival clock, so the event-time span
-        ingested so far serves as the wall-time proxy: busy time beyond
-        that span means the job cannot keep up with its sources in real
-        time (the controller can now act in both modes).
+    def _instance_backlogs(
+        self, arrival: float, arrival_rate: float | None, max_ts: float
+    ) -> list[float]:
+        """Source-queue backlog estimate, per physical instance index.
+
+        Latency mode has a real arrival axis: an instance's backlog is
+        how far its completion horizon trails the current arrival (max
+        over the stateful operators sharing the index).  Throughput mode
+        has no arrival clock, so the event-time span ingested so far
+        serves as the wall-time proxy: busy time beyond that span means
+        the instance cannot keep up with its sources in real time.  The
+        aggregate the :class:`~repro.rescale.controller.RescaleController`
+        watches is exactly ``max`` of this list; the per-index breakdown
+        lets the :class:`~repro.rescale.skew.SkewController` see *which*
+        instance is pinned — one signal path for both.
         """
+        width = max((len(insts) for insts in self._instances.values()), default=0)
+        if width == 0:
+            return []
         if arrival_rate:
-            return self._max_backlog(arrival)
+            per_index = [float("-inf")] * width
+            for insts in self._instances.values():
+                for index, inst in enumerate(insts):
+                    value = inst.wall_available - arrival
+                    if value > per_index[index]:
+                        per_index[index] = value
+            return per_index
         if self._first_ts is None or max_ts == float("-inf"):
-            return 0.0
+            return []
         span = max(0.0, max_ts - self._first_ts)
-        return max(0.0, self._busiest_clock() - span)
+        per_index = [0.0] * width
+        for insts in self._instances.values():
+            for index, inst in enumerate(insts):
+                if inst.env.clock.now > per_index[index]:
+                    per_index[index] = inst.env.clock.now
+        return [max(0.0, value - span) for value in per_index]
 
     def _merged_sources(self):
         """Merge all sources in timestamp order."""
@@ -623,7 +705,9 @@ class Executor:
         elif kind in ("window", "interval_join"):
             if self._live is not None and self._live.intercept(node, record, arrival):
                 return  # buffered: replays at the new owner on cutover
-            instance = self._route(node, record.key)
+            group = key_group_of(record.key, self._plan.max_key_groups)
+            inst_index = self.group_owner[group]
+            instance = self._instances[node.node_id][inst_index]
             cluster = self._plan.cluster
             if cluster is not None and origin != instance.cluster_node:
                 # Cross-node shuffle hop: the receive wait occupies the
@@ -642,11 +726,15 @@ class Executor:
                     )
                     inst.operator.process(rec)
 
-                self._run_unit(node, instance, arrival, thunk)
+                service = self._run_unit(node, instance, arrival, thunk)
             else:
-                self._run_unit(
+                service = self._run_unit(
                     node, instance, arrival, lambda: instance.operator.process(record)
                 )
+            self.load_tracker.record(
+                group, inst_index, instance.cluster_node,
+                1, len(record.key) + record_bytes(record.value), service,
+            )
         elif kind == "sink":
             self._sinks[node.name].append(record.value)
             self._latencies.append(max(0.0, arrival - record.timestamp))
@@ -740,8 +828,11 @@ class Executor:
         keys = batch.keys
         order: list[int] = []
         grouped: dict[int, list[int]] = {}
+        row_group: list[int] = []
         for i, key in enumerate(keys):
-            inst_index = owner[key_group_of(key, max_groups)]
+            group = key_group_of(key, max_groups)
+            row_group.append(group)
+            inst_index = owner[group]
             rows = grouped.get(inst_index)
             if rows is None:
                 grouped[inst_index] = rows = []
@@ -776,19 +867,22 @@ class Executor:
                     )
                 inst.operator.process_batch(recs)
 
-            self._run_unit(node, instance, arrival, thunk)
-
-    def _route(self, node: LogicalNode, key: bytes) -> PhysicalInstance:
-        """Key-group routing: hash to a key-group once, then look the
-        group's owner up in the routing table (per-group epochs — a live
-        rescale flips entries one group at a time)."""
-        instances = self._instances[node.node_id]
-        group = key_group_of(key, self._plan.max_key_groups)
-        return instances[self.group_owner[group]]
+            service = self._run_unit(node, instance, arrival, thunk)
+            per_group: dict[int, list[int]] = {}
+            for i in rows:
+                tally = per_group.get(row_group[i])
+                if tally is None:
+                    per_group[row_group[i]] = tally = [0, 0]
+                tally[0] += 1
+                tally[1] += len(keys[i]) + record_bytes(values[i])
+            self.load_tracker.record_many(
+                inst_index, instance.cluster_node,
+                [(g, n, b) for g, (n, b) in sorted(per_group.items())], service,
+            )
 
     def _run_unit(
         self, node: LogicalNode, instance: PhysicalInstance, arrival: float, thunk
-    ) -> None:
+    ) -> float:
         start = instance.env.clock.now
         thunk()
         service = instance.env.clock.now - start
@@ -799,6 +893,7 @@ class Executor:
             instance.outbox.clear()
             for out in emitted:
                 self._push(node, out, completion, origin=instance.cluster_node)
+        return service
 
     def _broadcast_watermark(self, watermark: float, arrival: float) -> None:
         for node in self._stateful_nodes:
@@ -914,6 +1009,8 @@ class Executor:
                     "node_seconds": node_seconds,
                     "network_seconds": secs,
                     "network_bytes": nbytes,
+                    "keyed_records": self.load_tracker.node_records.get(host, 0),
+                    "keyed_busy_seconds": self.load_tracker.node_busy.get(host, 0.0),
                 }
             for entry in node_stats.values():
                 entry["utilization"] = (
@@ -931,4 +1028,5 @@ class Executor:
             failure=failure,
             rescales=list(self._rescales),
             node_stats=node_stats,
+            group_load=self.load_tracker.summary(),
         )

@@ -13,7 +13,12 @@ Public surface:
   groups, per-group cutover, partial rollback on faults;
 * :mod:`repro.rescale.controller` — when to rescale: a deterministic
   schedule or a utilization/backlog-watermark autoscaler with
-  hysteresis.
+  hysteresis;
+* :mod:`repro.rescale.skew` — hot-key-group detection and splitting:
+  always-on per-group load accounting, greedy balanced placement, and
+  the :class:`~repro.rescale.skew.SkewController` that re-places hot
+  groups through the live migration machinery without changing
+  parallelism.
 """
 
 from repro.rescale.controller import (
@@ -27,6 +32,7 @@ from repro.rescale.keygroups import (
     groups_owned,
     key_group_of,
     key_group_range,
+    moved_groups_between,
     moved_groups_from_table,
     moved_key_groups,
     owner_of,
@@ -39,21 +45,32 @@ from repro.rescale.migration import (
     RescaleEvent,
     migrate,
 )
+from repro.rescale.skew import (
+    GroupLoadTracker,
+    SkewController,
+    SplitDecision,
+    balanced_owner_table,
+)
 
 __all__ = [
     "DEFAULT_MAX_KEY_GROUPS",
     "GroupCutover",
+    "GroupLoadTracker",
     "LiveMigration",
     "LoadObservation",
     "NodeMigration",
     "RescaleController",
     "RescaleEvent",
     "ScheduledRescale",
+    "SkewController",
+    "SplitDecision",
+    "balanced_owner_table",
     "contiguous_owner_table",
     "groups_owned",
     "key_group_of",
     "key_group_range",
     "migrate",
+    "moved_groups_between",
     "moved_groups_from_table",
     "moved_key_groups",
     "owner_of",

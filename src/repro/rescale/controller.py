@@ -30,12 +30,25 @@ from dataclasses import dataclass, field
 
 @dataclass(frozen=True)
 class LoadObservation:
-    """One sample of the job's load, taken at a watermark boundary."""
+    """One sample of the job's load, taken at a watermark boundary.
+
+    ``backlog_seconds`` is always ``max(per_instance_backlog)`` (when the
+    tuple is non-empty): the aggregate the :class:`RescaleController`
+    watches and the per-instance breakdown the
+    :class:`~repro.rescale.skew.SkewController` watches are one signal,
+    computed once by the runtime.  ``group_busy`` carries the cumulative
+    per-key-group busy seconds from the runtime's
+    :class:`~repro.rescale.skew.GroupLoadTracker` and ``owner_table``
+    the routing table the sample was taken under.
+    """
 
     record_count: int  # records ingested so far
     parallelism: int  # current physical parallelism
     utilization: float | None  # mean busy/wall fraction since last sample
     backlog_seconds: float = 0.0  # source-queue backlog estimate (both modes)
+    per_instance_backlog: tuple[float, ...] = ()  # same signal, per instance
+    owner_table: tuple[int, ...] = ()  # key-group -> instance at sample time
+    group_busy: tuple[float, ...] = ()  # cumulative busy seconds per key-group
 
 
 @dataclass

@@ -36,6 +36,7 @@ __all__ = [
     "moved_key_groups",
     "contiguous_owner_table",
     "moved_groups_from_table",
+    "moved_groups_between",
     "groups_owned",
 ]
 
@@ -120,6 +121,28 @@ def moved_groups_from_table(
     plan: dict[int, dict[int, list[int]]] = {}
     for group, src in enumerate(table):
         dst = owner_of(group, max_key_groups, new_parallelism)
+        if src != dst:
+            plan.setdefault(src, {}).setdefault(dst, []).append(group)
+    return plan
+
+
+def moved_groups_between(
+    current: list[int], target: list[int]
+) -> dict[int, dict[int, list[int]]]:
+    """Key-groups whose owner differs between two routing tables.
+
+    The fully general migration plan (``{src: {dst: [groups...]}}``):
+    unlike :func:`moved_groups_from_table` the destination layout is an
+    arbitrary table, so a skew split can move exactly the hot groups to
+    a balanced placement without touching parallelism.
+    """
+    if len(current) != len(target):
+        raise PlanError(
+            f"routing tables disagree on max_key_groups: "
+            f"{len(current)} != {len(target)}"
+        )
+    plan: dict[int, dict[int, list[int]]] = {}
+    for group, (src, dst) in enumerate(zip(current, target)):
         if src != dst:
             plan.setdefault(src, {}).setdefault(dst, []).append(group)
     return plan

@@ -33,7 +33,12 @@ from collections import deque
 from typing import TYPE_CHECKING, Any
 
 from repro.cluster.topology import charge_link
-from repro.errors import DiskIOError, InjectedCrashError, SnapshotCorruptError
+from repro.errors import (
+    DiskIOError,
+    InjectedCrashError,
+    PlanError,
+    SnapshotCorruptError,
+)
 from repro.faults import CRASH_MIGRATE_EXPORT, CRASH_MIGRATE_IMPORT
 from repro.kvstores.api import (
     CAP_INCREMENTAL,
@@ -46,6 +51,7 @@ from repro.kvstores.api import (
 from repro.rescale.keygroups import (
     contiguous_owner_table,
     key_group_of,
+    moved_groups_between,
     moved_groups_from_table,
     validate_parallelism,
 )
@@ -120,6 +126,9 @@ class LiveMigration:
         chunk_bytes: int | None = None,
         queue_limit: int | None = None,
         seed_source: Any = None,
+        target_table: list[int] | None = None,
+        reason: str = "scale",
+        hot_groups: list[int] | None = None,
     ) -> None:
         plan = executor._plan  # noqa: SLF001 - the executor's rescale back-half
         self._exec = executor
@@ -136,7 +145,26 @@ class LiveMigration:
         self._queue_limit = max(1, queue_limit or DEFAULT_QUEUE_LIMIT)
         self._faults = plan.faults
         old_parallelism = executor.current_parallelism
-        move_plan = moved_groups_from_table(executor.group_owner, new_parallelism)
+        # With an explicit target table (a skew split) the migration
+        # lands on that exact — generally non-contiguous — assignment;
+        # without one it normalizes to the contiguous layout at
+        # ``new_parallelism``.
+        self._target_table = list(target_table) if target_table is not None else None
+        if self._target_table is not None:
+            if len(self._target_table) != self._G:
+                raise PlanError(
+                    f"target table has {len(self._target_table)} entries, "
+                    f"expected {self._G}"
+                )
+            for group, owner in enumerate(self._target_table):
+                if not 0 <= owner < new_parallelism:
+                    raise PlanError(
+                        f"target table assigns group {group} to instance "
+                        f"{owner}, outside parallelism {new_parallelism}"
+                    )
+            move_plan = moved_groups_between(executor.group_owner, self._target_table)
+        else:
+            move_plan = moved_groups_from_table(executor.group_owner, new_parallelism)
         self.event = RescaleEvent(
             at_record=at_record,
             old_parallelism=old_parallelism,
@@ -145,6 +173,8 @@ class LiveMigration:
                 len(groups) for dsts in move_plan.values() for groups in dsts.values()
             ),
             mode="live",
+            reason=reason,
+            hot_groups=sorted(hot_groups or []),
         )
         self.done = False
         self._nodes = list(executor._stateful_nodes)  # noqa: SLF001
@@ -415,6 +445,7 @@ class LiveMigration:
 
     def _cutover(self, group: int, arrival: float) -> None:
         """Flip routing for one group and replay its buffered records."""
+        from repro.engine.batch import record_bytes  # circular at module load
         self._in_transit.discard(group)
         self._exec.group_owner[group] = self._group_dst[group]
         cut = self._cut_of(group)
@@ -430,9 +461,13 @@ class LiveMigration:
                 cut.max_record_delay = max(
                     cut.max_record_delay, max(0.0, migration_work - stamp)
                 )
-                self._exec._run_unit(  # noqa: SLF001
+                service = self._exec._run_unit(  # noqa: SLF001
                     node, destination, arrival,
                     lambda r=record, d=destination: d.operator.process(r),
+                )
+                self._exec.load_tracker.record(
+                    group, self._group_dst[group], destination.cluster_node,
+                    1, len(record.key) + record_bytes(record.value), service,
                 )
         self.event.cutovers.append(cut)
         if not self._in_transit:
@@ -460,9 +495,12 @@ class LiveMigration:
                 )
             del instances[self._new_parallelism:]
         executor.current_parallelism = self._new_parallelism
-        executor.group_owner[:] = contiguous_owner_table(
-            self._G, self._new_parallelism
-        )
+        if self._target_table is not None:
+            executor.group_owner[:] = self._target_table
+        else:
+            executor.group_owner[:] = contiguous_owner_table(
+                self._G, self._new_parallelism
+            )
         self.done = True
 
     def _abort(self, arrival: float) -> None:
@@ -474,6 +512,8 @@ class LiveMigration:
         buffered records replay at the old owner.  Cut-over groups are
         untouched: their new ownership survives the abort.
         """
+        from repro.engine.batch import record_bytes  # circular at module load
+
         executor = self._exec
         remaining = sorted(self._in_transit)
         self.event.aborted = True
@@ -516,9 +556,13 @@ class LiveMigration:
                 # The group serves at its old owner again; its buffered
                 # records were never processed — replay them there.
                 for record, _stamp in self._buffers.pop((node.node_id, group), []):
-                    self._exec._run_unit(  # noqa: SLF001
+                    service = self._exec._run_unit(  # noqa: SLF001
                         node, source, arrival,
                         lambda r=record, s=source: s.operator.process(r),
+                    )
+                    self._exec.load_tracker.record(
+                        group, src, source.cluster_node,
+                        1, len(record.key) + record_bytes(record.value), service,
                     )
             self._in_transit.discard(group)
         if self.event.cutovers:

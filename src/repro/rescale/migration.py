@@ -91,6 +91,11 @@ class RescaleEvent:
     already cut over keep their new owner, the routing table stays mixed
     but authoritative, and a later rescale moves state from wherever the
     table says it lives.
+
+    ``reason`` is ``"scale"`` for a parallelism change and
+    ``"skew-split"`` for a hot-group re-placement at unchanged
+    parallelism (:class:`~repro.rescale.skew.SkewController`);
+    ``hot_groups`` then lists the key-groups the split targeted.
     """
 
     at_record: int
@@ -102,6 +107,8 @@ class RescaleEvent:
     mode: str = "stw"
     cutovers: list[GroupCutover] = field(default_factory=list)
     rolled_back_groups: int = 0
+    reason: str = "scale"
+    hot_groups: list[int] = field(default_factory=list)
 
     @property
     def bytes_moved(self) -> int:

@@ -1,0 +1,344 @@
+"""Hot-key-group detection and splitting.
+
+The contiguous key-group layout (``owner_of``) assumes uniform load;
+under a Zipf-skewed key population one hot group can pin a node while
+its peers idle, and the autoscaler — which only sees aggregate load —
+would add instances without moving the hot group anywhere.  This module
+closes that gap with three pieces:
+
+* :class:`GroupLoadTracker` — always-on per-key-group load accounting
+  (records, state bytes, busy seconds), maintained by the runtime on the
+  normal keyed routing path.  Pure-Python bookkeeping: it charges
+  nothing to the simulated ledgers, so runs are charge-identical with
+  tracking on.  Counters are *global per group* — they travel with the
+  group across live migrations — and increment at the same call sites
+  as the per-instance/per-node mirrors, so group totals sum exactly to
+  instance and node totals by construction.  Recovery builds a fresh
+  executor (and a fresh tracker) per restore, so counters reset with
+  the topology they describe.
+* :func:`balanced_owner_table` — greedy longest-processing-time
+  placement of key-groups onto instances by measured load, replacing
+  the naive contiguous ranges when skew is detected.  Zero-load groups
+  keep their current owner, so the split moves only groups that matter.
+* :class:`SkewController` — a rescale policy that watches the per-group
+  busy deltas between watermark boundaries and, when one instance's
+  share of the window's work exceeds ``imbalance_threshold`` times the
+  mean for ``patience`` consecutive observations, returns a
+  :class:`SplitDecision` re-placing the groups via the live per-group
+  migration machinery.  It optionally *wraps* a scale policy (e.g.
+  :class:`~repro.rescale.controller.RescaleController`): both read the
+  same :class:`~repro.rescale.controller.LoadObservation` signal path,
+  a scale decision always wins the boundary, and every scale decision
+  (or externally observed parallelism change) resets the skew streak
+  and starts a cooldown — a split can never race a scale-out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.rescale.controller import LoadObservation
+
+
+class GroupLoadTracker:
+    """Per-key-group / per-instance / per-node keyed-work counters.
+
+    All three axes are incremented together for every unit of keyed work
+    the runtime routes, so for each of ``records``, ``bytes`` and
+    ``busy_seconds``::
+
+        sum over groups == sum over instances == sum over nodes
+
+    (exactly for the integer counters; busy seconds distribute a batch's
+    service time across its groups with the last group taking the float
+    remainder, so the per-call shares still sum exactly).
+
+    Instance entries are cumulative per instance *index* — an index
+    retired by a scale-down keeps its history, and its successor after a
+    later scale-up keeps appending to it.
+    """
+
+    def __init__(self, max_key_groups: int) -> None:
+        self.max_key_groups = max_key_groups
+        self.group_records = [0] * max_key_groups
+        self.group_bytes = [0] * max_key_groups
+        self.group_busy = [0.0] * max_key_groups
+        self.instance_records: dict[int, int] = {}
+        self.instance_bytes: dict[int, int] = {}
+        self.instance_busy: dict[int, float] = {}
+        self.node_records: dict[int, int] = {}
+        self.node_bytes: dict[int, int] = {}
+        self.node_busy: dict[int, float] = {}
+
+    def record(
+        self, group: int, instance: int, node: int,
+        n_records: int, n_bytes: int, busy: float,
+    ) -> None:
+        """Account one unit of keyed work (per-tuple path)."""
+        self.group_records[group] += n_records
+        self.group_bytes[group] += n_bytes
+        self.group_busy[group] += busy
+        self.instance_records[instance] = (
+            self.instance_records.get(instance, 0) + n_records
+        )
+        self.instance_bytes[instance] = self.instance_bytes.get(instance, 0) + n_bytes
+        self.instance_busy[instance] = self.instance_busy.get(instance, 0.0) + busy
+        self.node_records[node] = self.node_records.get(node, 0) + n_records
+        self.node_bytes[node] = self.node_bytes.get(node, 0) + n_bytes
+        self.node_busy[node] = self.node_busy.get(node, 0.0) + busy
+
+    def record_many(
+        self, instance: int, node: int,
+        group_rows: list[tuple[int, int, int]], busy: float,
+    ) -> None:
+        """Account one batched work unit.
+
+        ``group_rows`` is ``[(group, n_records, n_bytes), ...]``; the
+        unit's service time is split across groups proportionally to
+        record count, with the last group taking the exact remainder so
+        the shares sum to ``busy`` bit-for-bit.
+        """
+        total_records = sum(n for _g, n, _b in group_rows)
+        spent = 0.0
+        for i, (group, n_records, n_bytes) in enumerate(group_rows):
+            if i == len(group_rows) - 1:
+                share = busy - spent
+            else:
+                share = busy * n_records / total_records if total_records else 0.0
+                spent += share
+            self.group_records[group] += n_records
+            self.group_bytes[group] += n_bytes
+            self.group_busy[group] += share
+        self.instance_records[instance] = (
+            self.instance_records.get(instance, 0) + total_records
+        )
+        n_bytes = sum(b for _g, _n, b in group_rows)
+        self.instance_bytes[instance] = self.instance_bytes.get(instance, 0) + n_bytes
+        self.instance_busy[instance] = self.instance_busy.get(instance, 0.0) + busy
+        self.node_records[node] = self.node_records.get(node, 0) + total_records
+        self.node_bytes[node] = self.node_bytes.get(node, 0) + n_bytes
+        self.node_busy[node] = self.node_busy.get(node, 0.0) + busy
+
+    def summary(self) -> dict[str, Any]:
+        """Sparse JSON-stable view for ``JobResult.group_load``."""
+        groups = {
+            g: {
+                "records": self.group_records[g],
+                "bytes": self.group_bytes[g],
+                "busy_seconds": self.group_busy[g],
+            }
+            for g in range(self.max_key_groups)
+            if self.group_records[g] or self.group_busy[g]
+        }
+        instances = {
+            i: {
+                "records": self.instance_records.get(i, 0),
+                "bytes": self.instance_bytes.get(i, 0),
+                "busy_seconds": self.instance_busy.get(i, 0.0),
+            }
+            for i in sorted(self.instance_records)
+        }
+        nodes = {
+            n: {
+                "records": self.node_records.get(n, 0),
+                "bytes": self.node_bytes.get(n, 0),
+                "busy_seconds": self.node_busy.get(n, 0.0),
+            }
+            for n in sorted(self.node_records)
+        }
+        return {"groups": groups, "instances": instances, "nodes": nodes}
+
+
+def balanced_owner_table(
+    loads: list[float], parallelism: int, current: list[int]
+) -> list[int]:
+    """Greedy balanced placement of key-groups by measured load.
+
+    Groups with nonzero load are assigned largest-first to the
+    least-loaded instance (longest-processing-time scheduling, within
+    4/3 of optimal makespan); ties prefer the group's current owner so
+    an already-balanced assignment moves nothing, then the lowest
+    instance index for determinism.  Zero-load groups keep their current
+    owner — a split never shuffles state nobody is touching.
+    """
+    table = list(current)
+    assigned = [0.0] * parallelism
+    active = sorted(
+        ((load, group) for group, load in enumerate(loads) if load > 0.0),
+        key=lambda pair: (-pair[0], pair[1]),
+    )
+    for load, group in active:
+        best = min(
+            range(parallelism),
+            key=lambda i: (assigned[i], 0 if i == current[group] else 1, i),
+        )
+        table[group] = best
+        assigned[best] += load
+    return table
+
+
+@dataclass(frozen=True)
+class SplitDecision:
+    """A skew split: re-place key-groups without changing parallelism.
+
+    Returned by :meth:`SkewController.decide`; the executor migrates to
+    ``table`` with the live per-group machinery and records the event
+    with ``reason="skew-split"`` and these ``hot_groups``.
+    """
+
+    table: tuple[int, ...]
+    hot_groups: tuple[int, ...]
+
+
+@dataclass
+class SkewController:
+    """Detect hot key-groups and split them off via balanced placement.
+
+    Detection runs on the *windowed* per-group busy deltas between
+    observations (both latency and throughput mode accumulate busy
+    time): project the window's work onto the current owner table and
+    compare the busiest instance against the mean.  An imbalance
+    sustained for ``patience`` observations yields a
+    :class:`SplitDecision` whose table comes from
+    :func:`balanced_owner_table` over the same window.
+
+    ``scale_policy`` (optional) is consulted first with the identical
+    observation; any scale decision is returned as-is, resets the skew
+    streak and starts the skew cooldown, so a split never fires while a
+    scale-out is pending or in flight.  A parallelism change the
+    controller did not decide (an external schedule, a recovery) resets
+    the detection window the same way.
+    """
+
+    imbalance_threshold: float = 2.0  # busiest instance vs mean, >= 1
+    patience: int = 2  # consecutive imbalanced observations
+    cooldown: int = 5  # observations ignored after any decision
+    min_improvement: float = 1.2  # required max-load reduction factor
+    min_split_records: int = 200  # records a streak must span before acting
+    scale_policy: Any = None  # optional decide(LoadObservation) delegate
+
+    _streak: int = field(default=0, init=False)
+    _cooldown_left: int = field(default=0, init=False)
+    _last_busy: tuple[float, ...] | None = field(default=None, init=False)
+    _streak_base: tuple[float, ...] | None = field(default=None, init=False)
+    _streak_start_count: int = field(default=0, init=False)
+    _last_parallelism: int | None = field(default=None, init=False)
+
+    def __post_init__(self) -> None:
+        if self.imbalance_threshold < 1.0:
+            raise ValueError(
+                f"imbalance_threshold must be >= 1: {self.imbalance_threshold}"
+            )
+        if self.patience < 1:
+            raise ValueError(f"patience must be >= 1: {self.patience}")
+        if self.min_improvement < 1.0:
+            raise ValueError(
+                f"min_improvement must be >= 1: {self.min_improvement}"
+            )
+
+    def decide(self, observation: LoadObservation) -> Any:
+        window = self._window(observation)
+        if self.scale_policy is not None:
+            target = self.scale_policy.decide(observation)
+            if target is not None:
+                self._quiesce()
+                return target
+        if (
+            self._last_parallelism is not None
+            and observation.parallelism != self._last_parallelism
+        ):
+            # Someone else rescaled (schedule, recovery): the measured
+            # window straddles two topologies — start over.
+            self._quiesce()
+            self._last_parallelism = observation.parallelism
+            return None
+        self._last_parallelism = observation.parallelism
+        if self._cooldown_left > 0:
+            self._cooldown_left -= 1
+            return None
+        if window is None:
+            return None
+        owner = observation.owner_table
+        parallelism = observation.parallelism
+        if len(owner) != len(window) or parallelism < 2:
+            return None
+        per_instance = [0.0] * parallelism
+        for group, load in enumerate(window):
+            per_instance[owner[group]] += load
+        total = sum(per_instance)
+        if total <= 0.0:
+            self._streak = 0
+            return None
+        mean = total / parallelism
+        if max(per_instance) >= self.imbalance_threshold * mean:
+            if self._streak == 0:
+                # Placement decides on the load accumulated over the
+                # whole streak, not one (noisy) boundary window.
+                self._streak_base = tuple(
+                    now - delta for now, delta in zip(observation.group_busy, window)
+                )
+                self._streak_start_count = observation.record_count
+            self._streak += 1
+        else:
+            self._streak = 0
+            self._streak_base = None
+        if self._streak < self.patience:
+            return None
+        if (
+            observation.record_count - self._streak_start_count
+            < self.min_split_records
+        ):
+            # Sustained, but not yet enough data for a stable placement:
+            # keep the streak running and accumulate more window.
+            return None
+        assert self._streak_base is not None
+        accumulated = tuple(
+            now - base for now, base in zip(observation.group_busy, self._streak_base)
+        )
+        self._quiesce()
+        table = balanced_owner_table(list(accumulated), parallelism, list(owner))
+        if table == list(owner):
+            return None
+        # A single dominant group keeps the imbalance metric high under
+        # *any* placement (its instance's load is at least that group's
+        # load) — splitting again would just churn state.  Move only
+        # when the balanced table beats the current one by a real margin.
+        current = [0.0] * parallelism
+        projected = [0.0] * parallelism
+        for group, load in enumerate(accumulated):
+            current[owner[group]] += load
+            projected[table[group]] += load
+        if max(current) < self.min_improvement * max(projected):
+            return None
+        return SplitDecision(
+            table=tuple(table), hot_groups=tuple(self._hot_groups(accumulated))
+        )
+
+    # ------------------------------------------------------------------
+    def _window(self, observation: LoadObservation) -> tuple[float, ...] | None:
+        """Per-group busy delta since the previous observation.
+
+        The first observation only primes the window (cumulative totals
+        would blame a group for work done long before the imbalance).
+        """
+        current = observation.group_busy
+        if not current:
+            return None
+        previous, self._last_busy = self._last_busy, current
+        if previous is None or len(previous) != len(current):
+            return None
+        return tuple(now - then for now, then in zip(current, previous))
+
+    def _hot_groups(self, window: tuple[float, ...]) -> list[int]:
+        """Groups carrying an outsized share of the window's work."""
+        active = [load for load in window if load > 0.0]
+        if not active:
+            return []
+        cutoff = self.imbalance_threshold * (sum(active) / len(active))
+        return [g for g, load in enumerate(window) if load >= cutoff]
+
+    def _quiesce(self) -> None:
+        self._streak = 0
+        self._streak_base = None
+        self._cooldown_left = self.cooldown

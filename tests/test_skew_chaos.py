@@ -1,0 +1,142 @@
+"""Chaos: kill the node hosting the hottest key-group mid-split.
+
+The worst case for the skew path: the SkewController has decided a
+split, the live per-group migration is in flight, and the node that
+hosts the hot groups' source instance dies.  Recovery must land on the
+exact digest of an uninterrupted run — the split is an optimization and
+can never be allowed to change answers, even torn in half by a node
+failure.
+
+``FAULT_SEED`` (env var) varies the fault plans exactly as in
+``test_recovery.py`` so the CI fault matrix covers this file too.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import replace
+
+import pytest
+
+from repro.bench.harness import run_query
+from repro.bench.profiles import TINY_PROFILE
+from repro.cluster import ClusterTopology
+from repro.faults import FaultPlan
+from repro.rescale import SkewController
+
+FAULT_SEED = int(os.environ.get("FAULT_SEED", "7"))
+
+WINDOW = TINY_PROFILE.window_sizes[0]
+QUERY = "q7"  # keyed by bidder: the Zipf axis lands on few key-groups
+PARALLELISM = 4
+N_NODES = 2
+ZIPF = {"bidder_zipf": 1.5}
+
+
+def controller() -> SkewController:
+    return SkewController(imbalance_threshold=1.5, patience=3, cooldown=10)
+
+
+def run(backend="flowkv", **kwargs):
+    profile = TINY_PROFILE
+    if backend == "memory":
+        profile = replace(TINY_PROFILE, heap_total_bytes=8 << 20)
+    return run_query(
+        profile, QUERY, backend, WINDOW, parallelism=PARALLELISM,
+        cluster=ClusterTopology.uniform(N_NODES),
+        generator_overrides=ZIPF, **kwargs,
+    )
+
+
+def split_of(record):
+    splits = [e for e in record.rescales if e.reason == "skew-split"]
+    assert splits, "skew split never fired"
+    return splits[0]
+
+
+def hot_node(split) -> int:
+    """Node hosting the hottest group's *source* instance (round-robin
+    placement: instance i lives on node i % N)."""
+    # Before the split the contiguous table owns group g at g*P//G.
+    hottest = max(split.hot_groups)
+    src = hottest * split.old_parallelism // 128
+    return src % N_NODES
+
+
+class TestHotNodeKillMidSplit:
+    def test_kill_hot_node_mid_split_recovers_digest_equal(self):
+        baseline = run(rescale_policy=controller())
+        assert baseline.ok
+        split = split_of(baseline)
+        victim = hot_node(split)
+        interval = max(1, baseline.input_records // 4)
+        # The live migration advances one chunk per subsequent record:
+        # a couple of records past the decision point is mid-transfer.
+        kill_at = split.at_record + 2
+        plan = FaultPlan(seed=FAULT_SEED).kill_node(victim, on_hit=kill_at)
+        recovered = run(
+            rescale_policy=controller(),
+            fault_plan=plan, checkpoint_interval=interval,
+        )
+        assert recovered.ok
+        assert recovered.output_hash == baseline.output_hash
+        assert recovered.results == baseline.results
+        kinds = [e.kind for e in recovered.recoveries]
+        assert "node_failure" in kinds
+        assert "restore" in kinds
+
+    def test_recovered_run_matches_naive_placement(self):
+        """Transitively: the post-crash run equals a run that never
+        split at all — the full equivalence chain survives the fault."""
+        naive = run()
+        assert naive.ok
+        baseline = run(rescale_policy=controller())
+        split = split_of(baseline)
+        plan = FaultPlan(seed=FAULT_SEED).kill_node(
+            hot_node(split), on_hit=split.at_record + 2
+        )
+        recovered = run(
+            rescale_policy=controller(),
+            fault_plan=plan,
+            checkpoint_interval=max(1, naive.input_records // 4),
+        )
+        assert recovered.ok
+        assert recovered.output_hash == naive.output_hash
+
+    def test_kill_before_the_split_still_splits_after_recovery(self):
+        """A kill ahead of the decision point: the controller re-detects
+        the imbalance on the post-restore topology and still splits."""
+        baseline = run(rescale_policy=controller())
+        split = split_of(baseline)
+        kill_at = max(2, split.at_record // 2)
+        plan = FaultPlan(seed=FAULT_SEED).kill_node(
+            hot_node(split), on_hit=kill_at
+        )
+        recovered = run(
+            rescale_policy=controller(),
+            fault_plan=plan,
+            checkpoint_interval=max(1, baseline.input_records // 4),
+        )
+        assert recovered.ok
+        assert recovered.output_hash == baseline.output_hash
+        assert any(e.kind == "restore" for e in recovered.recoveries)
+        assert any(e.reason == "skew-split" for e in recovered.rescales)
+
+
+@pytest.mark.parametrize("backend", ("rocksdb", "memory"))
+class TestOtherBackends:
+    def test_kill_hot_node_mid_split(self, backend):
+        baseline = run(backend, rescale_policy=controller())
+        assert baseline.ok
+        split = split_of(baseline)
+        plan = FaultPlan(seed=FAULT_SEED).kill_node(
+            hot_node(split), on_hit=split.at_record + 2
+        )
+        recovered = run(
+            backend, rescale_policy=controller(),
+            fault_plan=plan,
+            checkpoint_interval=max(1, baseline.input_records // 4),
+        )
+        assert recovered.ok
+        assert recovered.output_hash == baseline.output_hash
+        assert any(e.kind == "node_failure" for e in recovered.recoveries)

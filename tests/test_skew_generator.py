@@ -1,0 +1,224 @@
+"""Property suite for the generator's skew axis.
+
+Three knob families — Zipf-skewed bidders/sellers, the flash-crowd
+burst, the late-data storm — plus the contract that matters most: with
+every knob off the stream is byte-identical to the pre-skew generator
+(pinned by hash), so the skew axis can never silently perturb the
+existing evaluation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nexmark import Bid, GeneratorConfig, Person, generate_events
+
+# sha256 over ``repr((event, timestamp))`` in generation order: any
+# change to content, order, or timestamps shows up.
+PINNED_DEFAULT = "b921eea5714812e13b0c0675bb26fa16bb42b7b8c1ad2fbddea2d6b3e03d24d5"
+PINNED_TINYISH = "8225295033e1ff774cda4632f2e99a549074830091f082f5eb843f9668b477dd"
+
+
+def stream_hash(config: GeneratorConfig) -> str:
+    digest = hashlib.sha256()
+    for event, ts in generate_events(config):
+        digest.update(repr((event, ts)).encode())
+    return digest.hexdigest()
+
+
+class TestKnobsOffRegression:
+    def test_default_stream_pinned(self):
+        assert stream_hash(GeneratorConfig()) == PINNED_DEFAULT
+
+    def test_tiny_scale_stream_pinned(self):
+        config = GeneratorConfig(events_per_second=30.0, duration=200.0, seed=7)
+        assert stream_hash(config) == PINNED_TINYISH
+
+    def test_explicit_off_values_identical(self):
+        """Spelling the defaults out must not consume extra RNG draws."""
+        explicit = GeneratorConfig(
+            bidder_zipf=None, seller_zipf=None, flash_start=None,
+            late_storm_start=None,
+        )
+        assert stream_hash(explicit) == PINNED_DEFAULT
+
+    def test_zero_delay_storm_identical(self):
+        """A storm that shifts by 0 s touches no timestamp and no draw."""
+        config = GeneratorConfig(
+            late_storm_start=100.0, late_storm_duration=200.0,
+            late_storm_delay=0.0,
+        )
+        assert stream_hash(config) == PINNED_DEFAULT
+
+
+class TestValidation:
+    @pytest.mark.parametrize("knob", ["bidder_zipf", "seller_zipf"])
+    @pytest.mark.parametrize("value", [0.0, -1.5])
+    def test_zipf_exponent_must_be_positive(self, knob, value):
+        with pytest.raises(ValueError, match=knob):
+            GeneratorConfig(**{knob: value})
+
+    def test_flash_intensity_bounded(self):
+        with pytest.raises(ValueError, match="flash_intensity"):
+            GeneratorConfig(flash_intensity=1.5)
+
+    def test_negative_durations_rejected(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(flash_start=10.0, flash_duration=-1.0)
+        with pytest.raises(ValueError):
+            GeneratorConfig(late_storm_start=10.0, late_storm_duration=-1.0)
+        with pytest.raises(ValueError, match="late_storm_delay"):
+            GeneratorConfig(late_storm_start=10.0, late_storm_delay=-2.0)
+
+
+def zipf_expected(exponent: float, n: int) -> list[float]:
+    weights = [(rank + 1) ** -exponent for rank in range(n)]
+    total = sum(weights)
+    return [w / total for w in weights]
+
+
+class TestZipfSkew:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        exponent=st.floats(min_value=1.2, max_value=2.5),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_bidder_rank_frequency_tracks_zipf(self, exponent, seed):
+        """With a frozen population the empirical bid shares must sit in
+        a tolerance band around the Zipf pmf, rank 0 = ``people[0]``."""
+        config = GeneratorConfig(
+            events_per_second=100.0, duration=60.0, seed=seed,
+            person_ratio=0.0, auction_ratio=0.06,  # freeze the 8 seeds
+            bidder_zipf=exponent,
+        )
+        counts: dict[int, int] = {}
+        bids = 0
+        for event, _ts in generate_events(config):
+            if isinstance(event, Bid):
+                counts[event.bidder] = counts.get(event.bidder, 0) + 1
+                bids += 1
+        assert bids > 2000
+        expected = zipf_expected(exponent, 8)
+        # Population is exactly the 8 pre-seeded people, ids 0..7 in
+        # rank order (no Person events are ever generated).
+        assert set(counts) <= set(range(8))
+        top_share = counts.get(0, 0) / bids
+        assert abs(top_share - expected[0]) < 0.12
+        # Monotone in rank for the ranks with enough mass to measure.
+        assert counts.get(0, 0) > counts.get(1, 0) > counts.get(3, 0)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    def test_seller_zipf_concentrates_auctions(self, seed):
+        config = GeneratorConfig(
+            events_per_second=100.0, duration=60.0, seed=seed,
+            person_ratio=0.0, seller_zipf=1.5,
+        )
+        sellers = [
+            e.seller for e, _ts in generate_events(config)
+            if not isinstance(e, (Person, Bid))
+        ]
+        assert sellers, "no auctions generated"
+        top = max(set(sellers), key=sellers.count)
+        assert top == 0  # rank 0 is the oldest pre-seeded person
+        assert sellers.count(0) / len(sellers) > 0.35  # ~0.52 expected
+
+    def test_zipf_preserves_the_event_mix(self):
+        """Skewing the picks must not disturb the 2/6/92 event mix."""
+        skew = list(generate_events(GeneratorConfig(duration=200.0,
+                                                    bidder_zipf=1.5)))
+        bids = sum(1 for e, _ts in skew if isinstance(e, Bid))
+        persons = sum(1 for e, _ts in skew if isinstance(e, Person))
+        assert 0.88 < bids / len(skew) < 0.96
+        assert 0.005 < persons / len(skew) < 0.04
+
+
+class TestFlashCrowd:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        start=st.floats(min_value=20.0, max_value=60.0),
+    )
+    def test_flash_window_contains_the_burst(self, seed, start):
+        duration = 30.0
+        config = GeneratorConfig(
+            events_per_second=100.0, duration=120.0, seed=seed,
+            flash_start=start, flash_duration=duration, flash_intensity=0.9,
+        )
+        inside: list[int] = []
+        outside: list[int] = []
+        for event, ts in generate_events(config):
+            if isinstance(event, Bid):
+                (inside if start <= ts < start + duration else outside).append(
+                    event.auction
+                )
+        assert inside, "flash window saw no bids"
+        target = max(set(inside), key=inside.count)
+        # Inside the burst one latched auction dominates at roughly the
+        # configured intensity; outside it stays a background target.
+        assert inside.count(target) / len(inside) > 0.75
+        if outside:
+            assert outside.count(target) / len(outside) < 0.5
+
+    def test_no_flash_before_start(self):
+        config = GeneratorConfig(
+            events_per_second=100.0, duration=60.0, seed=5,
+            flash_start=50.0, flash_duration=10.0, flash_intensity=1.0,
+        )
+        pre = [e.auction for e, ts in generate_events(config)
+               if isinstance(e, Bid) and ts < 50.0]
+        # The pre-window stream keeps the background spread: no single
+        # auction takes the near-total share the latch would produce.
+        assert max(pre.count(a) for a in set(pre)) / len(pre) < 0.6
+
+
+class TestLateStorm:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        delay=st.floats(min_value=1.0, max_value=50.0),
+    )
+    def test_storm_shifts_only_storm_bids(self, seed, delay):
+        start, span = 40.0, 20.0
+        base_cfg = GeneratorConfig(events_per_second=100.0, duration=100.0,
+                                   seed=seed)
+        storm_cfg = GeneratorConfig(
+            events_per_second=100.0, duration=100.0, seed=seed,
+            late_storm_start=start, late_storm_duration=span,
+            late_storm_delay=delay,
+        )
+        base = list(generate_events(base_cfg))
+        storm = list(generate_events(storm_cfg))
+        assert len(base) == len(storm)
+        shifted = 0
+        for (b_ev, b_ts), (s_ev, s_ts) in zip(base, storm):
+            assert b_ev == s_ev  # identical draws: same events, same order
+            if isinstance(b_ev, Bid) and start <= b_ts < start + span:
+                assert s_ts == max(0.0, b_ts - delay)
+                shifted += 1
+            else:
+                assert s_ts == b_ts
+        assert shifted > 0
+
+
+class TestSeedDeterminism:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    def test_same_seed_same_stream_with_knobs(self, seed):
+        config = GeneratorConfig(
+            events_per_second=60.0, duration=60.0, seed=seed,
+            bidder_zipf=1.4, seller_zipf=1.2,
+            flash_start=20.0, flash_duration=10.0,
+            late_storm_start=40.0, late_storm_duration=10.0,
+            late_storm_delay=5.0,
+        )
+        assert stream_hash(config) == stream_hash(config)
+
+    def test_different_seeds_differ(self):
+        a = GeneratorConfig(duration=50.0, seed=1, bidder_zipf=1.5)
+        b = GeneratorConfig(duration=50.0, seed=2, bidder_zipf=1.5)
+        assert stream_hash(a) != stream_hash(b)

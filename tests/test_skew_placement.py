@@ -1,0 +1,297 @@
+"""Skew splitting: placement algorithm, controller hysteresis, equivalence.
+
+Unit-level: :func:`balanced_owner_table` greedy properties,
+:func:`moved_groups_between` plans, and the
+:class:`SkewController` decision machinery driven by synthetic
+observations — patience, cooldown, the min-records and min-improvement
+gates, and the race rules against a wrapped autoscaler.  End-to-end:
+splitting under a Zipf workload is digest-equal to naive and to a
+single-instance oracle on every backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import pytest
+
+from repro.bench.harness import run_query
+from repro.bench.profiles import TINY_PROFILE
+from repro.errors import PlanError
+from repro.rescale import (
+    LoadObservation,
+    RescaleController,
+    SkewController,
+    SplitDecision,
+    balanced_owner_table,
+    moved_groups_between,
+)
+
+BACKENDS = ("memory", "flowkv", "rocksdb", "faster")
+WINDOW = TINY_PROFILE.window_sizes[0]
+
+
+def profile_for(backend: str):
+    if backend == "memory":
+        return replace(TINY_PROFILE, heap_total_bytes=8 << 20)
+    return TINY_PROFILE
+
+
+class TestBalancedOwnerTable:
+    def test_greedy_splits_hot_prefix(self):
+        # Two instances, all load on instance 0's range: LPT puts the
+        # heaviest group back on its owner (tie) and peels the rest off.
+        current = [0, 0, 0, 0, 1, 1, 1, 1]
+        loads = [4.0, 3.0, 2.0, 1.0, 0.0, 0.0, 0.0, 0.0]
+        table = balanced_owner_table(loads, 2, current)
+        assert table[0] == 0  # heaviest stays: empty instances tie, owner wins
+        assert table[1] == 1  # second heaviest balances the other instance
+        assigned = [0.0, 0.0]
+        for group, load in enumerate(loads):
+            assigned[table[group]] += load
+        assert max(assigned) == 5.0  # optimal makespan for 4+3+2+1 on 2
+
+    def test_zero_load_groups_keep_their_owner(self):
+        current = [0, 0, 1, 1, 2, 2]
+        loads = [1.0, 0.0, 0.0, 2.0, 0.0, 0.0]
+        table = balanced_owner_table(loads, 3, current)
+        for group in (1, 2, 4, 5):
+            assert table[group] == current[group]
+
+    def test_balanced_input_moves_nothing(self):
+        current = [0, 1, 0, 1]
+        loads = [1.0, 1.0, 1.0, 1.0]
+        assert balanced_owner_table(loads, 2, current) == current
+
+    def test_owners_stay_in_range(self):
+        current = [0] * 16
+        loads = [float(g % 5) for g in range(16)]
+        table = balanced_owner_table(loads, 3, current)
+        assert all(0 <= owner < 3 for owner in table)
+
+
+class TestMovedGroupsBetween:
+    def test_plan_maps_src_to_dst(self):
+        plan = moved_groups_between([0, 0, 1, 1], [0, 1, 1, 0])
+        assert plan == {0: {1: [1]}, 1: {0: [3]}}
+
+    def test_identity_is_empty(self):
+        assert moved_groups_between([0, 1, 2], [0, 1, 2]) == {}
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(PlanError, match="max_key_groups"):
+            moved_groups_between([0, 1], [0, 1, 2])
+
+
+# ----------------------------------------------------------------------
+# Synthetic observation driver for the controller unit tests.
+# ----------------------------------------------------------------------
+GROUPS = 8
+OWNER = (0, 0, 0, 0, 1, 1, 1, 1)
+
+
+class Feed:
+    """Accumulates per-group busy windows into cumulative observations."""
+
+    def __init__(self, owner=OWNER, parallelism=2):
+        self.owner = tuple(owner)
+        self.parallelism = parallelism
+        self.busy = [0.0] * len(owner)
+        self.count = 0
+
+    def observe(self, window, records=500, **kwargs):
+        for group, load in enumerate(window):
+            self.busy[group] += load
+        self.count += records
+        return LoadObservation(
+            record_count=self.count,
+            parallelism=kwargs.pop("parallelism", self.parallelism),
+            utilization=kwargs.pop("utilization", None),
+            owner_table=self.owner,
+            group_busy=tuple(self.busy),
+            **kwargs,
+        )
+
+
+HOT = (4.0, 1.0, 1.0, 1.0, 0.0, 0.0, 0.0, 0.0)  # all on instance 0
+FLAT = (1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0)
+
+
+class TestSkewControllerDecisions:
+    def make(self, **kwargs):
+        kwargs.setdefault("imbalance_threshold", 1.5)
+        kwargs.setdefault("patience", 2)
+        kwargs.setdefault("cooldown", 3)
+        return SkewController(**kwargs)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="imbalance_threshold"):
+            SkewController(imbalance_threshold=0.5)
+        with pytest.raises(ValueError, match="patience"):
+            SkewController(patience=0)
+        with pytest.raises(ValueError, match="min_improvement"):
+            SkewController(min_improvement=0.9)
+
+    def test_first_observation_only_primes(self):
+        controller, feed = self.make(), Feed()
+        assert controller.decide(feed.observe(HOT)) is None
+
+    def test_patience_gates_the_split(self):
+        controller, feed = self.make(patience=3), Feed()
+        controller.decide(feed.observe(FLAT))  # prime
+        assert controller.decide(feed.observe(HOT)) is None  # streak 1
+        assert controller.decide(feed.observe(HOT)) is None  # streak 2
+        decision = controller.decide(feed.observe(HOT))  # streak 3
+        assert isinstance(decision, SplitDecision)
+        assert 0 in decision.hot_groups
+        assert decision.table != OWNER
+        assert len(decision.table) == GROUPS
+
+    def test_streak_resets_on_a_balanced_window(self):
+        controller, feed = self.make(patience=2), Feed()
+        controller.decide(feed.observe(FLAT))
+        assert controller.decide(feed.observe(HOT)) is None
+        assert controller.decide(feed.observe(FLAT)) is None  # streak reset
+        assert controller.decide(feed.observe(HOT)) is None  # streak 1 again
+        assert controller.decide(feed.observe(HOT)) is not None
+
+    def test_min_split_records_defers_until_enough_data(self):
+        controller = self.make(patience=2, min_split_records=2000)
+        feed = Feed()
+        controller.decide(feed.observe(FLAT, records=100))
+        for _ in range(4):  # sustained, but only 100 records per window
+            assert controller.decide(feed.observe(HOT, records=100)) is None
+        # The streak kept running: once the span crosses the floor the
+        # very next imbalanced observation acts.
+        decision = controller.decide(feed.observe(HOT, records=2000))
+        assert isinstance(decision, SplitDecision)
+
+    def test_cooldown_after_a_split(self):
+        controller = self.make(patience=1, cooldown=2, min_split_records=0)
+        feed = Feed()
+        controller.decide(feed.observe(FLAT))
+        assert controller.decide(feed.observe(HOT)) is not None
+        # Decision placed us in cooldown: the same hot signal is ignored
+        # for exactly `cooldown` observations.
+        assert controller.decide(feed.observe(HOT)) is None
+        assert controller.decide(feed.observe(HOT)) is None
+        assert controller.decide(feed.observe(HOT)) is not None
+
+    def test_already_balanced_table_yields_none(self):
+        # Imbalance metric can trip while the table is already the best
+        # greedy answer: one giant group per instance.
+        owner = (0, 1)
+        controller = self.make(patience=1, min_split_records=0)
+        feed = Feed(owner=owner)
+        controller.decide(feed.observe((0.0, 0.0)))
+        assert controller.decide(feed.observe((4.0, 0.1))) is None
+
+    def test_min_improvement_blocks_churn(self):
+        # A single dominant group bounds the makespan from below: the
+        # balanced table only trims 0.1 of 7.1, under the 1.2x floor.
+        controller = self.make(patience=1, min_split_records=0)
+        feed = Feed()
+        controller.decide(feed.observe(FLAT))
+        window = (7.0, 0.1, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        assert controller.decide(feed.observe(window)) is None
+
+    def test_external_parallelism_change_quiesces(self):
+        controller, feed = self.make(patience=2), Feed()
+        controller.decide(feed.observe(FLAT))
+        assert controller.decide(feed.observe(HOT)) is None  # streak 1
+        # A rescale the controller did not decide (schedule, recovery):
+        # the streak resets and a cooldown starts.
+        assert controller.decide(feed.observe(HOT, parallelism=4)) is None
+        feed.parallelism = 4
+        for _ in range(3):  # cooldown=3 drains
+            assert controller.decide(feed.observe(HOT)) is None
+        assert controller.decide(feed.observe(HOT)) is None  # streak 1
+        assert controller.decide(feed.observe(HOT)) is not None
+
+
+class TestScaleSplitRace:
+    """One signal, two controllers: a scale decision must win the
+    boundary and freeze skew detection — never both at once."""
+
+    def test_scale_decision_wins_and_quiesces_skew(self):
+        scale = RescaleController(
+            patience=1, cooldown=10, backlog_high_seconds=5.0,
+            high_watermark=0.8, low_watermark=0.3,
+        )
+        controller = SkewController(
+            imbalance_threshold=1.5, patience=1, cooldown=3,
+            min_split_records=0, scale_policy=scale,
+        )
+        feed = Feed()
+        controller.decide(feed.observe(FLAT))
+        # Backlog over the high watermark AND a hot group in the same
+        # observation: the scale-out is returned, not a split.
+        decision = controller.decide(feed.observe(HOT, backlog_seconds=9.0))
+        assert decision == 4  # scale-up doubled parallelism 2 -> 4
+        # Skew is now in cooldown even though its own patience was met:
+        # the split waits out the migration instead of racing it.  The
+        # first observation at the new parallelism re-arms the cooldown
+        # (topology changed under the window), then it drains.
+        feed.parallelism = 4
+        assert controller.decide(feed.observe(HOT)) is None  # re-quiesce
+        assert controller.decide(feed.observe(HOT)) is None
+        assert controller.decide(feed.observe(HOT)) is None
+        assert controller.decide(feed.observe(HOT)) is None
+        late = controller.decide(feed.observe(HOT))
+        assert isinstance(late, SplitDecision)
+
+    def test_shared_backlog_signal_is_per_instance_max(self):
+        """The runtime computes one backlog signal: the aggregate the
+        autoscaler reads must be the max of the per-instance breakdown
+        the skew controller reads, on every observation of a real run."""
+
+        @dataclass
+        class Spy:
+            seen: list = field(default_factory=list)
+
+            def decide(self, observation):
+                self.seen.append(observation)
+                return None
+
+        spy = Spy()
+        record = run_query(
+            TINY_PROFILE, "q7", "flowkv", WINDOW, parallelism=2,
+            rescale_policy=spy,
+        )
+        assert record.ok
+        assert spy.seen, "no observations sampled"
+        for observation in spy.seen:
+            assert len(observation.per_instance_backlog) == observation.parallelism
+            assert observation.backlog_seconds == max(
+                observation.per_instance_backlog
+            )
+            assert len(observation.owner_table) == len(observation.group_busy)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestSplitEquivalence:
+    """Splitting must never change answers: balanced, naive and a
+    single-instance oracle agree bit-for-bit on every backend."""
+
+    def test_split_is_digest_equal(self, backend):
+        profile = profile_for(backend)
+        kwargs = dict(generator_overrides={"bidder_zipf": 1.5})
+        naive = run_query(profile, "q7", backend, WINDOW, parallelism=4, **kwargs)
+        single = run_query(profile, "q7", backend, WINDOW, parallelism=1, **kwargs)
+        balanced = run_query(
+            profile, "q7", backend, WINDOW, parallelism=4,
+            rescale_policy=SkewController(
+                imbalance_threshold=1.5, patience=3, cooldown=10
+            ),
+            **kwargs,
+        )
+        assert naive.ok and single.ok and balanced.ok
+        assert naive.output_hash == single.output_hash == balanced.output_hash
+        assert naive.results == balanced.results
+        splits = [e for e in balanced.rescales if e.reason == "skew-split"]
+        assert splits, "skew split never fired"
+        for event in splits:
+            assert event.old_parallelism == event.new_parallelism == 4
+            assert event.moved_groups > 0
+            assert event.bytes_moved > 0
+            assert event.hot_groups
